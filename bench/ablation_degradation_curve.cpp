@@ -1,0 +1,75 @@
+// Ablation: the degradation law itself (paper eq. 1).
+//
+// Measures tp(T)/tp0 of an inverter's second pulse edge on the electrical
+// reference and compares point-by-point with the DDM's closed-form
+// prediction using the library's characterized (A, B, C) parameters --
+// i.e. regenerates the exponential-recovery curve from the DDM papers and
+// quantifies how well eq. 1 describes the electrical behaviour.
+#include <cmath>
+#include <cstdio>
+
+#include "src/characterize/characterize.hpp"
+
+using namespace halotis;
+
+int main() {
+  const Library lib = Library::default_u6();
+  std::printf("== Ablation: delay degradation curve (eq. 1) ==\n\n");
+
+  bool all_good = true;
+  for (const Farad load : {0.06, 0.12}) {
+    const TimeNs tau_in = 0.4;
+    const Cell& cell = lib.cell(lib.find("INV_X1"));
+    const EdgeTiming& edge = cell.pin(0).rise;  // output rise = degraded edge
+
+    CellBench bench = make_cell_bench(lib, "INV_X1", load);
+    const Farad cl = bench.netlist.load_of(bench.out);
+    const TimeNs model_tau = edge.deg_tau(cl, lib.vdd());
+    const TimeNs model_t0 = edge.deg_t0(tau_in, lib.vdd());
+
+    const DelayMeasurement settled =
+        measure_delay(lib, "INV_X1", 0, Edge::kFall, load, tau_in);
+    std::vector<TimeNs> widths;
+    for (double w = 0.24; w < 1.2; w *= 1.18) widths.push_back(w);
+    const auto points =
+        measure_degradation(lib, "INV_X1", 0, Edge::kRise, load, tau_in, widths);
+
+    std::printf("INV_X1, CL = %.3f pF, tau_in = %.1f ns; settled tp0 = %.4f ns\n", cl,
+                tau_in, settled.tp);
+    std::printf("model: tau = %.4f ns, T0 = %.4f ns\n", model_tau, model_t0);
+    std::printf("  %-10s %-12s %-12s %-10s\n", "T (ns)", "tp/tp0 meas", "tp/tp0 eq.1",
+                "error");
+    // eq. 1 claims the regime where a pulse has actually formed; very small
+    // T at light loads saturates electrically (the output barely moves, so
+    // the second crossing keeps a floor delay) -- a known model limitation
+    // that the small-T rows below exhibit.  The shape check covers the
+    // claimed regime, T > T0 + 80 ps.
+    double max_err = 0.0;
+    int compared = 0;
+    for (const DegradationPoint& p : points) {
+      if (p.filtered) {
+        std::printf("  %-10.3f %-12s (pulse eliminated)\n", p.t_elapsed, "-");
+        continue;
+      }
+      const double measured = p.tp / settled.tp;
+      const double predicted =
+          p.t_elapsed <= model_t0
+              ? 0.0
+              : 1.0 - std::exp(-(p.t_elapsed - model_t0) / model_tau);
+      const bool in_regime = p.t_elapsed > model_t0 + 0.08;
+      std::printf("  %-10.3f %-12.3f %-12.3f %+.3f%s\n", p.t_elapsed, measured, predicted,
+                  predicted - measured, in_regime ? "" : "   (outside eq.1 regime)");
+      if (in_regime) {
+        max_err = std::max(max_err, std::abs(predicted - measured));
+        ++compared;
+      }
+    }
+    const DegradationFit refit = fit_degradation(points, settled.tp);
+    std::printf("  refit from this data: tau = %.4f, T0 = %.4f (R^2 = %.3f)\n\n", refit.tau,
+                refit.t0, refit.r_squared);
+    all_good = all_good && compared >= 4 && max_err < 0.15 && refit.r_squared > 0.9;
+  }
+  std::printf("shape check (eq. 1 tracks the electrical curve in its regime): %s\n",
+              all_good ? "PASS" : "FAIL");
+  return all_good ? 0 : 1;
+}

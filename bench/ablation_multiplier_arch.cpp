@@ -1,0 +1,87 @@
+// Ablation: multiplier architecture vs glitch behaviour.
+//
+// The paper evaluates a carry-save array multiplier -- a deliberately
+// glitchy structure (long reconvergent carry chains).  A Wallace tree
+// computes the same function with shorter, more balanced paths.  This
+// bench quantifies how much of the conventional model's activity
+// overestimation is architecture-dependent: balanced trees generate fewer
+// glitches, so the DDM-vs-CDM gap shrinks.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/circuits/arith.hpp"
+
+using namespace halotis;
+using namespace halotis::bench;
+
+namespace {
+
+struct Row {
+  std::uint64_t ddm_events = 0;
+  std::uint64_t cdm_events = 0;
+  std::uint64_t ddm_activity = 0;
+  std::uint64_t cdm_activity = 0;
+};
+
+Row measure(const MultiplierCircuit& mult, const std::vector<std::uint64_t>& words) {
+  Row row;
+  const DdmDelayModel ddm;
+  const CdmDelayModel cdm;
+  {
+    Simulator sim(mult.netlist, ddm);
+    sim.apply_stimulus(multiplier_stimulus(mult, words));
+    (void)sim.run();
+    row.ddm_events = sim.stats().events_processed;
+    row.ddm_activity = sim.total_activity();
+  }
+  {
+    Simulator sim(mult.netlist, cdm);
+    sim.apply_stimulus(multiplier_stimulus(mult, words));
+    (void)sim.run();
+    row.cdm_events = sim.stats().events_processed;
+    row.cdm_activity = sim.total_activity();
+  }
+  return row;
+}
+
+double overestimation(const Row& row) {
+  return 100.0 * (static_cast<double>(row.cdm_activity) /
+                      static_cast<double>(row.ddm_activity) -
+                  1.0);
+}
+
+}  // namespace
+
+int main() {
+  const Library lib = Library::default_u6();
+  const auto words = fig7_sequence();  // the glitchiest workload
+
+  std::printf("== Ablation: multiplier architecture vs glitch activity ==\n");
+  std::printf("sequence %s\n\n", sequence_name(true));
+  std::printf("%-22s %6s %6s | %10s %10s | %10s %10s | %8s\n", "architecture", "gates",
+              "depth", "DDM evts", "CDM evts", "DDM activ", "CDM activ", "overst.");
+
+  double array_overst = 0.0;
+  double wallace_overst = 0.0;
+  for (const bool wallace : {false, true}) {
+    MultiplierCircuit mult =
+        wallace ? make_wallace_multiplier(lib, 4) : make_multiplier(lib, 4);
+    const Row row = measure(mult, words);
+    const double overst = overestimation(row);
+    std::printf("%-22s %6zu %6d | %10llu %10llu | %10llu %10llu | %+7.1f%%\n",
+                wallace ? "Wallace tree + CLA" : "carry-save array (paper)",
+                mult.netlist.num_gates(), mult.netlist.depth(),
+                static_cast<unsigned long long>(row.ddm_events),
+                static_cast<unsigned long long>(row.cdm_events),
+                static_cast<unsigned long long>(row.ddm_activity),
+                static_cast<unsigned long long>(row.cdm_activity), overst);
+    (wallace ? wallace_overst : array_overst) = overst;
+  }
+
+  std::printf("\nThe paper's array structure is the adversarial case for conventional"
+              " models;\nbalanced trees reduce, but do not remove, the overestimation.\n");
+  const bool pass = array_overst > 10.0 && wallace_overst >= 0.0;
+  std::printf("shape check (array overestimation > 10%%, tree overestimation >= 0): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

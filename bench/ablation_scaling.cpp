@@ -1,0 +1,84 @@
+// Ablation (google-benchmark): simulator throughput scaling.
+//
+// Events per second of HALOTIS-DDM and HALOTIS-CDM as the design grows:
+// NxN array multipliers (N = 4, 6, 8) under the alternating all-ones
+// pattern, and random combinational circuits.  The paper claims CPU time
+// "very similar to those from other logic simulators"; this quantifies the
+// engine's event rate and its independence from circuit size (event-driven
+// simulation scales with activity, not gates).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/base/rng.hpp"
+
+using namespace halotis;
+using namespace halotis::bench;
+
+namespace {
+
+const Library& shared_library() {
+  static const Library lib = Library::default_u6();
+  return lib;
+}
+
+void run_multiplier(benchmark::State& state, const DelayModel& model) {
+  const int n = static_cast<int>(state.range(0));
+  MultiplierCircuit mult = make_multiplier(shared_library(), n);
+  const std::vector<std::uint64_t> words{0x0, (1ull << (2 * n)) - 1, 0x0,
+                                         (1ull << (2 * n)) - 1, 0x0};
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Simulator sim(mult.netlist, model);
+    sim.apply_stimulus(multiplier_stimulus(mult, words));
+    (void)sim.run();
+    events = sim.stats().events_processed;
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["gates"] = static_cast<double>(mult.netlist.num_gates());
+  state.counters["events"] = static_cast<double>(events);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) * state.iterations());
+}
+
+void BM_MultiplierDdm(benchmark::State& state) {
+  const DdmDelayModel ddm;
+  run_multiplier(state, ddm);
+}
+BENCHMARK(BM_MultiplierDdm)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_MultiplierCdm(benchmark::State& state) {
+  const CdmDelayModel cdm;
+  run_multiplier(state, cdm);
+}
+BENCHMARK(BM_MultiplierCdm)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_RandomCircuitDdm(benchmark::State& state) {
+  const int gates = static_cast<int>(state.range(0));
+  RandomCircuit circuit = make_random_circuit(shared_library(), 12, gates, 7);
+  Stimulus proto(0.5);
+  SplitMix64 rng(99);
+  std::vector<bool> value(circuit.inputs.size(), false);
+  TimeNs t = 2.0;
+  for (int e = 0; e < 200; ++e) {
+    const std::size_t pick = rng.next_below(circuit.inputs.size());
+    value[pick] = !value[pick];
+    proto.add_edge(circuit.inputs[pick], t, value[pick]);
+    t += rng.next_double_in(0.2, 1.0);
+  }
+  const DdmDelayModel ddm;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Simulator sim(circuit.netlist, ddm);
+    sim.apply_stimulus(proto);
+    (void)sim.run();
+    events = sim.stats().events_processed;
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["gates"] = static_cast<double>(gates);
+  state.counters["events"] = static_cast<double>(events);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) * state.iterations());
+}
+BENCHMARK(BM_RandomCircuitDdm)->Arg(100)->Arg(400)->Arg(1600);
+
+}  // namespace
+
+BENCHMARK_MAIN();

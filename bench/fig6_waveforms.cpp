@@ -1,0 +1,90 @@
+// Regenerates paper Fig. 6: product waveforms s7..s0 of the 4x4 multiplier
+// for the sequence 0x0, 7x7, 5xA, Ex6, FxF under (a) the electrical
+// reference (HSPICE stand-in), (b) HALOTIS-DDM, (c) HALOTIS-CDM.
+//
+// Expected shape: (a) and (b) agree closely (same pulses, few-hundred-ps
+// skews); (c) shows visibly more output transitions because undegraded
+// glitches survive.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/analog/analog_sim.hpp"
+#include "src/waveform/ascii_plot.hpp"
+
+using namespace halotis;
+using namespace halotis::bench;
+
+int main() {
+  const Library lib = Library::default_u6();
+  MultiplierCircuit mult = make_multiplier(lib, 4);
+  const auto words = fig6_sequence();
+  const TimeNs t_end = 27.0;
+
+  std::printf("== Figure 6: 4x4 multiplier, sequence %s ==\n\n", sequence_name(false));
+
+  AnalogSim analog(mult.netlist);
+  analog.apply_stimulus(multiplier_stimulus(mult, words));
+  analog.run(t_end);
+
+  const DdmDelayModel ddm;
+  Simulator ddm_sim(mult.netlist, ddm);
+  ddm_sim.apply_stimulus(multiplier_stimulus(mult, words));
+  (void)ddm_sim.run();
+
+  const CdmDelayModel cdm;
+  Simulator cdm_sim(mult.netlist, cdm);
+  cdm_sim.apply_stimulus(multiplier_stimulus(mult, words));
+  (void)cdm_sim.run();
+
+  AsciiPlot aplot(0.0, t_end, 100);
+  aplot.add_caption("(a) electrical reference: product bits (quantized voltage)");
+  aplot.add_caption("    AxB:     0x0      7x7      5xA      Ex6      FxF");
+  for (int k = 7; k >= 0; --k) {
+    aplot.add_analog("s" + std::to_string(k),
+                     analog.trace(mult.s[static_cast<std::size_t>(k)]), lib.vdd());
+  }
+  std::cout << aplot.render() << '\n';
+
+  const auto dplot = [&](const Simulator& sim, const char* caption) {
+    AsciiPlot plot(0.0, t_end, 100);
+    plot.add_caption(caption);
+    plot.add_caption("    AxB:     0x0      7x7      5xA      Ex6      FxF");
+    for (int k = 7; k >= 0; --k) {
+      const SignalId sig = mult.s[static_cast<std::size_t>(k)];
+      plot.add_digital("s" + std::to_string(k),
+                       DigitalWaveform::from_transitions(sim.initial_value(sig),
+                                                         sim.history(sig)));
+    }
+    std::cout << plot.render() << '\n';
+  };
+  dplot(ddm_sim, "(b) HALOTIS-DDM");
+  dplot(cdm_sim, "(c) HALOTIS-CDM");
+
+  // Quantitative agreement table.
+  std::printf("edge counts and DDM-vs-reference matching (0.5 ns tolerance):\n");
+  std::printf("%-5s %8s %6s %6s | %8s %8s %8s %10s\n", "bit", "analog", "DDM", "CDM",
+              "matched", "missing", "extra", "mean|dt|");
+  std::size_t ref_total = 0;
+  std::size_t ddm_total = 0;
+  std::size_t cdm_total = 0;
+  for (int k = 7; k >= 0; --k) {
+    const SignalId sig = mult.s[static_cast<std::size_t>(k)];
+    const DigitalWaveform ref = analog.trace(sig).digitize(lib.vdd());
+    const DigitalWaveform ddm_wave = DigitalWaveform::from_transitions(
+        ddm_sim.initial_value(sig), ddm_sim.history(sig));
+    const WaveformMatch match = match_waveforms(ref, ddm_wave, 0.5);
+    std::printf("s%-4d %8zu %6zu %6zu | %8zu %8zu %8zu %9.3f\n", k, ref.edge_count(),
+                ddm_sim.history(sig).size(), cdm_sim.history(sig).size(), match.matched,
+                match.missing, match.extra, match.mean_abs_skew);
+    ref_total += ref.edge_count();
+    ddm_total += ddm_sim.history(sig).size();
+    cdm_total += cdm_sim.history(sig).size();
+  }
+  std::printf("total %8zu %6zu %6zu\n\n", ref_total, ddm_total, cdm_total);
+  std::printf("shape check: |DDM - reference| = %td edges; CDM excess over reference ="
+              " %+td edges\n",
+              static_cast<std::ptrdiff_t>(ddm_total) - static_cast<std::ptrdiff_t>(ref_total),
+              static_cast<std::ptrdiff_t>(cdm_total) - static_cast<std::ptrdiff_t>(ref_total));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates paper Table 2: "CPU time in seconds for simulations" --
+// wall-clock time of the electrical reference (HSPICE stand-in) vs
+// HALOTIS-DDM vs HALOTIS-CDM on both multiplication sequences.
+//
+// Paper values: HSPICE 112.9 / 123.0 s; HALOTIS-DDM 0.39 / 0.48 s;
+// HALOTIS-CDM 0.55 / 0.76 s (on c. 2001 hardware).
+//
+// Expected *shape*: the electrical simulation is 2-3 orders of magnitude
+// slower than either logic simulation, and HALOTIS-DDM is at least as fast
+// as HALOTIS-CDM because degradation removes events.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/analog/analog_sim.hpp"
+
+using namespace halotis;
+using namespace halotis::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Median wall time of `runs` logic-simulation executions.
+double time_logic(const MultiplierCircuit& mult, const DelayModel& model,
+                  const std::vector<std::uint64_t>& words, int runs) {
+  std::vector<double> times;
+  for (int r = 0; r < runs; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    Simulator sim(mult.netlist, model);
+    sim.apply_stimulus(multiplier_stimulus(mult, words));
+    (void)sim.run();
+    times.push_back(seconds_since(start));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double time_analog(const MultiplierCircuit& mult, const std::vector<std::uint64_t>& words) {
+  const auto start = std::chrono::steady_clock::now();
+  AnalogSim sim(mult.netlist);
+  sim.apply_stimulus(multiplier_stimulus(mult, words));
+  sim.run(5.0 * static_cast<double>(words.size()) + 5.0);
+  return seconds_since(start);
+}
+
+}  // namespace
+
+int main() {
+  const Library lib = Library::default_u6();
+  const DdmDelayModel ddm;
+  const CdmDelayModel cdm;
+  constexpr int kLogicRuns = 25;
+
+  std::printf("== Table 2: CPU time for simulations (this machine) ==\n\n");
+  std::printf("%-28s %14s %14s %14s %12s\n", "Sequence", "reference (s)", "DDM (s)",
+              "CDM (s)", "ref/DDM");
+
+  bool shape_holds = true;
+  for (const bool fig7 : {false, true}) {
+    MultiplierCircuit mult = make_multiplier(lib, 4);
+    const auto words = fig7 ? fig7_sequence() : fig6_sequence();
+    const double t_analog = time_analog(mult, words);
+    const double t_ddm = time_logic(mult, ddm, words, kLogicRuns);
+    const double t_cdm = time_logic(mult, cdm, words, kLogicRuns);
+    std::printf("%-28s %14.4f %14.6f %14.6f %11.0fx\n", sequence_name(fig7), t_analog,
+                t_ddm, t_cdm, t_analog / t_ddm);
+    shape_holds = shape_holds && t_analog / t_ddm >= 100.0 && t_ddm <= t_cdm * 1.25;
+  }
+
+  std::printf("\npaper (2001 hardware):\n");
+  std::printf("%-28s %14.1f %14.2f %14.2f %11.0fx\n", "0x0, 7x7, 5xA, Ex6, FxF", 112.9,
+              0.39, 0.55, 112.9 / 0.39);
+  std::printf("%-28s %14.1f %14.2f %14.2f %11.0fx\n", "0x0, FxF, 0x0, FxF, ...", 123.0,
+              0.48, 0.76, 123.0 / 0.48);
+
+  std::printf("\nshape check (reference >= 100x DDM; DDM <= ~CDM): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

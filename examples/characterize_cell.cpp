@@ -1,0 +1,76 @@
+// Characterizing a cell against the electrical reference: the flow the
+// paper's authors ran against HSPICE to obtain the DDM parameters
+// (refs [15]-[17]).  Prints the fitted tp0 macro-model, the degradation
+// curve with its eq. 1 fit, the eq. 2 / eq. 3 coefficients and the DC
+// switching threshold.
+#include <cstdio>
+#include <string>
+
+#include "src/characterize/characterize.hpp"
+
+using namespace halotis;
+
+int main(int argc, char** argv) {
+  const Library lib = Library::default_u6();
+  const std::string cell_name = argc > 1 ? argv[1] : "NAND2_X1";
+  const int pin = argc > 2 ? std::atoi(argv[2]) : 0;
+  const Cell& cell = lib.cell(lib.find(cell_name));
+
+  std::printf("characterizing %s pin %d against the analog reference\n\n",
+              cell_name.c_str(), pin);
+
+  // DC switching threshold.
+  const Volt vm = measure_vm(lib, cell_name, pin);
+  std::printf("DC threshold VM = %.3f V (library VT = %.3f V)\n\n", vm,
+              cell.pin(pin).vt);
+
+  // tp0 macro-model over a load x slew grid.
+  const std::vector<Farad> loads{0.02, 0.06, 0.12};
+  const std::vector<TimeNs> slews{0.2, 0.5, 1.0};
+  for (const Edge in_edge : {Edge::kRise, Edge::kFall}) {
+    const MacroModelFit fit = fit_tp0(lib, cell_name, pin, in_edge, loads, slews);
+    const DelayMeasurement probe = measure_delay(lib, cell_name, pin, in_edge, 0.06, 0.5);
+    const EdgeTiming& lib_edge = cell.pin(pin).edge(probe.out_edge);
+    std::printf("input %s -> output %s:\n", in_edge == Edge::kRise ? "rise" : "fall",
+                probe.out_edge == Edge::kRise ? "rise" : "fall");
+    std::printf("  fitted  tp0 = %.4f + %.3f*CL + %.4f*tau_in   (R^2 = %.4f)\n", fit.p0,
+                fit.p_load, fit.p_slew, fit.r_squared);
+    std::printf("  library tp0 = %.4f + %.3f*CL + %.4f*tau_in\n\n", lib_edge.p0,
+                lib_edge.p_load, lib_edge.p_slew);
+  }
+
+  // Degradation curve at a fixed operating point.
+  const Farad load = 0.10;
+  const TimeNs tau_in = 0.4;
+  const std::vector<TimeNs> widths{0.22, 0.26, 0.31, 0.37, 0.44, 0.53, 0.64, 0.78, 0.95};
+  // The degraded edge is the pulse's *second* one: input falls back, so the
+  // settled reference delay is the opposite-edge delay.
+  const DelayMeasurement settled =
+      measure_delay(lib, cell_name, pin, Edge::kFall, load, tau_in);
+  const auto points =
+      measure_degradation(lib, cell_name, pin, Edge::kRise, load, tau_in, widths);
+  std::printf("degradation curve (CL=%.2f pF, tau_in=%.1f ns, settled tp0=%.4f ns):\n",
+              load, tau_in, settled.tp);
+  std::printf("  %-10s %-10s %-10s %s\n", "width", "T (ns)", "tp (ns)", "tp/tp0");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].filtered) {
+      std::printf("  %-10.2f %-10.4f %-10s (pulse filtered)\n", widths[i],
+                  points[i].t_elapsed, "-");
+    } else {
+      std::printf("  %-10.2f %-10.4f %-10.4f %.3f\n", widths[i], points[i].t_elapsed,
+                  points[i].tp, points[i].tp / settled.tp);
+    }
+  }
+  const DegradationFit fit = fit_degradation(points, settled.tp);
+  std::printf("  eq. 1 fit: tau = %.4f ns, T0 = %.4f ns (R^2 = %.3f, %d points)\n\n",
+              fit.tau, fit.t0, fit.r_squared, fit.points_used);
+
+  // eq. 2 and eq. 3 coefficients (auto-scaled pulse widths per point).
+  const Eq2Fit eq2 = fit_eq2(lib, cell_name, pin, Edge::kRise, loads, tau_in, {});
+  std::printf("eq. 2: tau*VDD = A + B*CL  ->  A = %.3f V*ns, B = %.2f V*ns/pF (R^2 = %.3f)\n",
+              eq2.a, eq2.b, eq2.r_squared);
+  const Eq3Fit eq3 = fit_eq3(lib, cell_name, pin, Edge::kRise, 0.06, slews, {});
+  std::printf("eq. 3: T0 = (1/2 - C/VDD)*tau_in  ->  C = %.3f V (R^2 = %.3f)\n", eq3.c,
+              eq3.r_squared);
+  return 0;
+}

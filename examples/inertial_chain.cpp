@@ -1,0 +1,83 @@
+// The paper's Fig. 1 experiment as a runnable demo: a degraded runt pulse
+// on a shared net drives a low-threshold and a high-threshold inverter
+// chain.  The electrical reference and HALOTIS-DDM agree that the pulse
+// propagates through one chain only; the conventional inertial model
+// structurally cannot express that.
+#include <cstdio>
+#include <iostream>
+
+#include "src/analog/analog_sim.hpp"
+#include "src/circuits/generators.hpp"
+#include "src/core/simulator.hpp"
+#include "src/waveform/ascii_plot.hpp"
+
+using namespace halotis;
+
+namespace {
+
+Stimulus pulse_stimulus(const Fig1Circuit& fx, double width) {
+  Stimulus stim(0.5);
+  stim.set_initial(fx.in, true);
+  stim.add_edge(fx.in, 5.0, false);
+  stim.add_edge(fx.in, 5.0 + width, true);
+  return stim;
+}
+
+}  // namespace
+
+int main() {
+  const Library lib = Library::default_u6();
+  const double width = 0.9;  // inside the discrimination window
+
+  Fig1Circuit fx = make_fig1(lib);
+  const SignalId signals[] = {fx.in, fx.out0, fx.out1, fx.out1c, fx.out2, fx.out2c};
+
+  // Electrical reference.
+  AnalogSim analog(fx.netlist);
+  analog.apply_stimulus(pulse_stimulus(fx, width));
+  analog.run(16.0);
+
+  // HALOTIS with both models.
+  const DdmDelayModel ddm;
+  Simulator ddm_sim(fx.netlist, ddm);
+  ddm_sim.apply_stimulus(pulse_stimulus(fx, width));
+  (void)ddm_sim.run();
+
+  const CdmDelayModel cdm;
+  Simulator cdm_sim(fx.netlist, cdm);
+  cdm_sim.apply_stimulus(pulse_stimulus(fx, width));
+  (void)cdm_sim.run();
+
+  std::printf("Fig. 1 experiment: %.2f ns falling pulse into the driver chain\n\n", width);
+
+  AsciiPlot analog_plot(3.0, 13.0, 90);
+  analog_plot.add_caption("(a) electrical reference (HSPICE stand-in), quantized voltages");
+  for (const SignalId sig : signals) {
+    analog_plot.add_analog(fx.netlist.signal(sig).name, analog.trace(sig), lib.vdd());
+  }
+  std::cout << analog_plot.render() << '\n';
+
+  const auto digital_plot = [&](const Simulator& sim, const char* title) {
+    AsciiPlot plot(3.0, 13.0, 90);
+    plot.add_caption(title);
+    for (const SignalId sig : signals) {
+      plot.add_digital(fx.netlist.signal(sig).name,
+                       DigitalWaveform::from_transitions(sim.initial_value(sig),
+                                                         sim.history(sig)));
+    }
+    std::cout << plot.render() << '\n';
+  };
+  digital_plot(ddm_sim, "(b) HALOTIS-DDM: per-input thresholds discriminate");
+  digital_plot(cdm_sim, "(c) HALOTIS-CDM: conventional model propagates to both chains");
+
+  std::printf("edge counts      analog  DDM  CDM\n");
+  for (const SignalId sig : signals) {
+    std::printf("  %-8s %10zu %4zu %4zu\n", fx.netlist.signal(sig).name.c_str(),
+                analog.trace(sig).digitize(lib.vdd()).edge_count(),
+                ddm_sim.history(sig).size(), cdm_sim.history(sig).size());
+  }
+  std::printf("\nDDM pair-rule cancellations: %llu (the pulse judged invisible at the"
+              " high-VT input)\n",
+              static_cast<unsigned long long>(ddm_sim.stats().pair_cancellations));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The paper's evaluation vehicle: the 4x4 carry-save array multiplier
+// (Fig. 5).  Applies the Fig. 6 multiplication sequence, compares the
+// switching activity seen by HALOTIS-DDM and HALOTIS-CDM, and writes a VCD
+// file for waveform viewers.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "src/circuits/generators.hpp"
+#include "src/core/simulator.hpp"
+#include "src/power/activity.hpp"
+#include "src/waveform/ascii_plot.hpp"
+#include "src/waveform/vcd.hpp"
+
+using namespace halotis;
+
+namespace {
+
+Stimulus sequence_stimulus(const MultiplierCircuit& mult,
+                           const std::vector<std::uint64_t>& words) {
+  Stimulus stim(0.5);
+  std::vector<SignalId> ab;
+  for (SignalId s : mult.a) ab.push_back(s);
+  for (SignalId s : mult.b) ab.push_back(s);
+  stim.apply_sequence(ab, words, 5.0, 5.0);
+  stim.set_initial(mult.tie0, false);
+  return stim;
+}
+
+}  // namespace
+
+int main() {
+  const Library lib = Library::default_u6();
+  MultiplierCircuit mult = make_multiplier(lib, 4);
+
+  // AxB: 0x0, 7x7, 5xA, Ex6, FxF (a = low nibble, b = high nibble).
+  const std::vector<std::uint64_t> words{0x00, 0x77, 0xA5, 0x6E, 0xFF};
+
+  const DdmDelayModel ddm;
+  Simulator ddm_sim(mult.netlist, ddm);
+  ddm_sim.apply_stimulus(sequence_stimulus(mult, words));
+  (void)ddm_sim.run();
+
+  const CdmDelayModel cdm;
+  Simulator cdm_sim(mult.netlist, cdm);
+  cdm_sim.apply_stimulus(sequence_stimulus(mult, words));
+  (void)cdm_sim.run();
+
+  std::printf("4x4 multiplier, sequence 0x0 7x7 5xA Ex6 FxF (one word every 5 ns)\n\n");
+
+  const auto plot = [&](const Simulator& sim, const char* title) {
+    AsciiPlot p(0.0, 27.0, 100);
+    p.add_caption(title);
+    for (int k = 7; k >= 0; --k) {
+      const SignalId sig = mult.s[static_cast<std::size_t>(k)];
+      p.add_digital("s" + std::to_string(k),
+                    DigitalWaveform::from_transitions(sim.initial_value(sig),
+                                                      sim.history(sig)));
+    }
+    std::cout << p.render() << '\n';
+  };
+  plot(ddm_sim, "product bits under HALOTIS-DDM (degraded glitches die)");
+  plot(cdm_sim, "product bits under HALOTIS-CDM (conventional: glitches persist)");
+
+  // Activity / power reports.
+  const ActivityReport ddm_report = compute_activity(ddm_sim, 1.0);
+  const ActivityReport cdm_report = compute_activity(cdm_sim, 1.0);
+  std::printf("-- HALOTIS-DDM top consumers --\n%s\n",
+              format_activity(ddm_report, 8).c_str());
+  std::printf("-- HALOTIS-CDM top consumers --\n%s\n",
+              format_activity(cdm_report, 8).c_str());
+  std::printf("CDM activity overestimation: %+.1f%%\n",
+              100.0 * (static_cast<double>(cdm_report.total_transitions) /
+                           static_cast<double>(ddm_report.total_transitions) -
+                       1.0));
+
+  // VCD dump of the DDM run for external viewers.
+  VcdWriter vcd("mult4x4");
+  for (std::size_t s = 0; s < mult.netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    vcd.add_signal(mult.netlist.signal(sid).name,
+                   DigitalWaveform::from_transitions(ddm_sim.initial_value(sid),
+                                                     ddm_sim.history(sid)));
+  }
+  std::ofstream out("multiplier_ddm.vcd");
+  vcd.write(out);
+  std::printf("\nwrote multiplier_ddm.vcd (%zu signals)\n", mult.netlist.num_signals());
+  return 0;
+}

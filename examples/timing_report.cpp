@@ -1,0 +1,86 @@
+// Static vs dynamic timing: the conventional worst case against what the
+// IDDM actually measures on real vectors -- and why glitch-aware dynamic
+// analysis matters for power while STA still bounds arrivals.
+#include <cmath>
+#include <cstdio>
+
+#include "src/circuits/arith.hpp"
+#include "src/core/simulator.hpp"
+#include "src/sta/sta.hpp"
+
+using namespace halotis;
+
+int main() {
+  const Library lib = Library::default_u6();
+
+  std::printf("Static vs dynamic timing on three adder/multiplier designs\n\n");
+  struct Design {
+    const char* name;
+    Netlist* netlist;
+    std::vector<SignalId> inputs;
+    SignalId tie0;
+  };
+
+  AdderCircuit ripple = make_ripple_adder(lib, 8);
+  AdderCircuit cla = make_cla_adder(lib, 8);
+  MultiplierCircuit mult = make_multiplier(lib, 4);
+
+  std::vector<Design> designs;
+  {
+    Design d{"ripple-carry adder 8b", &ripple.netlist, {}, ripple.tie0};
+    for (SignalId s : ripple.a) d.inputs.push_back(s);
+    for (SignalId s : ripple.b) d.inputs.push_back(s);
+    designs.push_back(d);
+  }
+  {
+    Design d{"carry-lookahead adder 8b", &cla.netlist, {}, cla.tie0};
+    for (SignalId s : cla.a) d.inputs.push_back(s);
+    for (SignalId s : cla.b) d.inputs.push_back(s);
+    designs.push_back(d);
+  }
+  {
+    Design d{"CSA multiplier 4x4", &mult.netlist, {}, mult.tie0};
+    for (SignalId s : mult.a) d.inputs.push_back(s);
+    for (SignalId s : mult.b) d.inputs.push_back(s);
+    designs.push_back(d);
+  }
+
+  std::printf("%-26s %8s %8s | %12s %14s\n", "design", "gates", "depth",
+              "STA worst ns", "measured ns");
+  for (Design& d : designs) {
+    const StaticTimingAnalyzer sta(*d.netlist, 0.5);
+    const TimingReport report = sta.analyze();
+
+    // Dynamic: worst settled arrival over a vector burst.
+    Stimulus stim(0.5);
+    const std::uint64_t all_ones = (1ull << d.inputs.size()) - 1;
+    const std::vector<std::uint64_t> words{0, all_ones, 0x5555555555555555ull & all_ones,
+                                           all_ones, 0};
+    const TimeNs period = report.critical_delay + 3.0;
+    stim.apply_sequence(d.inputs, words, period, period);
+    stim.set_initial(d.tie0, false);
+
+    const DdmDelayModel ddm;
+    Simulator sim(*d.netlist, ddm);
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+
+    TimeNs worst_dynamic = 0.0;
+    for (const SignalId po : d.netlist->primary_outputs()) {
+      for (const Transition& tr : sim.history(po)) {
+        const double phase = std::fmod(tr.t50(), period);
+        worst_dynamic = std::max(worst_dynamic, phase);
+      }
+    }
+    std::printf("%-26s %8zu %8d | %12.3f %14.3f\n", d.name, d.netlist->num_gates(),
+                d.netlist->depth(), report.critical_delay, worst_dynamic);
+  }
+
+  std::printf("\nCritical path of the multiplier:\n");
+  const StaticTimingAnalyzer sta(mult.netlist, 0.5);
+  std::printf("%s", StaticTimingAnalyzer::format(sta.analyze(), mult.netlist).c_str());
+  std::printf("\nSTA bounds every simulated arrival (a property test enforces this);\n"
+              "the measured worst arrival is below the bound because real vectors\n"
+              "rarely exercise the exact critical sensitization.\n");
+  return 0;
+}

@@ -1,0 +1,305 @@
+#include "src/analog/analog_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+namespace {
+
+/// Leaf occurrences per slot (a slot reused in the expression contributes
+/// gate capacitance once per device).
+void count_leaves(const PullExpr& expr, std::vector<int>& counts) {
+  switch (expr.kind()) {
+    case PullExpr::Kind::kLeaf:
+      if (expr.slot() >= static_cast<int>(counts.size())) {
+        counts.resize(static_cast<std::size_t>(expr.slot()) + 1, 0);
+      }
+      ++counts[static_cast<std::size_t>(expr.slot())];
+      break;
+    default:
+      for (const PullExpr& c : expr.children()) count_leaves(c, counts);
+  }
+}
+
+}  // namespace
+
+Volt AnalogSim::PwlSource::at(TimeNs t) const {
+  if (points.empty()) return 0.0;
+  if (t <= points.front().first) return points.front().second;
+  if (t >= points.back().first) return points.back().second;
+  // Linear scan is fine: sources are consulted in increasing time and have
+  // few breakpoints; binary search keeps worst cases tame anyway.
+  const auto it = std::upper_bound(
+      points.begin(), points.end(), t,
+      [](TimeNs value, const std::pair<TimeNs, Volt>& p) { return value < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (hi.first <= lo.first) return hi.second;
+  const double frac = (t - lo.first) / (hi.first - lo.first);
+  return lo.second + (hi.second - lo.second) * frac;
+}
+
+AnalogSim::AnalogSim(const Netlist& netlist, AnalogConfig config)
+    : netlist_(&netlist), config_(config) {
+  require(config_.dt > 0.0, "AnalogConfig::dt must be positive");
+  require(config_.sample_dt >= config_.dt, "AnalogConfig::sample_dt must be >= dt");
+  netlist_->check();
+  build_circuit();
+}
+
+void AnalogSim::build_circuit() {
+  const auto num_signals = static_cast<int>(netlist_->num_signals());
+  num_nodes_ = num_signals;
+  cap_.assign(static_cast<std::size_t>(num_signals), 0.0);
+  is_source_.assign(static_cast<std::size_t>(num_signals), false);
+
+  for (int s = 0; s < num_signals; ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    cap_[static_cast<std::size_t>(s)] =
+        netlist_->signal(sid).wire_cap + config_.tech.node_floor_cap;
+    is_source_[static_cast<std::size_t>(s)] = netlist_->signal(sid).is_primary_input;
+  }
+
+  const double ff = 1e-3;  // fF -> pF
+  for (std::size_t g = 0; g < netlist_->num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    const Gate& gate = netlist_->gate(gid);
+    const Cell& cell = netlist_->cell_of(gid);
+    const std::vector<StageTemplate> templates = expand_cell(cell.kind);
+
+    // Allocate internal nodes: one per non-final stage.
+    std::vector<int> stage_node(templates.size());
+    for (std::size_t t = 0; t < templates.size(); ++t) {
+      if (t + 1 == templates.size()) {
+        stage_node[t] = static_cast<int>(gate.output.value());
+      } else {
+        stage_node[t] = num_nodes_++;
+        cap_.push_back(config_.tech.node_floor_cap);
+        is_source_.push_back(false);
+      }
+    }
+
+    for (std::size_t t = 0; t < templates.size(); ++t) {
+      const StageTemplate& tpl = templates[t];
+      Stage stage;
+      stage.pdn = tpl.pdn;
+      stage.pun = tpl.pdn.dual();
+      stage.output_node = stage_node[t];
+      stage.wn_um = cell.sizing.wn_um * tpl.wn_mult;
+      stage.wp_um = cell.sizing.wp_um * tpl.wp_mult;
+      for (const StageSource& src : tpl.sources) {
+        if (src.internal) {
+          ensure(src.index < static_cast<int>(t),
+                 "AnalogSim: stage sources must reference earlier stages");
+          stage.input_nodes.push_back(stage_node[static_cast<std::size_t>(src.index)]);
+        } else {
+          stage.input_nodes.push_back(
+              static_cast<int>(gate.inputs[static_cast<std::size_t>(src.index)].value()));
+        }
+      }
+
+      // Capacitance contributions: drain cap at the output, gate cap at
+      // each input (per leaf occurrence).
+      cap_[static_cast<std::size_t>(stage.output_node)] +=
+          config_.tech.cd_ff_per_um * (stage.wn_um + stage.wp_um) * ff;
+      std::vector<int> leaf_counts;
+      count_leaves(stage.pdn, leaf_counts);
+      for (std::size_t slot = 0; slot < stage.input_nodes.size(); ++slot) {
+        const int count = slot < leaf_counts.size() ? leaf_counts[slot] : 0;
+        cap_[static_cast<std::size_t>(stage.input_nodes[slot])] +=
+            config_.tech.cg_ff_per_um * (stage.wn_um + stage.wp_um) * ff *
+            static_cast<double>(count);
+      }
+      stages_.push_back(std::move(stage));
+    }
+  }
+
+  v_.assign(static_cast<std::size_t>(num_nodes_), 0.0);
+  k1_.resize(v_.size());
+  k2_.resize(v_.size());
+  k3_.resize(v_.size());
+  k4_.resize(v_.size());
+  tmp_.resize(v_.size());
+  traces_.assign(netlist_->num_signals(), AnalogTrace{});
+}
+
+void AnalogSim::apply_stimulus(const Stimulus& stimulus) {
+  require(!stimulus_applied_, "AnalogSim::apply_stimulus(): stimulus already applied");
+  stimulus_applied_ = true;
+  const Volt vdd = config_.tech.vdd;
+
+  // Sources.
+  for (SignalId pi : netlist_->primary_inputs()) {
+    PwlSource source;
+    Volt level = stimulus.initial_value(pi) ? vdd : 0.0;
+    source.points.emplace_back(-1.0, level);
+    for (const StimulusEdge& edge : stimulus.edges(pi)) {
+      const TimeNs tau = edge.tau > 0.0 ? edge.tau : stimulus.default_slew();
+      TimeNs t_begin = edge.time - 0.5 * tau;
+      if (t_begin < source.points.back().first) t_begin = source.points.back().first;
+      const Volt target = edge.value ? vdd : 0.0;
+      source.points.emplace_back(t_begin, level);
+      source.points.emplace_back(std::max(t_begin + 1e-6, edge.time + 0.5 * tau), target);
+      level = target;
+    }
+    sources_.emplace(static_cast<int>(pi.value()), std::move(source));
+  }
+
+  // DC initial state from the digital steady state (rails), then internal
+  // stage nodes by boolean evaluation in construction order.
+  const auto pis = netlist_->primary_inputs();
+  std::vector<bool> pi_bits(pis.size());
+  std::unique_ptr<bool[]> buffer(new bool[pis.size() > 0 ? pis.size() : 1]);
+  for (std::size_t i = 0; i < pis.size(); ++i) buffer[i] = stimulus.initial_value(pis[i]);
+  const std::vector<bool> steady =
+      netlist_->steady_state(std::span<const bool>(buffer.get(), pis.size()));
+  for (std::size_t s = 0; s < netlist_->num_signals(); ++s) {
+    v_[s] = steady[s] ? vdd : 0.0;
+  }
+  // Internal nodes: every stage output is !(PDN conducts).  External nodes
+  // are pinned to the digital steady state (authoritative, handles
+  // feedback); a pass in stage order then settles cell-internal nodes,
+  // which only depend on external nodes and earlier stages of their cell.
+  const auto num_external = static_cast<int>(netlist_->num_signals());
+  for (const Stage& stage : stages_) {
+    bool slots[8] = {};
+    ensure(stage.input_nodes.size() <= std::size(slots), "AnalogSim: too many slots");
+    for (std::size_t i = 0; i < stage.input_nodes.size(); ++i) {
+      slots[i] = v_[static_cast<std::size_t>(stage.input_nodes[i])] > 0.5 * vdd;
+    }
+    const bool conducts =
+        stage.pdn.conducts(std::span<const bool>(slots, stage.input_nodes.size()));
+    if (stage.output_node >= num_external) {
+      v_[static_cast<std::size_t>(stage.output_node)] = conducts ? 0.0 : vdd;
+    }
+  }
+  set_sources(0.0, v_);
+
+  // Trace headers.
+  for (std::size_t s = 0; s < netlist_->num_signals(); ++s) {
+    traces_[s] = AnalogTrace(0.0, config_.sample_dt);
+    traces_[s].push_back(v_[s]);
+  }
+  next_sample_ = config_.sample_dt;
+}
+
+void AnalogSim::set_sources(TimeNs t, std::vector<double>& v) const {
+  for (const auto& [node, source] : sources_) {
+    v[static_cast<std::size_t>(node)] = source.at(t);
+  }
+}
+
+double AnalogSim::stage_net_current(const Stage& stage, std::span<const double> v,
+                                    double v_out) const {
+  ++stage_evals_;
+  double slots[8];
+  ensure(stage.input_nodes.size() <= std::size(slots), "AnalogSim: too many slots");
+  for (std::size_t i = 0; i < stage.input_nodes.size(); ++i) {
+    slots[i] = v[static_cast<std::size_t>(stage.input_nodes[i])];
+  }
+  const std::span<const double> slot_span(slots, stage.input_nodes.size());
+  const double iup = pun_current(stage.pun, config_.tech.pmos, stage.wp_um,
+                                 config_.tech.vdd, slot_span, v_out);
+  const double idn = pdn_current(stage.pdn, config_.tech.nmos, stage.wn_um, slot_span,
+                                 v_out);
+  return iup - idn;
+}
+
+void AnalogSim::derivatives(TimeNs t, std::vector<double>& v, std::vector<double>& dv) const {
+  set_sources(t, v);
+  std::fill(dv.begin(), dv.end(), 0.0);
+  for (const Stage& stage : stages_) {
+    const auto out = static_cast<std::size_t>(stage.output_node);
+    dv[out] += stage_net_current(stage, v, v[out]) / cap_[out];
+  }
+  for (std::size_t n = 0; n < dv.size(); ++n) {
+    if (n < is_source_.size() && is_source_[n]) dv[n] = 0.0;
+  }
+}
+
+void AnalogSim::run(TimeNs t_end) {
+  require(stimulus_applied_, "AnalogSim::run(): apply_stimulus() first");
+  const double dt = config_.dt;
+  const Volt vdd = config_.tech.vdd;
+  while (now_ < t_end - 1e-12) {
+    // Classical RK4 on V' = f(t, V).
+    derivatives(now_, v_, k1_);
+    for (std::size_t i = 0; i < v_.size(); ++i) tmp_[i] = v_[i] + 0.5 * dt * k1_[i];
+    derivatives(now_ + 0.5 * dt, tmp_, k2_);
+    for (std::size_t i = 0; i < v_.size(); ++i) tmp_[i] = v_[i] + 0.5 * dt * k2_[i];
+    derivatives(now_ + 0.5 * dt, tmp_, k3_);
+    for (std::size_t i = 0; i < v_.size(); ++i) tmp_[i] = v_[i] + dt * k3_[i];
+    derivatives(now_ + dt, tmp_, k4_);
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      v_[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+      v_[i] = std::clamp(v_[i], -0.2, vdd + 0.2);
+    }
+    now_ += dt;
+    ++steps_;
+    set_sources(now_, v_);
+
+    if (now_ + 1e-12 >= next_sample_) {
+      for (std::size_t s = 0; s < netlist_->num_signals(); ++s) {
+        traces_[s].push_back(v_[s]);
+      }
+      next_sample_ += config_.sample_dt;
+    }
+  }
+}
+
+const AnalogTrace& AnalogSim::trace(SignalId signal) const {
+  require(signal.valid() && signal.value() < traces_.size(),
+          "AnalogSim::trace(): invalid signal");
+  return traces_[signal.value()];
+}
+
+Volt AnalogSim::voltage(SignalId signal) const {
+  require(signal.valid() && signal.value() < netlist_->num_signals(),
+          "AnalogSim::voltage(): invalid signal");
+  return v_[signal.value()];
+}
+
+std::vector<Volt> AnalogSim::dc_solve(std::span<const Volt> pi_voltages,
+                                      int max_sweeps) const {
+  const auto pis = netlist_->primary_inputs();
+  require(pi_voltages.size() == pis.size(), "AnalogSim::dc_solve(): PI count mismatch");
+  const Volt vdd = config_.tech.vdd;
+
+  std::vector<double> v(static_cast<std::size_t>(num_nodes_), 0.5 * vdd);
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    v[pis[i].value()] = pi_voltages[i];
+  }
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double max_delta = 0.0;
+    for (const Stage& stage : stages_) {
+      const auto out = static_cast<std::size_t>(stage.output_node);
+      if (out < is_source_.size() && is_source_[out]) continue;
+      // Bisection on the monotone-decreasing net current f(v_out).
+      double lo = 0.0;
+      double hi = vdd;
+      for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (stage_net_current(stage, v, mid) > 0.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      const double solution = 0.5 * (lo + hi);
+      max_delta = std::max(max_delta, std::abs(solution - v[out]));
+      v[out] = solution;
+    }
+    if (max_delta < 1e-7) break;
+  }
+
+  std::vector<Volt> result(netlist_->num_signals());
+  for (std::size_t s = 0; s < result.size(); ++s) result[s] = v[s];
+  return result;
+}
+
+}  // namespace halotis

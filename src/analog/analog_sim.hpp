@@ -1,0 +1,97 @@
+// Transient (and DC) transistor-level simulator: the repository's stand-in
+// for HSPICE (see DESIGN.md, substitution table).
+//
+// The digital netlist is expanded cell-by-cell into complementary CMOS
+// stages (pull_network.hpp); every stage output is a nodal ODE
+//     C * dV/dt = I_pullup(V, inputs) - I_pulldown(V, inputs)
+// integrated with classical RK4 at a fixed step.  Primary inputs are ideal
+// piecewise-linear voltage sources built from the same Stimulus object the
+// logic simulator consumes, so both engines see identical excitation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analog/pull_network.hpp"
+#include "src/base/units.hpp"
+#include "src/core/stimulus.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/waveform/analog_trace.hpp"
+
+namespace halotis {
+
+struct AnalogConfig {
+  TimeNs dt = 0.002;        ///< integration step, ns
+  TimeNs sample_dt = 0.02;  ///< trace sampling period, ns
+  TechnologyParams tech = TechnologyParams::u6();
+};
+
+class AnalogSim {
+ public:
+  /// `netlist` must outlive the simulator.
+  explicit AnalogSim(const Netlist& netlist, AnalogConfig config = {});
+
+  /// Builds the piecewise-linear sources and the DC initial state.
+  /// Must be called exactly once before run().
+  void apply_stimulus(const Stimulus& stimulus);
+
+  /// Integrates from the current time to `t_end`.
+  void run(TimeNs t_end);
+
+  [[nodiscard]] const AnalogTrace& trace(SignalId signal) const;
+  [[nodiscard]] Volt voltage(SignalId signal) const;
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  [[nodiscard]] std::uint64_t stage_evals() const { return stage_evals_; }
+  [[nodiscard]] const TechnologyParams& tech() const { return config_.tech; }
+
+  /// DC operating point with primary inputs held at `pi_voltages`
+  /// (aligned with netlist.primary_inputs()).  Relaxation sweeps of
+  /// per-stage bisection solves; returns all node voltages indexed by
+  /// signal id for external nodes.  Independent of apply_stimulus().
+  [[nodiscard]] std::vector<Volt> dc_solve(std::span<const Volt> pi_voltages,
+                                           int max_sweeps = 400) const;
+
+ private:
+  struct Stage {
+    PullExpr pdn;
+    PullExpr pun;
+    std::vector<int> input_nodes;
+    int output_node = 0;
+    double wn_um = 1.0;
+    double wp_um = 1.0;
+  };
+  struct PwlSource {
+    std::vector<std::pair<TimeNs, Volt>> points;  // sorted by time
+    [[nodiscard]] Volt at(TimeNs t) const;
+  };
+
+  void build_circuit();
+  /// Writes dV/dt into `dv`; primary-input nodes get 0 (source-driven).
+  void derivatives(TimeNs t, std::vector<double>& v, std::vector<double>& dv) const;
+  void set_sources(TimeNs t, std::vector<double>& v) const;
+  [[nodiscard]] double stage_net_current(const Stage& stage, std::span<const double> v,
+                                         double v_out) const;
+
+  const Netlist* netlist_;
+  AnalogConfig config_;
+  int num_nodes_ = 0;       // external signals first, then internals
+  std::vector<Stage> stages_;
+  std::vector<double> cap_;                 // pF per node
+  std::vector<bool> is_source_;             // true for primary-input nodes
+  std::unordered_map<int, PwlSource> sources_;
+  std::vector<double> v_;                   // node voltages
+  std::vector<AnalogTrace> traces_;         // one per external signal
+  TimeNs now_ = 0.0;
+  TimeNs next_sample_ = 0.0;
+  bool stimulus_applied_ = false;
+  mutable std::uint64_t stage_evals_ = 0;
+  std::uint64_t steps_ = 0;
+
+  // scratch buffers for RK4 (avoid per-step allocation)
+  mutable std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+};
+
+}  // namespace halotis

@@ -1,0 +1,23 @@
+#include "src/analog/device.hpp"
+
+namespace halotis {
+
+double nmos_current(const MosParams& p, double w_um, double vgs, double vds) {
+  require(w_um > 0.0, "nmos_current(): width must be positive");
+  if (vds <= 0.0) return 0.0;
+  const double vov = vgs - p.vt;
+  if (vov <= 0.0) return 0.0;  // cut-off (subthreshold ignored)
+  const double beta = p.k_prime * (w_um / p.l_um);
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds >= vov) {
+    return 0.5 * beta * vov * vov * clm;  // saturation
+  }
+  return beta * (vov * vds - 0.5 * vds * vds) * clm;  // linear/triode
+}
+
+double pmos_current(const MosParams& p, double w_um, Volt vdd, double vg, double vd) {
+  // Mirror: source at vdd, |vgs| = vdd - vg, |vds| = vdd - vd.
+  return nmos_current(p, w_um, vdd - vg, vdd - vd);
+}
+
+}  // namespace halotis

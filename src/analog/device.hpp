@@ -1,0 +1,48 @@
+// MOSFET device models for the reference electrical simulator.
+//
+// Shichman-Hodges (square-law) models with channel-length modulation are
+// sufficient here: the experiments need the *qualitative* electrical
+// behaviour that gate-level delay models abstract away -- partially charged
+// output nodes, pulse degradation, input-threshold discrimination -- all of
+// which emerge from any saturating nonlinear pull device into a capacitor.
+//
+// Unit system: volts, milliamperes, picofarads, nanoseconds (so that
+// dV/dt = I/C holds without conversion factors).
+#pragma once
+
+#include "src/base/check.hpp"
+#include "src/base/units.hpp"
+
+namespace halotis {
+
+/// Square-law parameters of one device polarity.
+struct MosParams {
+  double k_prime = 0.040;  ///< transconductance k' = mu*Cox, mA/V^2
+  Volt vt = 0.8;           ///< |threshold voltage|, V
+  double lambda = 0.05;    ///< channel-length modulation, 1/V
+  double l_um = 0.6;       ///< channel length, um
+};
+
+/// Process data for the analog expansion.
+struct TechnologyParams {
+  Volt vdd = 5.0;
+  MosParams nmos{0.040, 0.80, 0.05, 0.6};
+  MosParams pmos{0.016, 0.90, 0.05, 0.6};
+  double cg_ff_per_um = 2.0;  ///< gate capacitance per um of device width
+  double cd_ff_per_um = 1.1;  ///< drain (output) capacitance per um of width
+  Farad node_floor_cap = 0.002;  ///< minimum node capacitance, pF
+
+  /// The 0.6 um-class operating point matching Library::default_u6().
+  [[nodiscard]] static TechnologyParams u6() { return TechnologyParams{}; }
+};
+
+/// Drain current of an NMOS with grounded source.  `vgs`, `vds` in volts;
+/// returns mA (>= 0; no reverse conduction, junction diodes ignored).
+[[nodiscard]] double nmos_current(const MosParams& p, double w_um, double vgs, double vds);
+
+/// Source-to-drain current of a PMOS with source at `vdd`.  `vg` and `vd`
+/// are node voltages; returns mA flowing *into* the drain node (>= 0).
+[[nodiscard]] double pmos_current(const MosParams& p, double w_um, Volt vdd, double vg,
+                                  double vd);
+
+}  // namespace halotis

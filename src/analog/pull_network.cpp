@@ -1,0 +1,342 @@
+#include "src/analog/pull_network.hpp"
+
+#include <algorithm>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+PullExpr PullExpr::leaf(int slot) {
+  require(slot >= 0, "PullExpr::leaf(): slot must be non-negative");
+  PullExpr e;
+  e.kind_ = Kind::kLeaf;
+  e.slot_ = slot;
+  return e;
+}
+
+PullExpr PullExpr::series(std::vector<PullExpr> children) {
+  require(children.size() >= 2, "PullExpr::series(): needs at least two children");
+  PullExpr e;
+  e.kind_ = Kind::kSeries;
+  e.children_ = std::move(children);
+  return e;
+}
+
+PullExpr PullExpr::parallel(std::vector<PullExpr> children) {
+  require(children.size() >= 2, "PullExpr::parallel(): needs at least two children");
+  PullExpr e;
+  e.kind_ = Kind::kParallel;
+  e.children_ = std::move(children);
+  return e;
+}
+
+PullExpr PullExpr::dual() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return *this;
+    case Kind::kSeries: {
+      std::vector<PullExpr> duals;
+      duals.reserve(children_.size());
+      for (const PullExpr& c : children_) duals.push_back(c.dual());
+      return parallel(std::move(duals));
+    }
+    case Kind::kParallel: {
+      std::vector<PullExpr> duals;
+      duals.reserve(children_.size());
+      for (const PullExpr& c : children_) duals.push_back(c.dual());
+      return series(std::move(duals));
+    }
+  }
+  ensure(false, "PullExpr::dual(): unreachable");
+  return *this;
+}
+
+bool PullExpr::conducts(std::span<const bool> slot_values) const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      require(slot_ < static_cast<int>(slot_values.size()),
+              "PullExpr::conducts(): slot out of range");
+      return slot_values[static_cast<std::size_t>(slot_)];
+    case Kind::kSeries:
+      return std::all_of(children_.begin(), children_.end(),
+                         [&](const PullExpr& c) { return c.conducts(slot_values); });
+    case Kind::kParallel:
+      return std::any_of(children_.begin(), children_.end(),
+                         [&](const PullExpr& c) { return c.conducts(slot_values); });
+  }
+  return false;
+}
+
+int PullExpr::max_slot() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return slot_ + 1;
+    case Kind::kSeries:
+    case Kind::kParallel: {
+      int m = 0;
+      for (const PullExpr& c : children_) m = std::max(m, c.max_slot());
+      return m;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+constexpr double kCurrentEpsMa = 1e-9;
+
+/// Recursive current composition.  `leaf_current(slot, v_span)` evaluates
+/// one device with the full span voltage across it; series combination is
+/// harmonic (current-limited), parallel additive.
+template <class LeafFn>
+double compose_current(const PullExpr& expr, const LeafFn& leaf_current, double v_span) {
+  switch (expr.kind()) {
+    case PullExpr::Kind::kLeaf:
+      return leaf_current(expr.slot(), v_span);
+    case PullExpr::Kind::kSeries: {
+      double inv_sum = 0.0;
+      for (const PullExpr& c : expr.children()) {
+        const double i = compose_current(c, leaf_current, v_span);
+        if (i <= kCurrentEpsMa) return 0.0;
+        inv_sum += 1.0 / i;
+      }
+      return 1.0 / inv_sum;
+    }
+    case PullExpr::Kind::kParallel: {
+      double sum = 0.0;
+      for (const PullExpr& c : expr.children()) {
+        sum += compose_current(c, leaf_current, v_span);
+      }
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double pdn_current(const PullExpr& expr, const MosParams& nmos, double w_um,
+                   std::span<const double> slot_voltages, double v_out) {
+  if (v_out <= 0.0) return 0.0;
+  const auto leaf = [&](int slot, double v_span) {
+    require(slot < static_cast<int>(slot_voltages.size()),
+            "pdn_current(): slot out of range");
+    return nmos_current(nmos, w_um, slot_voltages[static_cast<std::size_t>(slot)], v_span);
+  };
+  return compose_current(expr, leaf, v_out);
+}
+
+double pun_current(const PullExpr& expr, const MosParams& pmos, double w_um, Volt vdd,
+                   std::span<const double> slot_voltages, double v_out) {
+  if (v_out >= vdd) return 0.0;
+  const auto leaf = [&](int slot, double v_span) {
+    require(slot < static_cast<int>(slot_voltages.size()),
+            "pun_current(): slot out of range");
+    // v_span here is vdd - v_out across the whole pull-up.
+    return nmos_current(pmos, w_um, vdd - slot_voltages[static_cast<std::size_t>(slot)],
+                        v_span);
+  };
+  return compose_current(expr, leaf, vdd - v_out);
+}
+
+namespace {
+
+StageSource pin(int index) { return StageSource{false, index}; }
+StageSource internal(int index) { return StageSource{true, index}; }
+
+StageTemplate inv_stage(StageSource src) {
+  StageTemplate s;
+  s.pdn = PullExpr::leaf(0);
+  s.sources = {src};
+  return s;
+}
+
+StageTemplate nand_stage(std::vector<StageSource> sources) {
+  StageTemplate s;
+  std::vector<PullExpr> leaves;
+  for (int i = 0; i < static_cast<int>(sources.size()); ++i) {
+    leaves.push_back(PullExpr::leaf(i));
+  }
+  s.pdn = PullExpr::series(std::move(leaves));
+  s.wn_mult = static_cast<double>(sources.size());
+  s.sources = std::move(sources);
+  return s;
+}
+
+StageTemplate nor_stage(std::vector<StageSource> sources) {
+  StageTemplate s;
+  std::vector<PullExpr> leaves;
+  for (int i = 0; i < static_cast<int>(sources.size()); ++i) {
+    leaves.push_back(PullExpr::leaf(i));
+  }
+  s.pdn = PullExpr::parallel(std::move(leaves));
+  s.wp_mult = static_cast<double>(sources.size());
+  s.sources = std::move(sources);
+  return s;
+}
+
+std::vector<StageSource> pins(int n) {
+  std::vector<StageSource> sources;
+  for (int i = 0; i < n; ++i) sources.push_back(pin(i));
+  return sources;
+}
+
+/// NAND-only XOR: n1 = NAND(a,b); n2 = NAND(a,n1); n3 = NAND(n1,b);
+/// y = NAND(n2,n3).  `base` is the index of the first emitted stage;
+/// a/b given as generic sources so XOR3 can cascade.
+void append_xor2(std::vector<StageTemplate>& stages, StageSource a, StageSource b) {
+  const int base = static_cast<int>(stages.size());
+  stages.push_back(nand_stage({a, b}));                               // base+0: n1
+  stages.push_back(nand_stage({a, internal(base)}));                  // base+1: n2
+  stages.push_back(nand_stage({internal(base), b}));                  // base+2: n3
+  stages.push_back(nand_stage({internal(base + 1), internal(base + 2)}));  // y
+}
+
+/// NOR-only XNOR (same structure, dual stages).
+void append_xnor2(std::vector<StageTemplate>& stages, StageSource a, StageSource b) {
+  const int base = static_cast<int>(stages.size());
+  stages.push_back(nor_stage({a, b}));
+  stages.push_back(nor_stage({a, internal(base)}));
+  stages.push_back(nor_stage({internal(base), b}));
+  stages.push_back(nor_stage({internal(base + 1), internal(base + 2)}));
+}
+
+}  // namespace
+
+std::vector<StageTemplate> expand_cell(CellKind kind) {
+  std::vector<StageTemplate> stages;
+  switch (kind) {
+    case CellKind::kInv:
+      stages.push_back(inv_stage(pin(0)));
+      break;
+    case CellKind::kBuf:
+      stages.push_back(inv_stage(pin(0)));
+      stages.push_back(inv_stage(internal(0)));
+      break;
+    case CellKind::kNand2:
+      stages.push_back(nand_stage(pins(2)));
+      break;
+    case CellKind::kNand3:
+      stages.push_back(nand_stage(pins(3)));
+      break;
+    case CellKind::kNand4:
+      stages.push_back(nand_stage(pins(4)));
+      break;
+    case CellKind::kNor2:
+      stages.push_back(nor_stage(pins(2)));
+      break;
+    case CellKind::kNor3:
+      stages.push_back(nor_stage(pins(3)));
+      break;
+    case CellKind::kNor4:
+      stages.push_back(nor_stage(pins(4)));
+      break;
+    case CellKind::kAnd2:
+      stages.push_back(nand_stage(pins(2)));
+      stages.push_back(inv_stage(internal(0)));
+      break;
+    case CellKind::kAnd3:
+      stages.push_back(nand_stage(pins(3)));
+      stages.push_back(inv_stage(internal(0)));
+      break;
+    case CellKind::kAnd4:
+      stages.push_back(nand_stage(pins(4)));
+      stages.push_back(inv_stage(internal(0)));
+      break;
+    case CellKind::kOr2:
+      stages.push_back(nor_stage(pins(2)));
+      stages.push_back(inv_stage(internal(0)));
+      break;
+    case CellKind::kOr3:
+      stages.push_back(nor_stage(pins(3)));
+      stages.push_back(inv_stage(internal(0)));
+      break;
+    case CellKind::kOr4:
+      stages.push_back(nor_stage(pins(4)));
+      stages.push_back(inv_stage(internal(0)));
+      break;
+    case CellKind::kXor2:
+      append_xor2(stages, pin(0), pin(1));
+      break;
+    case CellKind::kXnor2:
+      append_xnor2(stages, pin(0), pin(1));
+      break;
+    case CellKind::kXor3: {
+      append_xor2(stages, pin(0), pin(1));  // stages 0..3, x = stage 3
+      append_xor2(stages, internal(3), pin(2));
+      break;
+    }
+    case CellKind::kAoi21: {
+      StageTemplate s;
+      s.pdn = PullExpr::parallel(
+          {PullExpr::series({PullExpr::leaf(0), PullExpr::leaf(1)}), PullExpr::leaf(2)});
+      s.sources = pins(3);
+      s.wn_mult = 2.0;
+      s.wp_mult = 2.0;
+      stages.push_back(std::move(s));
+      break;
+    }
+    case CellKind::kAoi22: {
+      StageTemplate s;
+      s.pdn = PullExpr::parallel({PullExpr::series({PullExpr::leaf(0), PullExpr::leaf(1)}),
+                                  PullExpr::series({PullExpr::leaf(2), PullExpr::leaf(3)})});
+      s.sources = pins(4);
+      s.wn_mult = 2.0;
+      s.wp_mult = 2.0;
+      stages.push_back(std::move(s));
+      break;
+    }
+    case CellKind::kOai21: {
+      StageTemplate s;
+      s.pdn = PullExpr::series(
+          {PullExpr::parallel({PullExpr::leaf(0), PullExpr::leaf(1)}), PullExpr::leaf(2)});
+      s.sources = pins(3);
+      s.wn_mult = 2.0;
+      s.wp_mult = 2.0;
+      stages.push_back(std::move(s));
+      break;
+    }
+    case CellKind::kOai22: {
+      StageTemplate s;
+      s.pdn =
+          PullExpr::series({PullExpr::parallel({PullExpr::leaf(0), PullExpr::leaf(1)}),
+                            PullExpr::parallel({PullExpr::leaf(2), PullExpr::leaf(3)})});
+      s.sources = pins(4);
+      s.wn_mult = 2.0;
+      s.wp_mult = 2.0;
+      stages.push_back(std::move(s));
+      break;
+    }
+    case CellKind::kMux2: {
+      // sn = INV(s); y = INV(AOI22(a, sn, b, s)) -> out = a*!s + b*s.
+      stages.push_back(inv_stage(pin(2)));  // stage 0: sn
+      StageTemplate aoi;
+      aoi.pdn = PullExpr::parallel({PullExpr::series({PullExpr::leaf(0), PullExpr::leaf(1)}),
+                                    PullExpr::series({PullExpr::leaf(2), PullExpr::leaf(3)})});
+      aoi.sources = {pin(0), internal(0), pin(1), pin(2)};
+      aoi.wn_mult = 2.0;
+      aoi.wp_mult = 2.0;
+      stages.push_back(std::move(aoi));  // stage 1
+      stages.push_back(inv_stage(internal(1)));
+      break;
+    }
+    case CellKind::kMaj3: {
+      // !maj = !(a*b + c*(a+b)); out = INV(that).
+      StageTemplate s;
+      s.pdn = PullExpr::parallel(
+          {PullExpr::series({PullExpr::leaf(0), PullExpr::leaf(1)}),
+           PullExpr::series({PullExpr::leaf(2),
+                             PullExpr::parallel({PullExpr::leaf(0), PullExpr::leaf(1)})})});
+      s.sources = pins(3);
+      s.wn_mult = 2.0;
+      s.wp_mult = 2.0;
+      stages.push_back(std::move(s));
+      stages.push_back(inv_stage(internal(0)));
+      break;
+    }
+  }
+  ensure(!stages.empty(), "expand_cell(): no expansion for cell kind");
+  return stages;
+}
+
+}  // namespace halotis

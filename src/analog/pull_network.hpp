@@ -1,0 +1,78 @@
+// Series/parallel pull-network expressions and the decomposition of every
+// library cell into primitive complementary-CMOS stages.
+//
+// Each stage is one inverting CMOS structure: an NMOS pull-down network
+// described by a series/parallel expression over the stage's inputs, and
+// the dual PMOS pull-up network.  Non-inverting and composite cells expand
+// into several stages exactly like their standard-cell implementations
+// (AND = NAND + INV, XOR = 4x NAND, MUX = INV + AOI22 + INV, ...), which is
+// what gives the analog reference realistic internal glitching.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/analog/device.hpp"
+#include "src/netlist/cell.hpp"
+
+namespace halotis {
+
+/// Series/parallel expression over stage input slots.
+class PullExpr {
+ public:
+  enum class Kind { kLeaf, kSeries, kParallel };
+
+  [[nodiscard]] static PullExpr leaf(int slot);
+  [[nodiscard]] static PullExpr series(std::vector<PullExpr> children);
+  [[nodiscard]] static PullExpr parallel(std::vector<PullExpr> children);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] int slot() const { return slot_; }
+  [[nodiscard]] std::span<const PullExpr> children() const { return children_; }
+
+  /// The dual network (series <-> parallel) -- the PMOS pull-up of a
+  /// complementary stage.
+  [[nodiscard]] PullExpr dual() const;
+
+  /// Boolean conduction with the given slot values (true = device on).
+  [[nodiscard]] bool conducts(std::span<const bool> slot_values) const;
+
+  /// Number of input slots referenced (max slot index + 1).
+  [[nodiscard]] int max_slot() const;
+
+ private:
+  Kind kind_ = Kind::kLeaf;
+  int slot_ = 0;
+  std::vector<PullExpr> children_;
+};
+
+/// Current through an NMOS pull-down network between the output node at
+/// `v_out` and ground.  Series branches compose harmonically (resistor-like
+/// current limiting), parallel branches add.  Returns mA >= 0.
+[[nodiscard]] double pdn_current(const PullExpr& expr, const MosParams& nmos, double w_um,
+                                 std::span<const double> slot_voltages, double v_out);
+
+/// Current through the dual PMOS pull-up network from VDD into the output
+/// node at `v_out` (pass the *pull-up* expression, i.e. pdn.dual()).
+[[nodiscard]] double pun_current(const PullExpr& expr, const MosParams& pmos, double w_um,
+                                 Volt vdd, std::span<const double> slot_voltages,
+                                 double v_out);
+
+/// Where a stage input comes from.
+struct StageSource {
+  bool internal = false;  ///< true: output of a previous stage of this cell
+  int index = 0;          ///< pin index (external) or stage index (internal)
+};
+
+/// One primitive stage of a cell's analog expansion.
+struct StageTemplate {
+  PullExpr pdn = PullExpr::leaf(0);
+  std::vector<StageSource> sources;  ///< one per input slot
+  double wn_mult = 1.0;  ///< NMOS width multiplier (stack compensation)
+  double wp_mult = 1.0;
+};
+
+/// Expansion of `kind` into stages; the last stage drives the cell output.
+[[nodiscard]] std::vector<StageTemplate> expand_cell(CellKind kind);
+
+}  // namespace halotis

@@ -1,0 +1,47 @@
+// Precondition / invariant checking helpers (Core Guidelines I.6 / E.12).
+//
+// HALOTIS is a simulator, not a long-running service: on contract violation
+// the most useful behaviour is to stop immediately with a precise message.
+// `require` throws `halotis::ContractViolation` so tests can assert on
+// misuse, while release builds keep the checks (they are cheap compared to
+// event processing).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace halotis {
+
+/// Thrown when a precondition or invariant documented in a function's
+/// contract is violated by the caller.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws ContractViolation when `condition` is false.  `message` should
+/// state the violated contract from the caller's point of view.
+inline void require(bool condition, std::string_view message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    std::string what{message};
+    what += " [";
+    what += loc.file_name();
+    what += ':';
+    what += std::to_string(loc.line());
+    what += ']';
+    throw ContractViolation(what);
+  }
+}
+
+/// Internal-consistency variant of `require`; identical behaviour, the
+/// distinct name documents that a failure is a bug in HALOTIS itself rather
+/// than in the calling code.
+inline void ensure(bool condition, std::string_view message,
+                   std::source_location loc = std::source_location::current()) {
+  require(condition, message, loc);
+}
+
+}  // namespace halotis

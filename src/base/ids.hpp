@@ -1,0 +1,53 @@
+// Strongly-typed arena indices.
+//
+// HALOTIS stores gates, signals, transitions and events in flat arenas and
+// refers to them by index (Core Guidelines R.11: no owning raw pointers;
+// indices also survive vector reallocation).  `Id<Tag>` prevents a GateId
+// from being passed where a SignalId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace halotis {
+
+template <class Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid = std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct GateTag {};
+struct SignalTag {};
+struct TransitionTag {};
+struct EventTag {};
+struct CellTag {};
+
+using GateId = Id<GateTag>;
+using SignalId = Id<SignalTag>;
+using TransitionId = Id<TransitionTag>;
+using EventId = Id<EventTag>;
+using CellId = Id<CellTag>;
+
+}  // namespace halotis
+
+template <class Tag>
+struct std::hash<halotis::Id<Tag>> {
+  std::size_t operator()(halotis::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

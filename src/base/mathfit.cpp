@@ -1,0 +1,124 @@
+#include "src/base/mathfit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+double mean(std::span<const double> values) {
+  require(!values.empty(), "mean() requires a non-empty range");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double median(std::span<const double> values) {
+  require(!values.empty(), "median() requires a non-empty range");
+  std::vector<double> copy(values.begin(), values.end());
+  const auto mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid), copy.end());
+  if (copy.size() % 2 == 1) return copy[mid];
+  const double hi = copy[mid];
+  const double lo = *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "fit_line() requires equally sized ranges");
+  require(xs.size() >= 2, "fit_line() requires at least two points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  require(sxx > 0.0, "fit_line() requires at least two distinct x values");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  std::vector<double> predicted(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) predicted[i] = fit.slope * xs[i] + fit.intercept;
+  fit.r_squared = r_squared(predicted, ys);
+  return fit;
+}
+
+double r_squared(std::span<const double> predicted, std::span<const double> observed) {
+  require(predicted.size() == observed.size(), "r_squared() requires equal sizes");
+  require(!observed.empty(), "r_squared() requires non-empty input");
+  const double my = mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - my) * (observed[i] - my);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a, std::vector<double> b,
+                                        std::size_t n) {
+  require(a.size() == n * n, "solve_linear_system(): matrix size must be n*n");
+  require(b.size() == n, "solve_linear_system(): rhs size must be n");
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) pivot = row;
+    }
+    require(std::abs(a[pivot * n + col]) > 1e-300, "solve_linear_system(): singular matrix");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      for (std::size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+std::vector<double> fit_least_squares(const std::vector<std::vector<double>>& rows,
+                                      std::span<const double> y) {
+  require(rows.size() == y.size(), "fit_least_squares(): rows and y must match");
+  require(!rows.empty(), "fit_least_squares(): needs at least one observation");
+  const std::size_t p = rows.front().size();
+  require(p >= 1, "fit_least_squares(): needs at least one parameter");
+  require(rows.size() >= p, "fit_least_squares(): underdetermined system");
+  for (const auto& row : rows) {
+    require(row.size() == p, "fit_least_squares(): ragged design matrix");
+  }
+
+  // Normal equations: (A^T A) x = A^T y.
+  std::vector<double> ata(p * p, 0.0);
+  std::vector<double> aty(p, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t r = 0; r < p; ++r) {
+      aty[r] += rows[i][r] * y[i];
+      for (std::size_t c = 0; c < p; ++c) ata[r * p + c] += rows[i][r] * rows[i][c];
+    }
+  }
+  return solve_linear_system(std::move(ata), std::move(aty), p);
+}
+
+}  // namespace halotis

@@ -1,0 +1,53 @@
+// Small dense least-squares helpers used by the characterization flow
+// (fitting tp0 macro-models and degradation parameters against the analog
+// reference simulator) and by result post-processing in the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace halotis {
+
+/// Result of an ordinary 1-D linear regression y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit of y = slope * x + intercept.
+/// Requires xs.size() == ys.size() and at least two distinct x values.
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Least-squares solution of A * coeffs = y for a dense column-major
+/// design matrix with `num_params` columns, via normal equations and
+/// Gaussian elimination with partial pivoting.  `rows[i]` holds the i-th
+/// observation's regressor values (size num_params).
+/// Requires rows.size() == y.size() >= num_params.
+[[nodiscard]] std::vector<double> fit_least_squares(
+    const std::vector<std::vector<double>>& rows, std::span<const double> y);
+
+/// R^2 of predictions vs observations; 1 is perfect, can be negative for
+/// fits worse than the mean.
+[[nodiscard]] double r_squared(std::span<const double> predicted,
+                               std::span<const double> observed);
+
+/// Mean of a non-empty range.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Population standard deviation of a non-empty range.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Median (of a copy; input untouched). Requires non-empty input.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Solves the dense linear system `a * x = b` in-place via Gaussian
+/// elimination with partial pivoting. `a` is row-major n x n, `b` length n.
+/// Returns the solution; throws ContractViolation on singular systems.
+[[nodiscard]] std::vector<double> solve_linear_system(std::vector<double> a,
+                                                      std::vector<double> b,
+                                                      std::size_t n);
+
+}  // namespace halotis

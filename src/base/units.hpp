@@ -1,0 +1,37 @@
+// Physical units and conventions used across HALOTIS.
+//
+// All times are expressed in nanoseconds, all voltages in volts and all
+// capacitances in picofarads.  With those choices the delay macro-model
+// coefficients have friendly magnitudes (ns/pF) and the 0.6 um-class
+// default technology operates on numbers close to 1.0, which keeps
+// double-precision error far below the ~1 fs resolution any experiment in
+// the paper needs.
+#pragma once
+
+namespace halotis {
+
+/// Simulation time in nanoseconds.
+using TimeNs = double;
+/// Voltage in volts.
+using Volt = double;
+/// Capacitance in picofarads.
+using Farad = double;  // actually pF; named for brevity in signatures.
+/// Current in milliamperes (consistent with V / (pF * ns) units).
+using Ampere = double;
+
+namespace units {
+inline constexpr TimeNs kPicosecond = 1e-3;
+inline constexpr TimeNs kNanosecond = 1.0;
+inline constexpr TimeNs kMicrosecond = 1e3;
+inline constexpr Farad kFemtofarad = 1e-3;
+inline constexpr Farad kPicofarad = 1.0;
+}  // namespace units
+
+/// Smallest time difference HALOTIS distinguishes.  Events closer than this
+/// are considered simultaneous and ordered by their creation sequence.
+inline constexpr TimeNs kTimeEpsilonNs = 1e-9;  // 1 attosecond in ns units.
+
+/// A time value used to mean "never" / "not yet scheduled".
+inline constexpr TimeNs kNeverNs = 1e300;
+
+}  // namespace halotis

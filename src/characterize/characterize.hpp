@@ -1,0 +1,140 @@
+// Cell characterization against the analog reference simulator.
+//
+// This module reproduces the flow the paper's authors used to obtain their
+// model parameters from HSPICE (refs [15]-[17]):
+//   1. tp0 macro-model    -- isolated-transition delays over a load x slew
+//                            grid, least squares for p0 + p_load*CL +
+//                            p_slew*tau_in,
+//   2. degradation curve  -- input pulse-width sweep; the second output
+//                            edge's delay tp(T) collapses onto the paper's
+//                            eq. 1; linearizing ln(1 - tp/tp0) gives tau
+//                            and T0,
+//   3. eq. 2 / eq. 3      -- repeating (2) over loads and slews yields the
+//                            (A, B) and C coefficients,
+//   4. VT                 -- DC transfer sweep locates each pin's switching
+//                            threshold.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/analog/analog_sim.hpp"
+#include "src/netlist/library.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+/// Single-cell measurement fixture: every pin a primary input, the output
+/// loaded with `extra_load` of wire capacitance.
+struct CellBench {
+  Netlist netlist;
+  std::vector<SignalId> pins;
+  SignalId out;
+
+  explicit CellBench(const Library& lib) : netlist(lib) {}
+};
+[[nodiscard]] CellBench make_cell_bench(const Library& lib, std::string_view cell_name,
+                                        Farad extra_load);
+
+/// Static side-input values that make `pin` control the output; throws if
+/// the pin is redundant.  Returned vector excludes `pin` itself? No -- it
+/// has one entry per pin; entry [pin] is the initial value of the switching
+/// pin for `in_edge` (i.e. the pre-transition value).
+[[nodiscard]] std::vector<bool> sensitizing_assignment(const Cell& cell, int pin,
+                                                       Edge in_edge);
+
+struct DelayMeasurement {
+  TimeNs tp = 0.0;       ///< input t50 -> output t50
+  TimeNs tau_out = 0.0;  ///< output ramp duration (20-80 % scaled to 0-100 %)
+  Edge out_edge = Edge::kRise;
+};
+
+/// Measures one isolated transition through `cell` pin `pin`.
+[[nodiscard]] DelayMeasurement measure_delay(const Library& lib, std::string_view cell_name,
+                                             int pin, Edge in_edge, Farad extra_load,
+                                             TimeNs tau_in, const AnalogConfig& cfg = {});
+
+/// One point of the degradation experiment.
+struct DegradationPoint {
+  TimeNs t_elapsed = 0.0;  ///< T: second input t50 minus first output t50
+  TimeNs tp = 0.0;         ///< measured second-edge delay
+  bool filtered = false;   ///< output pulse never formed
+};
+
+/// Sweeps input pulse widths; the second edge of the pulse is the degraded
+/// one.  `in_edge` is the *first* edge of the pulse.
+[[nodiscard]] std::vector<DegradationPoint> measure_degradation(
+    const Library& lib, std::string_view cell_name, int pin, Edge in_edge,
+    Farad extra_load, TimeNs tau_in, std::span<const TimeNs> pulse_widths,
+    const AnalogConfig& cfg = {});
+
+struct DegradationFit {
+  TimeNs tau = 0.0;  ///< eq. 1 time constant
+  TimeNs t0 = 0.0;   ///< eq. 1 offset
+  double r_squared = 0.0;
+  int points_used = 0;
+};
+
+/// Linearized least-squares fit of eq. 1 to a measured degradation curve.
+/// `tp0` is the settled delay of the same edge.
+[[nodiscard]] DegradationFit fit_degradation(std::span<const DegradationPoint> points,
+                                             TimeNs tp0);
+
+/// Fits the tp0 macro-model over a load x slew grid.  Returns coefficients
+/// (p0, p_load, p_slew) and the fit R^2.
+struct MacroModelFit {
+  double p0 = 0.0;
+  double p_load = 0.0;
+  double p_slew = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] MacroModelFit fit_tp0(const Library& lib, std::string_view cell_name, int pin,
+                                    Edge in_edge, std::span<const Farad> loads,
+                                    std::span<const TimeNs> slews,
+                                    const AnalogConfig& cfg = {});
+
+/// eq. 2: tau_deg * VDD = A + B * CL, fitted over `loads`.
+struct Eq2Fit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] Eq2Fit fit_eq2(const Library& lib, std::string_view cell_name, int pin,
+                             Edge in_edge, std::span<const Farad> loads, TimeNs tau_in,
+                             std::span<const TimeNs> pulse_widths,
+                             const AnalogConfig& cfg = {});
+
+/// eq. 3: T0 = (1/2 - C/VDD) * tau_in, fitted over `slews`.
+struct Eq3Fit {
+  double c = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] Eq3Fit fit_eq3(const Library& lib, std::string_view cell_name, int pin,
+                             Edge in_edge, Farad extra_load, std::span<const TimeNs> slews,
+                             std::span<const TimeNs> pulse_widths,
+                             const AnalogConfig& cfg = {});
+
+/// DC switching threshold of `pin` (input voltage at which the cell output
+/// crosses midswing), via bisection on the analog DC solver.
+[[nodiscard]] Volt measure_vm(const Library& lib, std::string_view cell_name, int pin);
+
+/// What characterize_library() refits.
+struct CharacterizeOptions {
+  bool fit_delay = true;
+  bool fit_thresholds = true;
+  bool fit_degradation = false;  ///< expensive: pulse sweeps per pin/edge
+  std::vector<Farad> loads{0.02, 0.06, 0.12};
+  std::vector<TimeNs> slews{0.2, 0.5, 1.0};
+  std::vector<TimeNs> pulse_widths{0.4, 0.6, 0.8, 1.2, 1.8, 2.6};
+  AnalogConfig analog;
+};
+
+/// Returns a copy of `lib` with the named cells' timing data refitted from
+/// the analog simulator (all cells when `cell_names` is empty).
+[[nodiscard]] Library characterize_library(const Library& lib,
+                                           std::span<const std::string_view> cell_names,
+                                           const CharacterizeOptions& options = {});
+
+}  // namespace halotis

@@ -1,0 +1,305 @@
+#include "src/circuits/arith.hpp"
+
+#include <array>
+#include <deque>
+#include <string>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+namespace {
+
+std::string idx(std::string_view base, int i) {
+  return std::string(base) + std::to_string(i);
+}
+
+/// Balanced AND tree over `inputs` (>= 1 signal).
+SignalId and_tree(Netlist& nl, std::string_view prefix, std::vector<SignalId> level,
+                  int& counter) {
+  require(!level.empty(), "and_tree(): needs inputs");
+  while (level.size() > 1) {
+    std::vector<SignalId> next;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      const std::size_t remaining = level.size() - i;
+      if (remaining >= 3 && (remaining % 3 == 0 || remaining > 4)) {
+        const SignalId out =
+            nl.add_signal(std::string(prefix) + "_t" + std::to_string(counter));
+        const std::array<SignalId, 3> ins{level[i], level[i + 1], level[i + 2]};
+        (void)nl.add_gate(std::string(prefix) + "_g" + std::to_string(counter++),
+                          CellKind::kAnd3, ins, out);
+        next.push_back(out);
+        i += 3;
+      } else if (remaining >= 2) {
+        const SignalId out =
+            nl.add_signal(std::string(prefix) + "_t" + std::to_string(counter));
+        const std::array<SignalId, 2> ins{level[i], level[i + 1]};
+        (void)nl.add_gate(std::string(prefix) + "_g" + std::to_string(counter++),
+                          CellKind::kAnd2, ins, out);
+        next.push_back(out);
+        i += 2;
+      } else {
+        next.push_back(level[i]);
+        ++i;
+      }
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+/// Appends a carry-lookahead sum (4-bit groups, ripple between groups) of
+/// two equally sized bit vectors to `nl`; returns n sum bits plus the
+/// carry-out.  Shared by the CLA adder and the Wallace multiplier's final
+/// carry-propagate stage.
+std::vector<SignalId> append_cla_sum(Netlist& nl, const std::string& prefix,
+                                     std::span<const SignalId> a,
+                                     std::span<const SignalId> b, SignalId cin,
+                                     int& aux) {
+  require(a.size() == b.size() && !a.empty(), "append_cla_sum(): size mismatch");
+  const int bits = static_cast<int>(a.size());
+
+  std::vector<SignalId> g(static_cast<std::size_t>(bits));
+  std::vector<SignalId> p(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    g[static_cast<std::size_t>(i)] = nl.add_signal(prefix + "_g" + std::to_string(i));
+    p[static_cast<std::size_t>(i)] = nl.add_signal(prefix + "_p" + std::to_string(i));
+    const std::array<SignalId, 2> ins{a[static_cast<std::size_t>(i)],
+                                      b[static_cast<std::size_t>(i)]};
+    (void)nl.add_gate(prefix + "_gg" + std::to_string(i), CellKind::kAnd2, ins,
+                      g[static_cast<std::size_t>(i)]);
+    (void)nl.add_gate(prefix + "_gp" + std::to_string(i), CellKind::kXor2, ins,
+                      p[static_cast<std::size_t>(i)]);
+  }
+
+  std::vector<SignalId> carry(static_cast<std::size_t>(bits) + 1);
+  carry[0] = cin;
+  const auto land = [&](std::vector<SignalId> ins) {
+    return ins.size() == 1 ? ins[0]
+                           : and_tree(nl, prefix + "_and" + std::to_string(aux++),
+                                      std::move(ins), aux);
+  };
+  const auto lor = [&](std::vector<SignalId> terms) {
+    while (terms.size() > 1) {
+      std::vector<SignalId> next;
+      std::size_t i = 0;
+      while (i < terms.size()) {
+        if (terms.size() - i >= 2) {
+          const SignalId out = nl.add_signal(prefix + "_or_t" + std::to_string(aux));
+          const std::array<SignalId, 2> ins{terms[i], terms[i + 1]};
+          (void)nl.add_gate(prefix + "_or_g" + std::to_string(aux++), CellKind::kOr2, ins,
+                            out);
+          next.push_back(out);
+          i += 2;
+        } else {
+          next.push_back(terms[i]);
+          ++i;
+        }
+      }
+      terms = std::move(next);
+    }
+    return terms[0];
+  };
+
+  for (int base = 0; base < bits; base += 4) {
+    const int width = std::min(4, bits - base);
+    for (int k = 1; k <= width; ++k) {
+      std::vector<SignalId> terms;
+      for (int m = base + k - 1; m >= base; --m) {
+        std::vector<SignalId> factors;
+        for (int q = base + k - 1; q > m; --q) {
+          factors.push_back(p[static_cast<std::size_t>(q)]);
+        }
+        factors.push_back(g[static_cast<std::size_t>(m)]);
+        terms.push_back(land(std::move(factors)));
+      }
+      {
+        std::vector<SignalId> factors;
+        for (int q = base + k - 1; q >= base; --q) {
+          factors.push_back(p[static_cast<std::size_t>(q)]);
+        }
+        factors.push_back(carry[static_cast<std::size_t>(base)]);
+        terms.push_back(land(std::move(factors)));
+      }
+      carry[static_cast<std::size_t>(base + k)] = lor(std::move(terms));
+    }
+  }
+
+  std::vector<SignalId> result;
+  for (int i = 0; i < bits; ++i) {
+    const SignalId sum = nl.add_signal(prefix + "_s" + std::to_string(i));
+    const std::array<SignalId, 2> ins{p[static_cast<std::size_t>(i)],
+                                      carry[static_cast<std::size_t>(i)]};
+    (void)nl.add_gate(prefix + "_gs" + std::to_string(i), CellKind::kXor2, ins, sum);
+    result.push_back(sum);
+  }
+  result.push_back(carry[static_cast<std::size_t>(bits)]);
+  return result;
+}
+
+}  // namespace
+
+MultiplierCircuit make_wallace_multiplier(const Library& lib, int bits) {
+  require(bits >= 2, "make_wallace_multiplier(): bits must be >= 2");
+  const int n = bits;
+  MultiplierCircuit c(lib);
+  Netlist& nl = c.netlist;
+
+  for (int i = 0; i < n; ++i) c.a.push_back(nl.add_primary_input(idx("a", i)));
+  for (int j = 0; j < n; ++j) c.b.push_back(nl.add_primary_input(idx("b", j)));
+  c.tie0 = nl.add_primary_input("tie0");
+
+  // Partial products bucketed by column weight.
+  std::vector<std::deque<SignalId>> columns(static_cast<std::size_t>(2 * n));
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const SignalId out = nl.add_signal("pp" + std::to_string(j) + "_" + std::to_string(i));
+      const std::array<SignalId, 2> ins{c.a[static_cast<std::size_t>(i)],
+                                        c.b[static_cast<std::size_t>(j)]};
+      (void)nl.add_gate("and" + std::to_string(j) + "_" + std::to_string(i),
+                        CellKind::kAnd2, ins, out);
+      columns[static_cast<std::size_t>(i + j)].push_back(out);
+    }
+  }
+
+  // Wallace reduction: 3:2 counters, strictly level by level -- every pass
+  // reads only the bits present when it started, so counter stages of one
+  // level run in parallel (that is the whole point of the tree).
+  int counter = 0;
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    std::vector<std::deque<SignalId>> next(columns.size());
+    for (std::size_t col = 0; col < columns.size(); ++col) {
+      std::deque<SignalId>& bucket = columns[col];
+      while (bucket.size() >= 3) {
+        const SignalId x = bucket[0];
+        const SignalId y = bucket[1];
+        const SignalId z = bucket[2];
+        bucket.pop_front();
+        bucket.pop_front();
+        bucket.pop_front();
+        const FullAdderPorts fa =
+            add_full_adder(nl, "w" + std::to_string(counter++), x, y, z);
+        next[col].push_back(fa.sum);
+        ensure(col + 1 < columns.size(), "wallace: carry out of range");
+        next[col + 1].push_back(fa.cout);
+        reduced = true;
+      }
+      while (!bucket.empty()) {
+        next[col].push_back(bucket.front());
+        bucket.pop_front();
+      }
+    }
+    columns = std::move(next);
+  }
+
+  // Final fast carry-propagate addition of the two remaining rows: Wallace
+  // only beats the array when paired with a lookahead CPA.  Leading
+  // single-bit columns pass through directly.
+  c.s.assign(static_cast<std::size_t>(2 * n), SignalId{});
+  std::size_t first_wide = columns.size();
+  for (std::size_t col = 0; col < columns.size(); ++col) {
+    if (columns[col].size() > 1) {
+      first_wide = col;
+      break;
+    }
+    c.s[col] = columns[col].empty() ? c.tie0 : columns[col][0];
+  }
+  if (first_wide < columns.size()) {
+    std::vector<SignalId> row_a;
+    std::vector<SignalId> row_b;
+    for (std::size_t col = first_wide; col < columns.size(); ++col) {
+      row_a.push_back(columns[col].size() > 0 ? columns[col][0] : c.tie0);
+      row_b.push_back(columns[col].size() > 1 ? columns[col][1] : c.tie0);
+    }
+    int aux = 0;
+    const std::vector<SignalId> sums =
+        append_cla_sum(nl, "wcpa", row_a, row_b, c.tie0, aux);
+    for (std::size_t k = 0; k + first_wide < columns.size(); ++k) {
+      c.s[first_wide + k] = sums[k];
+    }
+    // The carry out of the top column of an NxN product is always 0.
+  }
+  for (const SignalId s : c.s) nl.mark_primary_output(s);
+  return c;
+}
+
+AdderCircuit make_cla_adder(const Library& lib, int bits) {
+  require(bits >= 1, "make_cla_adder(): bits must be >= 1");
+  AdderCircuit c(lib);
+  Netlist& nl = c.netlist;
+  for (int i = 0; i < bits; ++i) c.a.push_back(nl.add_primary_input(idx("a", i)));
+  for (int i = 0; i < bits; ++i) c.b.push_back(nl.add_primary_input(idx("b", i)));
+  c.tie0 = nl.add_primary_input("tie0");
+
+  int aux = 0;
+  c.sum = append_cla_sum(nl, "cla", c.a, c.b, c.tie0, aux);
+  for (const SignalId s : c.sum) nl.mark_primary_output(s);
+  return c;
+}
+
+DecoderCircuit make_decoder(const Library& lib, int select_bits) {
+  require(select_bits >= 1 && select_bits <= 6, "make_decoder(): 1..6 select bits");
+  DecoderCircuit c(lib);
+  Netlist& nl = c.netlist;
+  for (int i = 0; i < select_bits; ++i) {
+    c.select.push_back(nl.add_primary_input(idx("sel", i)));
+  }
+  c.enable = nl.add_primary_input("en");
+
+  std::vector<SignalId> inverted(static_cast<std::size_t>(select_bits));
+  for (int i = 0; i < select_bits; ++i) {
+    inverted[static_cast<std::size_t>(i)] = nl.add_signal(idx("sel_n", i));
+    const std::array<SignalId, 1> ins{c.select[static_cast<std::size_t>(i)]};
+    (void)nl.add_gate(idx("ginv", i), CellKind::kInv, ins,
+                      inverted[static_cast<std::size_t>(i)]);
+  }
+
+  int aux = 0;
+  const int outputs = 1 << select_bits;
+  for (int k = 0; k < outputs; ++k) {
+    std::vector<SignalId> factors{c.enable};
+    for (int i = 0; i < select_bits; ++i) {
+      const bool bit = ((k >> i) & 1) != 0;
+      factors.push_back(bit ? c.select[static_cast<std::size_t>(i)]
+                            : inverted[static_cast<std::size_t>(i)]);
+    }
+    const SignalId term = and_tree(nl, "dec" + std::to_string(k), std::move(factors), aux);
+    // Give every output a uniform name via a buffer (also isolates load).
+    const SignalId out = nl.add_signal(idx("y", k));
+    const std::array<SignalId, 1> ins{term};
+    (void)nl.add_gate(idx("gbuf", k), CellKind::kBuf, ins, out);
+    c.outputs.push_back(out);
+    nl.mark_primary_output(out);
+  }
+  return c;
+}
+
+ComparatorCircuit make_comparator(const Library& lib, int bits) {
+  require(bits >= 1, "make_comparator(): bits must be >= 1");
+  ComparatorCircuit c(lib);
+  Netlist& nl = c.netlist;
+  for (int i = 0; i < bits; ++i) c.a.push_back(nl.add_primary_input(idx("a", i)));
+  for (int i = 0; i < bits; ++i) c.b.push_back(nl.add_primary_input(idx("b", i)));
+
+  std::vector<SignalId> eq_bits;
+  for (int i = 0; i < bits; ++i) {
+    const SignalId eq = nl.add_signal(idx("eq", i));
+    const std::array<SignalId, 2> ins{c.a[static_cast<std::size_t>(i)],
+                                      c.b[static_cast<std::size_t>(i)]};
+    (void)nl.add_gate(idx("gxn", i), CellKind::kXnor2, ins, eq);
+    eq_bits.push_back(eq);
+  }
+  int aux = 0;
+  if (eq_bits.size() == 1) {
+    c.equal = eq_bits[0];
+  } else {
+    c.equal = and_tree(nl, "cmp", std::move(eq_bits), aux);
+  }
+  nl.mark_primary_output(c.equal);
+  return c;
+}
+
+}  // namespace halotis

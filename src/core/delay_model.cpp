@@ -1,0 +1,96 @@
+#include "src/core/delay_model.hpp"
+
+#include <cmath>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+namespace {
+
+/// Shared conventional part: tp0 macro-model and output slope.
+DelayResult conventional_part(const DelayRequest& request) {
+  require(request.cell != nullptr, "DelayModel: request.cell must not be null");
+  const EdgeTiming& edge = request.cell->pin(request.pin).edge(request.out_edge);
+  DelayResult result;
+  result.tp = edge.tp0(request.cl, request.tau_in);
+  result.tau_out = request.cell->drive.tau_out(request.out_edge, request.cl);
+  return result;
+}
+
+}  // namespace
+
+DelayResult DdmDelayModel::compute(const DelayRequest& request) const {
+  DelayResult result = conventional_part(request);
+  if (!request.t_prev_out50.has_value()) return result;  // fully settled gate
+
+  const EdgeTiming& edge = request.cell->pin(request.pin).edge(request.out_edge);
+  // The paper's T, referenced to the triggering event (threshold crossing).
+  const TimeNs t_elapsed = request.t_event - *request.t_prev_out50;
+  const TimeNs t0 = edge.deg_t0(request.tau_in, request.vdd);
+  const TimeNs tau = edge.deg_tau(request.cl, request.vdd);
+  ensure(tau > 0.0, "DdmDelayModel: degradation tau must be positive");
+
+  if (t_elapsed <= t0) {
+    // The gate's internal state never recovered enough to produce an
+    // output pulse at all: annihilate (eq. 1 would give tp <= 0).
+    result.filtered = true;
+    result.tp = 0.0;
+    return result;
+  }
+  result.tp *= 1.0 - std::exp(-(t_elapsed - t0) / tau);
+  return result;
+}
+
+Volt DdmDelayModel::event_threshold(const Cell& cell, int pin, Volt /*vdd*/) const {
+  return cell.pin(pin).vt;
+}
+
+DelayResult CdmDelayModel::compute(const DelayRequest& request) const {
+  DelayResult result = conventional_part(request);
+  switch (window_) {
+    case InertialWindow::kGateDelay:
+      result.inertial_window = result.tp;
+      break;
+    case InertialWindow::kFixed:
+      result.inertial_window = fixed_window_;
+      break;
+    case InertialWindow::kNone:
+      result.inertial_window = 0.0;
+      break;
+  }
+  return result;
+}
+
+Volt CdmDelayModel::event_threshold(const Cell& /*cell*/, int /*pin*/, Volt vdd) const {
+  return 0.5 * vdd;
+}
+
+double VariationDelayModel::factor(GateId gate) const {
+  // Two splitmix64 draws -> Box-Muller standard normal, deterministic per
+  // (seed, gate) pair.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t h1 = mix(seed_ ^ (static_cast<std::uint64_t>(gate.value()) << 1));
+  const std::uint64_t h2 = mix(h1 ^ 0xD1B54A32D192ED03ULL);
+  const double u1 =
+      (static_cast<double>(h1 >> 11) + 0.5) * (1.0 / 9007199254740992.0);
+  const double u2 = static_cast<double>(h2 >> 11) * (1.0 / 9007199254740992.0);
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return std::exp(sigma_ * z);
+}
+
+DelayResult VariationDelayModel::compute(const DelayRequest& request) const {
+  DelayResult result = base_->compute(request);
+  const double k = request.gate.valid() ? factor(request.gate) : 1.0;
+  result.tp *= k;
+  result.tau_out *= k;
+  result.inertial_window *= k;
+  return result;
+}
+
+}  // namespace halotis

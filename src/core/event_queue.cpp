@@ -1,0 +1,115 @@
+#include "src/core/event_queue.hpp"
+
+namespace halotis {
+
+namespace {
+constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+}
+
+EventId EventQueue::push(TimeNs time, TransitionId transition, PinRef target) {
+  const EventId id{static_cast<EventId::underlying_type>(events_.size())};
+  Event ev;
+  ev.time = time;
+  ev.seq = events_.size();
+  ev.transition = transition;
+  ev.target = target;
+  events_.push_back(ev);
+  states_.push_back(EventState::kPending);
+  heap_pos_.push_back(kNoPos);
+
+  heap_.push_back(id);
+  place(heap_.size() - 1, id);
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+EventId EventQueue::peek() const {
+  require(!heap_.empty(), "EventQueue::peek(): queue is empty");
+  return heap_.front();
+}
+
+EventId EventQueue::pop() {
+  require(!heap_.empty(), "EventQueue::pop(): queue is empty");
+  const EventId id = heap_.front();
+  const EventId last = heap_.back();
+  heap_.pop_back();
+  heap_pos_[id.value()] = kNoPos;
+  if (!heap_.empty()) {
+    place(0, last);
+    sift_down(0);
+  }
+  states_[id.value()] = EventState::kFired;
+  ++fired_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  require(id.valid() && id.value() < events_.size(), "EventQueue::cancel(): invalid id");
+  require(states_[id.value()] == EventState::kPending,
+          "EventQueue::cancel(): event is not pending");
+  const std::uint32_t pos = heap_pos_[id.value()];
+  ensure(pos != kNoPos && pos < heap_.size() && heap_[pos] == id,
+         "EventQueue::cancel(): heap position corrupt");
+  const EventId last = heap_.back();
+  heap_.pop_back();
+  heap_pos_[id.value()] = kNoPos;
+  if (pos < heap_.size()) {
+    place(pos, last);
+    // The replacement may need to move either direction.
+    sift_down(pos);
+    sift_up(heap_pos_[last.value()]);
+  }
+  states_[id.value()] = EventState::kCancelled;
+  ++cancelled_;
+}
+
+const Event& EventQueue::event(EventId id) const {
+  require(id.valid() && id.value() < events_.size(), "EventQueue::event(): invalid id");
+  return events_[id.value()];
+}
+
+EventState EventQueue::state(EventId id) const {
+  require(id.valid() && id.value() < events_.size(), "EventQueue::state(): invalid id");
+  return states_[id.value()];
+}
+
+bool EventQueue::before(EventId a, EventId b) const {
+  const Event& ea = events_[a.value()];
+  const Event& eb = events_[b.value()];
+  if (ea.time != eb.time) return ea.time < eb.time;
+  return ea.seq < eb.seq;
+}
+
+void EventQueue::place(std::size_t index, EventId id) {
+  heap_[index] = id;
+  heap_pos_[id.value()] = static_cast<std::uint32_t>(index);
+}
+
+void EventQueue::sift_up(std::size_t index) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (!before(heap_[index], heap_[parent])) break;
+    const EventId child_id = heap_[index];
+    place(index, heap_[parent]);
+    place(parent, child_id);
+    index = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t index) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * index + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = index;
+    if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == index) return;
+    const EventId id = heap_[index];
+    place(index, heap_[smallest]);
+    place(smallest, id);
+    index = smallest;
+  }
+}
+
+}  // namespace halotis

@@ -1,0 +1,71 @@
+// The HALOTIS event queue.
+//
+// Events are threshold crossings at specific gate inputs (paper Fig. 3).
+// The queue must support, besides the usual push / pop-earliest, *erasure*
+// of pending events: the inertial treatment cancels a pending event Ej-1
+// whenever the following transition's crossing Ej on the same input does
+// not come after it (paper Fig. 4).  The implementation is a binary
+// min-heap over an event arena with position tracking, giving O(log n)
+// push / pop / erase and stable FIFO ordering of simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.hpp"
+#include "src/base/ids.hpp"
+#include "src/base/units.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+/// One threshold-crossing event at a gate input.
+struct Event {
+  TimeNs time = 0.0;
+  std::uint64_t seq = 0;     ///< creation sequence; tie-break for equal times
+  TransitionId transition;   ///< the transition that produced the event
+  PinRef target;             ///< receiving gate input
+};
+
+enum class EventState : std::uint8_t { kPending, kFired, kCancelled };
+
+class EventQueue {
+ public:
+  /// Creates and enqueues an event.  Returns its id.
+  EventId push(TimeNs time, TransitionId transition, PinRef target);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Earliest event id without removing it.  Requires !empty().
+  [[nodiscard]] EventId peek() const;
+
+  /// Removes and returns the earliest event; marks it fired.
+  EventId pop();
+
+  /// Cancels a pending event, removing it from the heap.
+  /// Requires state(id) == kPending.
+  void cancel(EventId id);
+
+  [[nodiscard]] const Event& event(EventId id) const;
+  [[nodiscard]] EventState state(EventId id) const;
+
+  [[nodiscard]] std::uint64_t created_count() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  [[nodiscard]] bool before(EventId a, EventId b) const;
+  void sift_up(std::size_t index);
+  void sift_down(std::size_t index);
+  void place(std::size_t index, EventId id);
+
+  std::vector<Event> events_;        // arena, indexed by EventId
+  std::vector<EventState> states_;   // parallel to events_
+  std::vector<EventId> heap_;        // binary min-heap of pending events
+  std::vector<std::uint32_t> heap_pos_;  // EventId -> index in heap_
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace halotis

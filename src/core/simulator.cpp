@@ -1,0 +1,360 @@
+#include "src/core/simulator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+Simulator::Simulator(const Netlist& netlist, const DelayModel& model, SimConfig config)
+    : netlist_(&netlist), model_(&model), config_(config), vdd_(netlist.library().vdd()) {
+  require(config_.min_pulse_width > 0.0, "SimConfig::min_pulse_width must be positive");
+  netlist_->check();
+
+  const std::size_t num_signals = netlist_->num_signals();
+  const std::size_t num_gates = netlist_->num_gates();
+  signal_history_.resize(num_signals);
+  initial_values_.assign(num_signals, false);
+  gates_.resize(num_gates);
+  input_base_.resize(num_gates, 0);
+  load_.resize(num_signals, 0.0);
+
+  std::size_t total_pins = 0;
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    input_base_[g] = total_pins;
+    const std::size_t n = netlist_->gate(gid).inputs.size();
+    gates_[g].input_value.assign(n, false);
+    total_pins += n;
+  }
+  inputs_.resize(total_pins);
+
+  for (std::size_t s = 0; s < num_signals; ++s) {
+    load_[s] = netlist_->load_of(SignalId{static_cast<SignalId::underlying_type>(s)});
+  }
+}
+
+std::size_t Simulator::input_index(const PinRef& pin) const {
+  return input_base_[pin.gate.value()] + static_cast<std::size_t>(pin.pin);
+}
+
+const Cell& Simulator::cell_of(GateId gate) const { return netlist_->cell_of(gate); }
+
+void Simulator::apply_stimulus(const Stimulus& stimulus) {
+  require(!stimulus_applied_, "Simulator::apply_stimulus(): stimulus already applied");
+  stimulus_applied_ = true;
+
+  // 1. Steady-state initialization from the stimulus initial word.
+  const auto pis = netlist_->primary_inputs();
+  std::unique_ptr<bool[]> pi_values(new bool[pis.size() > 0 ? pis.size() : 1]);
+  for (std::size_t i = 0; i < pis.size(); ++i) pi_values[i] = stimulus.initial_value(pis[i]);
+  initial_values_ =
+      netlist_->steady_state(std::span<const bool>(pi_values.get(), pis.size()));
+
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = netlist_->gate(GateId{static_cast<GateId::underlying_type>(g)});
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      gates_[g].input_value[pin] = initial_values_[gate.inputs[pin].value()];
+    }
+    gates_[g].output_value = initial_values_[gate.output.value()];
+  }
+
+  // 2. Schedule every stimulus edge as a transition on its primary input.
+  for (SignalId pi : pis) {
+    bool value = stimulus.initial_value(pi);
+    TransitionId prev;
+    for (const StimulusEdge& edge : stimulus.edges(pi)) {
+      if (edge.value == value) continue;
+      value = edge.value;
+      const TimeNs tau = edge.tau > 0.0 ? edge.tau : stimulus.default_slew();
+      const Edge sense = edge.value ? Edge::kRise : Edge::kFall;
+      const TransitionId id =
+          create_transition(pi, sense, edge.time - 0.5 * tau, tau, prev);
+      spawn_events(id);
+      prev = id;
+    }
+  }
+}
+
+TransitionId Simulator::create_transition(SignalId signal, Edge edge, TimeNs t_start,
+                                          TimeNs tau, TransitionId prev) {
+  require(tau > 0.0, "Simulator: transition tau must be positive");
+  const TransitionId id{static_cast<TransitionId::underlying_type>(transitions_.size())};
+  TransitionRec rec;
+  rec.tr.signal = signal;
+  rec.tr.edge = edge;
+  rec.tr.t_start = t_start;
+  rec.tr.tau = tau;
+  rec.tr.prev = prev;
+  transitions_.push_back(std::move(rec));
+  signal_history_[signal.value()].push_back(id);
+  ++stats_.transitions_created;
+  return id;
+}
+
+void Simulator::spawn_events(TransitionId tr_id) {
+  // Copy the POD part: transitions_ may reallocate while we record
+  // suppressed partners below.
+  const Transition tr = transitions_[tr_id.value()].tr;
+  const Signal& sig = netlist_->signal(tr.signal);
+  for (const PinRef& target : sig.fanout) {
+    const Cell& cell = cell_of(target.gate);
+    const Volt vt = model_->event_threshold(cell, target.pin, vdd_);
+    TimeNs ej = tr.crossing_time(vt, vdd_);
+    InputState& in = inputs_[input_index(target)];
+
+    if (!in.pending.empty()) {
+      const EventId prev_id = in.pending.back();
+      const Event& prev_ev = queue_.event(prev_id);
+      if (ej <= prev_ev.time) {
+        // Paper Fig. 4: the pulse never crosses this input's threshold.
+        // Delete Ej-1, do not insert Ej.
+        SuppressedPair pair;
+        pair.target = target;
+        pair.partner_cause = prev_ev.transition;
+        pair.partner_time = prev_ev.time;
+        transitions_[tr_id.value()].suppressed.push_back(pair);
+        cancel_pending_event(prev_id);
+        in.pending.pop_back();
+        ++stats_.pair_cancellations;
+        ++stats_.events_suppressed;
+        continue;
+      }
+    }
+    if (ej < now_) ej = now_;  // causality clamp for extreme slope ratios
+    const EventId id = queue_.push(ej, tr_id, target);
+    ++stats_.events_created;
+    in.pending.push_back(id);
+    transitions_[tr_id.value()].spawned.push_back(id);
+  }
+}
+
+void Simulator::cancel_pending_event(EventId id) {
+  queue_.cancel(id);
+  ++stats_.events_cancelled;
+}
+
+RunResult Simulator::run() {
+  require(stimulus_applied_, "Simulator::run(): apply_stimulus() first");
+  RunResult result;
+  while (!queue_.empty()) {
+    const EventId eid = queue_.peek();
+    const Event ev = queue_.event(eid);  // copy: queue mutates below
+    if (ev.time > config_.t_end) {
+      result.reason = StopReason::kHorizonReached;
+      result.end_time = now_;
+      return result;
+    }
+    if (stats_.events_processed >= config_.max_events) {
+      result.reason = StopReason::kEventLimit;
+      result.end_time = now_;
+      return result;
+    }
+    queue_.pop();
+    now_ = std::max(now_, ev.time);
+    ++stats_.events_processed;
+
+    InputState& in = inputs_[input_index(ev.target)];
+    ensure(!in.pending.empty() && in.pending.front() == eid,
+           "Simulator: fired event is not the input's earliest pending event");
+    in.pending.erase(in.pending.begin());
+
+    handle_event(ev);
+  }
+  result.reason = StopReason::kQueueExhausted;
+  result.end_time = now_;
+  return result;
+}
+
+void Simulator::handle_event(const Event& ev) {
+  const TransitionRec& cause = transitions_[ev.transition.value()];
+  ensure(!cause.tr.cancelled, "Simulator: fired event belongs to a cancelled transition");
+
+  GateState& gs = gates_[ev.target.gate.value()];
+  const auto pin = static_cast<std::size_t>(ev.target.pin);
+  const bool new_value = cause.tr.final_value();
+  if ((gs.input_value[pin] != 0) == new_value) {
+    // Can only happen after a resurrected event re-delivered a level the
+    // input already holds; harmless.
+    return;
+  }
+  gs.input_value[pin] = new_value ? 1 : 0;
+
+  ++stats_.gate_evaluations;
+  const Cell& cell = cell_of(ev.target.gate);
+  bool ins[8] = {};
+  ensure(gs.input_value.size() <= std::size(ins), "Simulator: fan-in too large");
+  for (std::size_t i = 0; i < gs.input_value.size(); ++i) ins[i] = gs.input_value[i] != 0;
+  const bool out = eval_cell(cell.kind, std::span<const bool>(ins, gs.input_value.size()));
+  if (out == gs.output_value) return;
+  schedule_output(ev.target.gate, ev.target.pin, ev, out);
+}
+
+void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool new_output) {
+  GateState& gs = gates_[gate_id.value()];
+  const Gate& gate = netlist_->gate(gate_id);
+  const Cell& cell = cell_of(gate_id);
+  const Transition cause = transitions_[ev.transition.value()].tr;
+
+  DelayRequest request;
+  request.cell = &cell;
+  request.gate = gate_id;
+  request.pin = pin;
+  request.out_edge = new_output ? Edge::kRise : Edge::kFall;
+  request.cl = load_[gate.output.value()];
+  request.tau_in = cause.tau;
+  request.t_in50 = cause.t50();
+  request.t_event = ev.time;
+  request.vdd = vdd_;
+  const TransitionId prev_id = gs.last_out;
+  if (prev_id.valid()) {
+    request.t_prev_out50 = transitions_[prev_id.value()].tr.t50();
+  }
+
+  const DelayResult delay = model_->compute(request);
+  TimeNs t_out50 = request.t_in50 + delay.tp;
+
+  bool collapse = false;
+  if (delay.filtered) {
+    collapse = true;
+    ++stats_.ddm_collapses;
+  }
+  if (prev_id.valid()) {
+    const TimeNs prev50 = transitions_[prev_id.value()].tr.t50();
+    if (!collapse && t_out50 <= prev50 + config_.min_pulse_width) {
+      collapse = true;  // ordering collapse: the pulse has no width
+    }
+    if (!collapse && delay.inertial_window > 0.0 &&
+        (t_out50 - prev50) < delay.inertial_window) {
+      collapse = true;  // CDM classical inertial filtering
+      ++stats_.cdm_inertial_filtered;
+    }
+  }
+
+  if (collapse) {
+    ensure(prev_id.valid(), "Simulator: collapse without a previous output transition");
+    if (can_annihilate(prev_id)) {
+      annihilate(gate_id, prev_id);
+      gs.output_value = new_output;  // back to the pre-pulse value
+      return;
+    }
+    // Part of the fanout already consumed the previous edge: emit a
+    // minimum-width pulse instead and let the receiving inputs filter it.
+    t_out50 = transitions_[prev_id.value()].tr.t50() + config_.min_pulse_width;
+    ++stats_.clamped_pulses;
+  }
+
+  const Edge out_edge = request.out_edge;
+  const TimeNs tau_out = std::max(delay.tau_out, config_.min_pulse_width);
+  const TransitionId id = create_transition(gate.output, out_edge,
+                                            t_out50 - 0.5 * tau_out, tau_out, prev_id);
+  gs.last_out = id;
+  gs.output_value = new_output;
+  spawn_events(id);
+}
+
+bool Simulator::can_annihilate(TransitionId tr_id) const {
+  const TransitionRec& rec = transitions_[tr_id.value()];
+  for (EventId ev : rec.spawned) {
+    if (queue_.state(ev) == EventState::kFired) return false;
+  }
+  return true;
+}
+
+void Simulator::annihilate(GateId gate_id, TransitionId tr_id) {
+  TransitionRec& rec = transitions_[tr_id.value()];
+  ensure(!rec.tr.cancelled, "Simulator::annihilate(): transition already cancelled");
+
+  // Remove the transition's still-pending fanout events.
+  for (EventId ev_id : rec.spawned) {
+    if (queue_.state(ev_id) != EventState::kPending) continue;
+    const Event ev = queue_.event(ev_id);
+    InputState& in = inputs_[input_index(ev.target)];
+    const auto it = std::find(in.pending.rbegin(), in.pending.rend(), ev_id);
+    ensure(it != in.pending.rend(), "Simulator::annihilate(): pending list out of sync");
+    in.pending.erase(std::next(it).base());
+    cancel_pending_event(ev_id);
+  }
+
+  // The annihilated pulse never existed at the output, so pair
+  // cancellations it performed at spawn time were premature: the partner
+  // events (from the still-live preceding transition) must be restored.
+  for (const SuppressedPair& pair : rec.suppressed) {
+    const TransitionRec& partner_cause = transitions_[pair.partner_cause.value()];
+    if (partner_cause.tr.cancelled) continue;
+    const TimeNs when = std::max(pair.partner_time, now_);
+    const EventId id = queue_.push(when, pair.partner_cause, pair.target);
+    ++stats_.events_created;
+    ++stats_.events_resurrected;
+    InputState& in = inputs_[input_index(pair.target)];
+    in.pending.push_back(id);
+    // Keep the per-input pending list time-ordered.
+    std::sort(in.pending.begin(), in.pending.end(), [this](EventId a, EventId b) {
+      const Event& ea = queue_.event(a);
+      const Event& eb = queue_.event(b);
+      return ea.time != eb.time ? ea.time < eb.time : ea.seq < eb.seq;
+    });
+    transitions_[pair.partner_cause.value()].spawned.push_back(id);
+  }
+  rec.suppressed.clear();
+
+  rec.tr.cancelled = true;
+  auto& history = signal_history_[rec.tr.signal.value()];
+  ensure(!history.empty() && history.back() == tr_id,
+         "Simulator::annihilate(): not the most recent transition on the line");
+  history.pop_back();
+  gates_[gate_id.value()].last_out = rec.tr.prev;
+  ++stats_.transitions_annihilated;
+  ++stats_.annihilations;
+}
+
+bool Simulator::initial_value(SignalId signal) const {
+  return initial_values_.at(signal.value());
+}
+
+bool Simulator::final_value(SignalId signal) const {
+  const auto& history = signal_history_.at(signal.value());
+  if (history.empty()) return initial_values_[signal.value()];
+  return transitions_[history.back().value()].tr.final_value();
+}
+
+std::vector<Transition> Simulator::history(SignalId signal) const {
+  std::vector<Transition> out;
+  for (TransitionId id : signal_history_.at(signal.value())) {
+    const TransitionRec& rec = transitions_[id.value()];
+    if (!rec.tr.cancelled) out.push_back(rec.tr);
+  }
+  return out;
+}
+
+std::size_t Simulator::toggle_count(SignalId signal) const {
+  return signal_history_.at(signal.value()).size();
+}
+
+std::uint64_t Simulator::total_activity() const {
+  std::uint64_t total = 0;
+  for (const auto& history : signal_history_) total += history.size();
+  return total;
+}
+
+bool Simulator::perceived_value(const PinRef& pin) const {
+  return gates_.at(pin.gate.value()).input_value.at(static_cast<std::size_t>(pin.pin));
+}
+
+std::vector<SignalId> Simulator::most_active_signals(std::size_t n) const {
+  std::vector<SignalId> ids;
+  ids.reserve(signal_history_.size());
+  for (std::size_t s = 0; s < signal_history_.size(); ++s) {
+    ids.push_back(SignalId{static_cast<SignalId::underlying_type>(s)});
+  }
+  std::sort(ids.begin(), ids.end(), [this](SignalId a, SignalId b) {
+    const auto ta = signal_history_[a.value()].size();
+    const auto tb = signal_history_[b.value()].size();
+    return ta != tb ? ta > tb : a < b;
+  });
+  if (ids.size() > n) ids.resize(n);
+  return ids;
+}
+
+}  // namespace halotis

@@ -1,0 +1,144 @@
+// The HALOTIS simulation engine (paper section 3, Fig. 4).
+//
+// The loop pops the earliest event, updates the receiving gate input's
+// perceived value, evaluates the gate, computes the output transition with
+// the configured delay model (DDM or CDM) and generates the fanout events,
+// applying the inertial pair rule: a new event Ej that does not come after
+// the pending previous event Ej-1 on the same input annihilates both
+// (the pulse never crossed that input's threshold).
+//
+// Output-pulse annihilation: when the model reports a collapse (DDM's
+// T <= T0), the new midswing crossing would not come after the previous
+// one, or the CDM inertial window swallows the pulse, the previous output
+// transition and the new one are both removed.  If part of the previous
+// transition's fanout already consumed it, the engine instead emits a
+// minimum-width pulse and lets the receiving inputs filter it (the paper's
+// philosophy: filtering belongs to the inputs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/base/units.hpp"
+#include "src/core/delay_model.hpp"
+#include "src/core/event_queue.hpp"
+#include "src/core/stats.hpp"
+#include "src/core/stimulus.hpp"
+#include "src/core/transition.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+struct SimConfig {
+  /// Simulation horizon; events after it stay unprocessed.
+  TimeNs t_end = kNeverNs;
+  /// Hard safety bound on processed events (oscillating feedback guard).
+  std::uint64_t max_events = 100'000'000;
+  /// Minimum output pulse width used when a collapse cannot be executed
+  /// cleanly because the previous edge was already consumed downstream.
+  TimeNs min_pulse_width = 0.001;  // 1 ps
+};
+
+/// Why run() returned.
+enum class StopReason { kQueueExhausted, kHorizonReached, kEventLimit };
+
+struct RunResult {
+  StopReason reason = StopReason::kQueueExhausted;
+  TimeNs end_time = 0.0;
+};
+
+class Simulator {
+ public:
+  /// `netlist` and `model` must outlive the simulator.
+  Simulator(const Netlist& netlist, const DelayModel& model, SimConfig config = {});
+
+  /// Sets initial values (steady state from the stimulus initial word) and
+  /// schedules every stimulus edge.  Must be called exactly once, before
+  /// run().
+  void apply_stimulus(const Stimulus& stimulus);
+
+  /// Runs until the queue empties, the horizon passes or the event limit
+  /// trips.
+  RunResult run();
+
+  // ---- results --------------------------------------------------------------
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+  [[nodiscard]] const DelayModel& model() const { return *model_; }
+
+  /// Value of `signal` before any transition.
+  [[nodiscard]] bool initial_value(SignalId signal) const;
+  /// Scheduled driver value after all surviving transitions.
+  [[nodiscard]] bool final_value(SignalId signal) const;
+  /// Surviving transitions on `signal`, time-ordered.
+  [[nodiscard]] std::vector<Transition> history(SignalId signal) const;
+  /// Number of surviving transitions (toggle count) on `signal`.
+  [[nodiscard]] std::size_t toggle_count(SignalId signal) const;
+  /// Total surviving transitions across all signals (switching activity).
+  [[nodiscard]] std::uint64_t total_activity() const;
+  /// Perceived logic value at a gate input (for consistency checks).
+  [[nodiscard]] bool perceived_value(const PinRef& pin) const;
+  /// The `n` signals with the most transitions, most active first --
+  /// the oscillation-diagnosis aid when run() stops on the event limit
+  /// (combinational feedback loops show up at the top of this list).
+  [[nodiscard]] std::vector<SignalId> most_active_signals(std::size_t n) const;
+
+ private:
+  struct GateState {
+    // std::uint8_t rather than bool: contiguous storage convertible to a
+    // span for eval_cell (std::vector<bool> is bit-packed).
+    std::vector<std::uint8_t> input_value;
+    bool output_value = false;
+    TransitionId last_out;  ///< last surviving output transition
+  };
+  /// Snapshot allowing resurrection of a pair-cancelled event.
+  struct SuppressedPair {
+    PinRef target;
+    TransitionId partner_cause;  ///< transition whose event was deleted
+    TimeNs partner_time = 0.0;
+  };
+  struct TransitionRec {
+    Transition tr;
+    std::vector<EventId> spawned;
+    std::vector<SuppressedPair> suppressed;
+  };
+  struct InputState {
+    std::vector<EventId> pending;  ///< time-ordered queue per gate input
+  };
+
+  [[nodiscard]] std::size_t input_index(const PinRef& pin) const;
+  [[nodiscard]] const Cell& cell_of(GateId gate) const;
+  TransitionId create_transition(SignalId signal, Edge edge, TimeNs t_start, TimeNs tau,
+                                 TransitionId prev);
+  /// Generates fanout events for a fresh transition, applying the pair rule.
+  void spawn_events(TransitionId tr_id);
+  void handle_event(const Event& ev);
+  void schedule_output(GateId gate_id, int pin, const Event& ev, bool new_output);
+  [[nodiscard]] bool can_annihilate(TransitionId tr_id) const;
+  void annihilate(GateId gate_id, TransitionId tr_id);
+  void cancel_pending_event(EventId id);
+
+  const Netlist* netlist_;
+  const DelayModel* model_;
+  SimConfig config_;
+  Volt vdd_;
+
+  EventQueue queue_;
+  std::vector<TransitionRec> transitions_;
+  std::vector<std::vector<TransitionId>> signal_history_;
+  std::vector<bool> initial_values_;
+  std::vector<GateState> gates_;
+  std::vector<InputState> inputs_;        // flattened (gate, pin)
+  std::vector<std::size_t> input_base_;   // gate -> first index in inputs_
+  std::vector<Farad> load_;               // per-signal load cache
+  TimeNs now_ = 0.0;
+  bool stimulus_applied_ = false;
+  SimStats stats_;
+};
+
+}  // namespace halotis

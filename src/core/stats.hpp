@@ -1,0 +1,56 @@
+// Simulation statistics: the quantities behind the paper's Table 1.
+#pragma once
+
+#include <cstdint>
+
+namespace halotis {
+
+struct SimStats {
+  // ---- events --------------------------------------------------------------
+  /// Events inserted into the queue.
+  std::uint64_t events_created = 0;
+  /// Events popped and applied to a gate input.
+  std::uint64_t events_processed = 0;
+  /// Pending events removed from the queue before firing (pair-rule Ej-1
+  /// deletions and annihilation cleanup).
+  std::uint64_t events_cancelled = 0;
+  /// Events computed but never inserted because the pair rule filtered the
+  /// pulse at that input (the "Insert Ej" branch not taken in paper Fig. 4).
+  std::uint64_t events_suppressed = 0;
+  /// Events resurrected to restore input/output consistency after an
+  /// output-pulse annihilation invalidated an earlier pair cancellation.
+  std::uint64_t events_resurrected = 0;
+
+  // ---- filtering decisions ---------------------------------------------------
+  /// Pair-rule filterings: a pulse judged invisible at one gate input
+  /// (deletes Ej-1, suppresses Ej).
+  std::uint64_t pair_cancellations = 0;
+  /// Output pulses annihilated (both transitions removed).
+  std::uint64_t annihilations = 0;
+  /// Annihilations demanded by the DDM internal-state collapse (T <= T0).
+  std::uint64_t ddm_collapses = 0;
+  /// Annihilations demanded by the CDM classical inertial window.
+  std::uint64_t cdm_inertial_filtered = 0;
+  /// Annihilations that could not be executed cleanly (some fanout already
+  /// consumed the previous edge) and fell back to a minimum-width pulse.
+  std::uint64_t clamped_pulses = 0;
+
+  // ---- transitions -----------------------------------------------------------
+  std::uint64_t transitions_created = 0;
+  std::uint64_t transitions_annihilated = 0;
+
+  // ---- work ------------------------------------------------------------------
+  std::uint64_t gate_evaluations = 0;
+
+  /// The paper's Table 1 "Filtered events" metric: one count per filtering
+  /// decision (a pulse removed at an input or at an output).
+  [[nodiscard]] std::uint64_t filtered_events() const {
+    return pair_cancellations + annihilations;
+  }
+  /// Surviving switching activity: transitions that remained in waveforms.
+  [[nodiscard]] std::uint64_t surviving_transitions() const {
+    return transitions_created - transitions_annihilated;
+  }
+};
+
+}  // namespace halotis

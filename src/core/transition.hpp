@@ -1,0 +1,46 @@
+// Transition: the paper's waveform primitive.
+//
+// HALOTIS distinguishes *transitions* (a signal ramping between the rails,
+// characterized by its start instant t0 and ramp duration tau_x) from
+// *events* (the instant a ramp crosses one receiving input's threshold
+// voltage VT).  This header defines the transition object and the ramp
+// arithmetic; events live in event_queue.hpp.
+#pragma once
+
+#include "src/base/check.hpp"
+#include "src/base/ids.hpp"
+#include "src/base/units.hpp"
+#include "src/netlist/timing.hpp"
+
+namespace halotis {
+
+struct Transition {
+  SignalId signal;
+  Edge edge = Edge::kRise;  ///< kRise: 0 -> 1.
+  TimeNs t_start = 0.0;     ///< Ramp begin (signal leaves the rail).
+  TimeNs tau = 0.0;         ///< Ramp duration rail-to-rail; > 0.
+  /// Previous (older) transition on the same signal, or invalid.  Forms the
+  /// per-line history chain of the paper's class diagram.
+  TransitionId prev;
+  /// Set when the transition was annihilated (output-pulse collapse); a
+  /// cancelled transition never appears in waveforms or statistics.
+  bool cancelled = false;
+
+  /// Midswing (50 %) crossing instant; the reference point for delays.
+  [[nodiscard]] TimeNs t50() const { return t_start + 0.5 * tau; }
+
+  /// Instant the linear ramp crosses threshold `vt` (0 < vt < vdd).
+  /// Rising ramps cross low thresholds early; falling ramps cross high
+  /// thresholds early.
+  [[nodiscard]] TimeNs crossing_time(Volt vt, Volt vdd) const {
+    require(vt > 0.0 && vt < vdd, "Transition::crossing_time(): vt must lie inside the swing");
+    const double fraction = vt / vdd;
+    return edge == Edge::kRise ? t_start + tau * fraction
+                               : t_start + tau * (1.0 - fraction);
+  }
+
+  /// Logic value after the transition completes.
+  [[nodiscard]] bool final_value() const { return edge == Edge::kRise; }
+};
+
+}  // namespace halotis

@@ -1,0 +1,181 @@
+#include "src/fault/fault.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "src/base/check.hpp"
+#include "src/base/rng.hpp"
+#include "src/waveform/digital_waveform.hpp"
+
+namespace halotis {
+
+std::vector<Fault> enumerate_faults(const Netlist& netlist) {
+  std::vector<Fault> faults;
+  faults.reserve(2 * netlist.num_signals());
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    faults.push_back(Fault{sid, false});
+    faults.push_back(Fault{sid, true});
+  }
+  return faults;
+}
+
+FaultyMachine apply_fault(const Netlist& netlist, const Fault& fault) {
+  require(fault.signal.valid() && fault.signal.value() < netlist.num_signals(),
+          "apply_fault(): invalid fault site");
+  FaultyMachine machine(netlist.library());
+  Netlist& out = machine.netlist;
+
+  // Recreate signals in id order so SignalIds line up 1:1 with the good
+  // machine; append the constant fault net last.
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const Signal& sig = netlist.signal(sid);
+    const SignalId copy =
+        sig.is_primary_input ? out.add_primary_input(sig.name) : out.add_signal(sig.name);
+    ensure(copy.value() == sid.value(), "apply_fault(): signal id mismatch");
+    if (sig.wire_cap > 0.0) out.set_wire_cap(copy, sig.wire_cap);
+  }
+  machine.fault_net = out.add_primary_input("__fault");
+
+  const auto redirect = [&](SignalId in) {
+    return in == fault.signal ? machine.fault_net : in;
+  };
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    const Gate& gate = netlist.gate(gid);
+    std::vector<SignalId> ins;
+    ins.reserve(gate.inputs.size());
+    for (const SignalId in : gate.inputs) ins.push_back(redirect(in));
+    (void)out.add_gate(gate.name, gate.cell, ins, gate.output);
+  }
+  for (const SignalId po : netlist.primary_outputs()) {
+    // A faulted PO is observed as the constant itself.
+    out.mark_primary_output(po == fault.signal ? machine.fault_net : po);
+  }
+  return machine;
+}
+
+namespace {
+
+bool value_at(const Simulator& sim, SignalId signal, TimeNs t) {
+  const DigitalWaveform wave =
+      DigitalWaveform::from_transitions(sim.initial_value(signal), sim.history(signal));
+  return wave.value_at(t);
+}
+
+std::vector<TimeNs> sample_times(const Stimulus& stimulus, const FaultSimOptions& options) {
+  const int samples =
+      options.num_samples > 0
+          ? options.num_samples
+          : static_cast<int>(stimulus.last_edge_time() / options.sample_period) + 2;
+  // Sample just before each new vector would be applied (outputs settled).
+  std::vector<TimeNs> times;
+  for (int k = 1; k <= samples; ++k) {
+    times.push_back(options.sample_period * static_cast<double>(k) -
+                    options.sample_epsilon);
+  }
+  return times;
+}
+
+}  // namespace
+
+FaultSimResult run_fault_simulation(const Netlist& netlist, const Stimulus& stimulus,
+                                    const DelayModel& model, std::vector<Fault> faults,
+                                    FaultSimOptions options) {
+  require(options.sample_period > 0.0, "run_fault_simulation(): period must be positive");
+  if (faults.empty()) faults = enumerate_faults(netlist);
+  const std::vector<TimeNs> times = sample_times(stimulus, options);
+
+  // Good machine reference samples.
+  Simulator good(netlist, model);
+  good.apply_stimulus(stimulus);
+  (void)good.run();
+  std::vector<std::vector<bool>> good_samples;
+  for (const SignalId po : netlist.primary_outputs()) {
+    std::vector<bool> row;
+    for (const TimeNs t : times) row.push_back(value_at(good, po, t));
+    good_samples.push_back(std::move(row));
+  }
+
+  FaultSimResult result;
+  result.total = faults.size();
+  for (const Fault& fault : faults) {
+    FaultyMachine machine = apply_fault(netlist, fault);
+
+    // Same stimulus, plus the fault constant.
+    Stimulus faulty_stim = stimulus;
+    faulty_stim.set_initial(machine.fault_net, fault.stuck_value);
+
+    Simulator sim(machine.netlist, model);
+    sim.apply_stimulus(faulty_stim);
+    (void)sim.run();
+
+    bool detected = false;
+    const auto pos = machine.netlist.primary_outputs();
+    for (std::size_t o = 0; o < pos.size() && !detected; ++o) {
+      for (std::size_t k = 0; k < times.size(); ++k) {
+        if (value_at(sim, pos[o], times[k]) != good_samples[o][k]) {
+          detected = true;
+          break;
+        }
+      }
+    }
+    if (detected) {
+      ++result.detected;
+    } else {
+      result.undetected.push_back(fault);
+    }
+  }
+  return result;
+}
+
+std::string fault_name(const Netlist& netlist, const Fault& fault) {
+  return netlist.signal(fault.signal).name + (fault.stuck_value ? "/SA1" : "/SA0");
+}
+
+Stimulus make_vector_stimulus(const Netlist& netlist, std::span<const std::uint64_t> words,
+                              TimeNs period, TimeNs slew) {
+  require(netlist.primary_inputs().size() <= 64,
+          "make_vector_stimulus(): at most 64 primary inputs");
+  Stimulus stim(slew);
+  stim.apply_sequence(netlist.primary_inputs(), words, period, period);
+  return stim;
+}
+
+AtpgResult generate_tests(const Netlist& netlist, const DelayModel& model,
+                          AtpgOptions options) {
+  require(options.max_candidates > 0, "generate_tests(): need at least one candidate");
+  AtpgResult result;
+  std::vector<Fault> remaining = enumerate_faults(netlist);
+  result.total_faults = remaining.size();
+
+  SplitMix64 rng(options.seed);
+  const auto num_inputs = netlist.primary_inputs().size();
+  const std::uint64_t mask =
+      num_inputs >= 64 ? ~0ull : ((1ull << num_inputs) - 1);
+
+  result.words.push_back(0);  // initial state
+  FaultSimOptions fs_options;
+  fs_options.sample_period = options.period;
+
+  for (int candidate = 0;
+       candidate < options.max_candidates && !remaining.empty(); ++candidate) {
+    const std::uint64_t word = rng.next() & mask;
+    std::vector<std::uint64_t> trial = result.words;
+    trial.push_back(word);
+    const Stimulus stim =
+        make_vector_stimulus(netlist, trial, options.period, options.slew);
+    const FaultSimResult sim_result =
+        run_fault_simulation(netlist, stim, model, remaining, fs_options);
+    if (sim_result.detected == 0) continue;  // useless vector, discard
+
+    result.words.push_back(word);
+    result.detected += sim_result.detected;
+    remaining = sim_result.undetected;
+  }
+  result.undetected = std::move(remaining);
+  return result;
+}
+
+}  // namespace halotis

@@ -1,0 +1,113 @@
+// Stuck-at fault simulation on top of the timing simulator.
+//
+// A classic gate-level EDA substrate: enumerate single stuck-at faults on
+// every signal line, replay a test sequence on each faulty machine and
+// compare sampled primary outputs against the good machine.  Because the
+// underlying engine is a *timing* simulator, detection is evaluated at
+// specified sample instants (end of each vector period), which exposes an
+// effect pure logic fault simulators cannot show: a fault whose only
+// visible difference is a glitch may be "detected" under a conventional
+// delay model yet undetectable in silicon -- the IDDM filters it.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/units.hpp"
+#include "src/core/delay_model.hpp"
+#include "src/core/simulator.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+/// One single stuck-at fault on a signal line.
+struct Fault {
+  SignalId signal;
+  bool stuck_value = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// All 2N candidate faults (primary inputs included; they model pad
+/// defects).
+[[nodiscard]] std::vector<Fault> enumerate_faults(const Netlist& netlist);
+
+/// Builds the faulty machine: a copy of `netlist` where every receiver of
+/// the faulted line is rewired to a constant net, and the faulted line
+/// itself (if a primary output) is replaced by the constant.  The returned
+/// netlist has one extra primary input named "__fault" that the fault
+/// simulator ties to the stuck value.
+struct FaultyMachine {
+  Netlist netlist;
+  SignalId fault_net;
+
+  explicit FaultyMachine(const Library& lib) : netlist(lib) {}
+};
+[[nodiscard]] FaultyMachine apply_fault(const Netlist& netlist, const Fault& fault);
+
+struct FaultSimOptions {
+  TimeNs sample_period = 5.0;  ///< POs sampled at k * period - epsilon
+  TimeNs sample_epsilon = 0.1;
+  int num_samples = 0;         ///< 0: derived from the stimulus span
+};
+
+struct FaultSimResult {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::vector<Fault> undetected;
+
+  [[nodiscard]] double coverage() const {
+    return total > 0 ? static_cast<double>(detected) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Serial fault simulation of every fault in `faults` (or all, if empty)
+/// under `model`.  The same `stimulus` drives good and faulty machines;
+/// detection compares sampled primary-output values.
+[[nodiscard]] FaultSimResult run_fault_simulation(const Netlist& netlist,
+                                                  const Stimulus& stimulus,
+                                                  const DelayModel& model,
+                                                  std::vector<Fault> faults = {},
+                                                  FaultSimOptions options = {});
+
+/// Human-readable fault name, e.g. "n3/SA0".
+[[nodiscard]] std::string fault_name(const Netlist& netlist, const Fault& fault);
+
+/// Builds a stimulus applying integer `words` across the primary inputs
+/// (bit i drives primary_inputs()[i]), one word per `period`, first word
+/// as the initial state.
+[[nodiscard]] Stimulus make_vector_stimulus(const Netlist& netlist,
+                                            std::span<const std::uint64_t> words,
+                                            TimeNs period = 5.0, TimeNs slew = 0.5);
+
+// ---- ATPG (random-search test generation) ----------------------------------
+
+struct AtpgOptions {
+  int max_candidates = 200;   ///< random vectors to try
+  TimeNs period = 5.0;
+  TimeNs slew = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct AtpgResult {
+  std::vector<std::uint64_t> words;  ///< the generated compact test set
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::vector<Fault> undetected;
+
+  [[nodiscard]] double coverage() const {
+    return total_faults > 0
+               ? static_cast<double>(detected) / static_cast<double>(total_faults)
+               : 0.0;
+  }
+};
+
+/// Greedy random-search ATPG: proposes random vectors, keeps each one that
+/// detects at least one still-undetected stuck-at fault (evaluated with the
+/// timing simulator under `model`), and stops at full coverage or after
+/// `max_candidates` proposals.  Returns the compact test set.
+[[nodiscard]] AtpgResult generate_tests(const Netlist& netlist, const DelayModel& model,
+                                        AtpgOptions options = {});
+
+}  // namespace halotis

@@ -1,0 +1,259 @@
+#include "src/netlist/netlist.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+namespace halotis {
+
+SignalId Netlist::add_signal(std::string name) {
+  return add_signal_impl(std::move(name), /*primary_input=*/false);
+}
+
+SignalId Netlist::add_primary_input(std::string name) {
+  const SignalId id = add_signal_impl(std::move(name), /*primary_input=*/true);
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+SignalId Netlist::add_signal_impl(std::string name, bool primary_input) {
+  require(!name.empty(), "Netlist::add_signal(): signal name must not be empty");
+  require(signal_by_name_.find(name) == signal_by_name_.end(),
+          std::string("Netlist::add_signal(): duplicate signal name '") + name + "'");
+  const SignalId id{static_cast<SignalId::underlying_type>(signals_.size())};
+  Signal signal;
+  signal.name = name;
+  signal.is_primary_input = primary_input;
+  signal_by_name_.emplace(std::move(name), id);
+  signals_.push_back(std::move(signal));
+  return id;
+}
+
+void Netlist::mark_primary_output(SignalId signal_id) {
+  Signal& s = signals_.at(signal_id.value());
+  if (!s.is_primary_output) {
+    s.is_primary_output = true;
+    primary_outputs_.push_back(signal_id);
+  }
+}
+
+void Netlist::set_wire_cap(SignalId signal_id, Farad cap) {
+  require(cap >= 0.0, "Netlist::set_wire_cap(): capacitance must be non-negative");
+  signals_.at(signal_id.value()).wire_cap = cap;
+}
+
+GateId Netlist::add_gate(std::string name, CellId cell_id,
+                         std::span<const SignalId> inputs, SignalId output) {
+  const Cell& cell = library_->cell(cell_id);
+  require(static_cast<int>(inputs.size()) == num_inputs(cell.kind),
+          std::string("Netlist::add_gate(): '") + name + "' input count does not match " +
+              std::string(cell_kind_name(cell.kind)));
+  require(!name.empty(), "Netlist::add_gate(): gate name must not be empty");
+  require(gate_by_name_.find(name) == gate_by_name_.end(),
+          std::string("Netlist::add_gate(): duplicate gate name '") + name + "'");
+  require(output.valid() && output.value() < signals_.size(),
+          "Netlist::add_gate(): invalid output signal");
+  Signal& out = signals_[output.value()];
+  require(!out.driver.valid(),
+          std::string("Netlist::add_gate(): signal '") + out.name + "' already driven");
+  require(!out.is_primary_input,
+          std::string("Netlist::add_gate(): cannot drive primary input '") + out.name + "'");
+
+  const GateId gate_id{static_cast<GateId::underlying_type>(gates_.size())};
+  Gate gate;
+  gate.name = name;
+  gate.cell = cell_id;
+  gate.inputs.assign(inputs.begin(), inputs.end());
+  gate.output = output;
+  out.driver = gate_id;
+  for (int pin = 0; pin < static_cast<int>(inputs.size()); ++pin) {
+    const SignalId in = inputs[static_cast<std::size_t>(pin)];
+    require(in.valid() && in.value() < signals_.size(),
+            "Netlist::add_gate(): invalid input signal");
+    signals_[in.value()].fanout.push_back(PinRef{gate_id, pin});
+  }
+  gate_by_name_.emplace(std::move(name), gate_id);
+  gates_.push_back(std::move(gate));
+  return gate_id;
+}
+
+GateId Netlist::add_gate(std::string name, CellKind kind,
+                         std::span<const SignalId> inputs, SignalId output) {
+  return add_gate(std::move(name), library_->by_kind(kind), inputs, output);
+}
+
+const Gate& Netlist::gate(GateId id) const {
+  require(id.valid() && id.value() < gates_.size(), "Netlist::gate(): invalid gate id");
+  return gates_[id.value()];
+}
+
+const Signal& Netlist::signal(SignalId id) const {
+  require(id.valid() && id.value() < signals_.size(), "Netlist::signal(): invalid signal id");
+  return signals_[id.value()];
+}
+
+std::optional<SignalId> Netlist::find_signal(std::string_view name) const {
+  const auto it = signal_by_name_.find(std::string(name));
+  if (it == signal_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<GateId> Netlist::find_gate(std::string_view name) const {
+  const auto it = gate_by_name_.find(std::string(name));
+  if (it == gate_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Farad Netlist::load_of(SignalId signal_id) const {
+  const Signal& s = signal(signal_id);
+  Farad load = s.wire_cap;
+  for (const PinRef& ref : s.fanout) {
+    load += cell_of(ref.gate).pin(ref.pin).cin;
+  }
+  if (s.driver.valid()) load += cell_of(s.driver).cout_self;
+  return load;
+}
+
+Volt Netlist::input_threshold(const PinRef& pin) const {
+  return cell_of(pin.gate).pin(pin.pin).vt;
+}
+
+std::vector<GateId> Netlist::topological_order() const {
+  std::vector<int> pending(gates_.size(), 0);
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    for (SignalId in : gates_[g].inputs) {
+      if (signals_[in.value()].driver.valid()) ++pending[g];
+    }
+  }
+  std::deque<GateId> ready;
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    if (pending[g] == 0) ready.push_back(GateId{static_cast<GateId::underlying_type>(g)});
+  }
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  std::vector<bool> emitted(gates_.size(), false);
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop_front();
+    order.push_back(g);
+    emitted[g.value()] = true;
+    for (const PinRef& ref : signals_[gates_[g.value()].output.value()].fanout) {
+      if (--pending[ref.gate.value()] == 0) ready.push_back(ref.gate);
+    }
+  }
+  // Cyclic remainder (latch loops): append in id order so the result is a
+  // deterministic total order over all gates.
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    if (!emitted[g]) order.push_back(GateId{static_cast<GateId::underlying_type>(g)});
+  }
+  return order;
+}
+
+bool Netlist::has_combinational_cycles() const {
+  std::vector<int> pending(gates_.size(), 0);
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    for (SignalId in : gates_[g].inputs) {
+      if (signals_[in.value()].driver.valid()) ++pending[g];
+    }
+  }
+  std::deque<std::size_t> ready;
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    if (pending[g] == 0) ready.push_back(g);
+  }
+  std::size_t emitted = 0;
+  while (!ready.empty()) {
+    const std::size_t g = ready.front();
+    ready.pop_front();
+    ++emitted;
+    for (const PinRef& ref : signals_[gates_[g].output.value()].fanout) {
+      if (--pending[ref.gate.value()] == 0) ready.push_back(ref.gate.value());
+    }
+  }
+  return emitted != gates_.size();
+}
+
+int Netlist::depth() const {
+  std::vector<int> level(signals_.size(), 0);
+  int max_level = 0;
+  for (GateId g : topological_order()) {
+    const Gate& gate_ref = gates_[g.value()];
+    int in_level = 0;
+    for (SignalId in : gate_ref.inputs) in_level = std::max(in_level, level[in.value()]);
+    level[gate_ref.output.value()] = in_level + 1;
+    max_level = std::max(max_level, in_level + 1);
+  }
+  return max_level;
+}
+
+std::vector<bool> Netlist::steady_state(std::span<const bool> pi_values,
+                                        std::vector<SignalId>* unsettled) const {
+  require(pi_values.size() == primary_inputs_.size(),
+          "Netlist::steady_state(): primary-input value count mismatch");
+  std::vector<bool> value(signals_.size(), false);
+  for (std::size_t i = 0; i < primary_inputs_.size(); ++i) {
+    value[primary_inputs_[i].value()] = pi_values[i];
+  }
+  const std::vector<GateId> order = topological_order();
+  const auto eval_gate = [&](const Gate& gate_ref) {
+    bool ins[8] = {};
+    ensure(gate_ref.inputs.size() <= std::size(ins), "steady_state(): fan-in too large");
+    for (std::size_t i = 0; i < gate_ref.inputs.size(); ++i) {
+      ins[i] = value[gate_ref.inputs[i].value()];
+    }
+    return eval_cell(library_->cell(gate_ref.cell).kind,
+                     std::span<const bool>(ins, gate_ref.inputs.size()));
+  };
+  // One pass settles acyclic logic; feedback loops need iteration.  The
+  // bound of depth+2 extra sweeps settles any non-oscillating loop.
+  const int max_sweeps = has_combinational_cycles() ? depth() + static_cast<int>(gates_.size()) + 2 : 1;
+  bool changed = true;
+  for (int sweep = 0; sweep < max_sweeps && changed; ++sweep) {
+    changed = false;
+    for (GateId g : order) {
+      const Gate& gate_ref = gates_[g.value()];
+      const bool out = eval_gate(gate_ref);
+      if (out != value[gate_ref.output.value()]) {
+        value[gate_ref.output.value()] = out;
+        changed = true;
+      }
+    }
+  }
+  if (unsettled != nullptr) {
+    unsettled->clear();
+    if (changed) {
+      // One more sweep to identify which outputs are still moving.
+      for (GateId g : order) {
+        const Gate& gate_ref = gates_[g.value()];
+        if (eval_gate(gate_ref) != value[gate_ref.output.value()]) {
+          unsettled->push_back(gate_ref.output);
+        }
+      }
+    }
+  }
+  return value;
+}
+
+void Netlist::check() const {
+  for (std::size_t s = 0; s < signals_.size(); ++s) {
+    const Signal& sig = signals_[s];
+    require(sig.is_primary_input || sig.driver.valid(),
+            std::string("Netlist::check(): signal '") + sig.name + "' has no driver");
+    for (const PinRef& ref : sig.fanout) {
+      require(ref.gate.valid() && ref.gate.value() < gates_.size(),
+              "Netlist::check(): dangling fanout gate reference");
+      const Gate& g = gates_[ref.gate.value()];
+      require(ref.pin >= 0 && ref.pin < static_cast<int>(g.inputs.size()),
+              "Netlist::check(): fanout pin index out of range");
+      require(g.inputs[static_cast<std::size_t>(ref.pin)].value() == s,
+              "Netlist::check(): fanout back-reference mismatch");
+    }
+  }
+  for (const Gate& g : gates_) {
+    require(static_cast<int>(g.inputs.size()) == num_inputs(library_->cell(g.cell).kind),
+            std::string("Netlist::check(): gate '") + g.name + "' pin count mismatch");
+    require(g.output.valid(), std::string("Netlist::check(): gate '") + g.name +
+                                  "' has no output signal");
+  }
+}
+
+}  // namespace halotis

@@ -1,0 +1,130 @@
+// The circuit graph: signals (the paper's "Lines"), gates and gate inputs.
+//
+// Mirrors the HALOTIS class diagram (paper Fig. 2): a Netlist owns Lines;
+// each Line knows its driving gate and the ordered set of GateInputs it
+// feeds; Transitions and Events (src/core) reference Lines and GateInputs
+// by id.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/check.hpp"
+#include "src/base/ids.hpp"
+#include "src/base/units.hpp"
+#include "src/netlist/library.hpp"
+
+namespace halotis {
+
+/// A (gate, input-pin) pair: one receiving gate input on a signal line.
+struct PinRef {
+  GateId gate;
+  int pin = 0;
+
+  friend bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+/// One gate instance.
+struct Gate {
+  std::string name;
+  CellId cell;
+  std::vector<SignalId> inputs;  ///< size == num_inputs(kind)
+  SignalId output;
+};
+
+/// One signal line (net).  Driven either by a gate output or, for primary
+/// inputs, by the testbench stimulus.
+struct Signal {
+  std::string name;
+  GateId driver;                ///< invalid for primary inputs
+  std::vector<PinRef> fanout;   ///< receiving gate inputs, in creation order
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+  Farad wire_cap = 0.0;         ///< extra interconnect capacitance, pF
+};
+
+class Netlist {
+ public:
+  /// The netlist keeps a reference to `library`; the library must outlive it.
+  explicit Netlist(const Library& library) : library_(&library) {}
+
+  // ---- construction -------------------------------------------------------
+
+  /// Creates an undriven signal.  Names must be unique and non-empty.
+  SignalId add_signal(std::string name);
+  /// Creates a signal driven by the testbench.
+  SignalId add_primary_input(std::string name);
+  void mark_primary_output(SignalId signal);
+  void set_wire_cap(SignalId signal, Farad cap);
+
+  /// Instantiates `cell` driving `output` from `inputs`.  Each signal may
+  /// have at most one driver; `output` must not be a primary input.
+  GateId add_gate(std::string name, CellId cell, std::span<const SignalId> inputs,
+                  SignalId output);
+  /// Convenience overload resolving the library's default cell of `kind`.
+  GateId add_gate(std::string name, CellKind kind, std::span<const SignalId> inputs,
+                  SignalId output);
+
+  // ---- accessors ----------------------------------------------------------
+
+  [[nodiscard]] const Library& library() const { return *library_; }
+  [[nodiscard]] std::size_t num_gates() const { return gates_.size(); }
+  [[nodiscard]] std::size_t num_signals() const { return signals_.size(); }
+  [[nodiscard]] const Gate& gate(GateId id) const;
+  [[nodiscard]] const Signal& signal(SignalId id) const;
+  [[nodiscard]] const Cell& cell_of(GateId id) const { return library_->cell(gate(id).cell); }
+  [[nodiscard]] std::span<const SignalId> primary_inputs() const { return primary_inputs_; }
+  [[nodiscard]] std::span<const SignalId> primary_outputs() const { return primary_outputs_; }
+  [[nodiscard]] std::optional<SignalId> find_signal(std::string_view name) const;
+  [[nodiscard]] std::optional<GateId> find_gate(std::string_view name) const;
+
+  /// Total capacitive load seen by the driver of `signal`: fanout input
+  /// capacitances + wire capacitance + the driver's own output parasitic.
+  [[nodiscard]] Farad load_of(SignalId signal) const;
+
+  /// Input threshold voltage of one receiving pin.
+  [[nodiscard]] Volt input_threshold(const PinRef& pin) const;
+
+  // ---- analysis -----------------------------------------------------------
+
+  /// Gates in topological order from primary inputs.  Gates involved in
+  /// combinational cycles (e.g. latch loops) are appended, in id order,
+  /// after all acyclic gates.
+  [[nodiscard]] std::vector<GateId> topological_order() const;
+
+  /// True when the combinational graph contains at least one cycle.
+  [[nodiscard]] bool has_combinational_cycles() const;
+
+  /// Logic depth: longest path (in gates) from any primary input; cyclic
+  /// parts are ignored.
+  [[nodiscard]] int depth() const;
+
+  /// Steady-state signal values for the given primary-input assignment,
+  /// computed by fixpoint iteration (handles feedback loops; signals that
+  /// do not settle are reported in `unsettled`, defaulting to 0).
+  /// `pi_values` must align with primary_inputs().
+  [[nodiscard]] std::vector<bool> steady_state(
+      std::span<const bool> pi_values, std::vector<SignalId>* unsettled = nullptr) const;
+
+  /// Structural design-rule check: every non-PI signal driven, pin counts
+  /// consistent, fanout links well-formed.  Throws ContractViolation with a
+  /// precise message on the first violation.
+  void check() const;
+
+ private:
+  SignalId add_signal_impl(std::string name, bool primary_input);
+
+  const Library* library_;
+  std::vector<Gate> gates_;
+  std::vector<Signal> signals_;
+  std::vector<SignalId> primary_inputs_;
+  std::vector<SignalId> primary_outputs_;
+  std::unordered_map<std::string, SignalId> signal_by_name_;
+  std::unordered_map<std::string, GateId> gate_by_name_;
+};
+
+}  // namespace halotis

@@ -1,0 +1,111 @@
+// Cell timing and degradation parameter model.
+//
+// Per paper section 2, each cell input pin `i` carries, for each output
+// transition sense x in {rise, fall}:
+//
+//   * a conventional propagation-delay macro-model
+//       tp0_x(i) = p0 + p_load * CL + p_slew * tau_in            [refs 1-2]
+//   * degradation parameters obeying eq. 2 / eq. 3
+//       tau_x(i) = (A_xi + B_xi * CL) / VDD                      (eq. 2)
+//       T0_x(i)  = (1/2 - C_xi / VDD) * tau_in                   (eq. 3)
+//   * the input threshold voltage VT that decides whether a ramp crossing
+//     generates an event at this pin (the paper's new inertial treatment),
+//   * the pin's input capacitance, which contributes to the driving cell's
+//     load CL.
+//
+// The output driver contributes a slope macro-model
+//       tau_out_x = s0 + s_load * CL
+// and a self (parasitic drain) capacitance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/base/check.hpp"
+#include "src/base/units.hpp"
+#include "src/netlist/cell.hpp"
+
+namespace halotis {
+
+/// Sense of an output transition.
+enum class Edge { kRise, kFall };
+
+[[nodiscard]] constexpr Edge opposite(Edge e) {
+  return e == Edge::kRise ? Edge::kFall : Edge::kRise;
+}
+
+/// Delay + degradation coefficients for one (pin, output-edge) pair.
+struct EdgeTiming {
+  // Conventional delay macro-model tp0 = p0 + p_load*CL + p_slew*tau_in.
+  double p0 = 0.0;      // ns, intrinsic delay
+  double p_load = 0.0;  // ns/pF
+  double p_slew = 0.0;  // ns/ns, input-slope sensitivity
+
+  // Degradation parameters (eq. 2 / eq. 3).
+  double deg_a = 0.0;  // V*ns      -> tau = (A + B*CL)/VDD
+  double deg_b = 0.0;  // V*ns/pF
+  double deg_c = 0.0;  // V         -> T0 = (1/2 - C/VDD)*tau_in
+
+  /// Conventional propagation delay for load `cl` and input slope `tau_in`.
+  [[nodiscard]] TimeNs tp0(Farad cl, TimeNs tau_in) const {
+    return p0 + p_load * cl + p_slew * tau_in;
+  }
+  /// Degradation time constant tau for load `cl` (eq. 2).
+  [[nodiscard]] TimeNs deg_tau(Farad cl, Volt vdd) const {
+    return (deg_a + deg_b * cl) / vdd;
+  }
+  /// Degradation offset T0 for input slope `tau_in` (eq. 3).
+  [[nodiscard]] TimeNs deg_t0(TimeNs tau_in, Volt vdd) const {
+    return (0.5 - deg_c / vdd) * tau_in;
+  }
+};
+
+/// Per-input-pin electrical and timing data.
+struct PinTiming {
+  Volt vt = 2.5;        ///< Input threshold voltage (IDDM's per-pin VT).
+  Farad cin = 0.010;    ///< Input capacitance, pF.
+  EdgeTiming rise;      ///< Output *rising* caused by this pin switching.
+  EdgeTiming fall;      ///< Output *falling* caused by this pin switching.
+
+  [[nodiscard]] const EdgeTiming& edge(Edge e) const {
+    return e == Edge::kRise ? rise : fall;
+  }
+  [[nodiscard]] EdgeTiming& edge(Edge e) { return e == Edge::kRise ? rise : fall; }
+};
+
+/// Output-stage drive strength: slope macro-model per edge.
+struct DriveTiming {
+  double tau_rise0 = 0.1;     // ns
+  double tau_rise_load = 4.0; // ns/pF
+  double tau_fall0 = 0.1;     // ns
+  double tau_fall_load = 3.0; // ns/pF
+
+  [[nodiscard]] TimeNs tau_out(Edge e, Farad cl) const {
+    return e == Edge::kRise ? tau_rise0 + tau_rise_load * cl
+                            : tau_fall0 + tau_fall_load * cl;
+  }
+};
+
+/// Transistor sizing used by the analog expansion of this cell.
+struct AnalogSizing {
+  double wn_um = 1.8;  ///< NMOS width, micrometers (per unit device).
+  double wp_um = 4.5;  ///< PMOS width, micrometers.
+};
+
+/// One library cell: boolean function + full timing data.
+struct Cell {
+  std::string name;           ///< Library name, e.g. "NAND2_X1" or "INV_LVT".
+  CellKind kind = CellKind::kInv;
+  std::vector<PinTiming> pins;  ///< size == num_inputs(kind)
+  DriveTiming drive;
+  Farad cout_self = 0.004;    ///< Output parasitic capacitance, pF.
+  AnalogSizing sizing;
+
+  [[nodiscard]] const PinTiming& pin(int index) const {
+    require(index >= 0 && index < static_cast<int>(pins.size()),
+            "Cell::pin(): pin index out of range");
+    return pins[static_cast<std::size_t>(index)];
+  }
+};
+
+}  // namespace halotis

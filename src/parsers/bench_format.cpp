@@ -1,0 +1,269 @@
+#include "src/parsers/bench_format.hpp"
+
+#include <array>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/base/check.hpp"
+#include "src/base/strings.hpp"
+
+namespace halotis {
+
+namespace {
+
+struct PendingGate {
+  std::string output;
+  std::string op;
+  std::vector<std::string> inputs;
+  int line = 0;
+};
+
+/// Base (2-input) kind for an n-ary bench operator; `inverting` reports
+/// whether the overall function complements the associative core.
+struct OpInfo {
+  CellKind kind2;
+  CellKind kind3;
+  CellKind kind4;
+  bool inverting;  // NAND/NOR/XNOR need a final inverter when decomposed
+};
+
+OpInfo op_info(const std::string& op, int line) {
+  if (op == "AND") return {CellKind::kAnd2, CellKind::kAnd3, CellKind::kAnd4, false};
+  if (op == "NAND") return {CellKind::kNand2, CellKind::kNand3, CellKind::kNand4, true};
+  if (op == "OR") return {CellKind::kOr2, CellKind::kOr3, CellKind::kOr4, false};
+  if (op == "NOR") return {CellKind::kNor2, CellKind::kNor3, CellKind::kNor4, true};
+  if (op == "XOR") return {CellKind::kXor2, CellKind::kXor3, CellKind::kXor2, false};
+  if (op == "XNOR") return {CellKind::kXnor2, CellKind::kXnor2, CellKind::kXnor2, true};
+  require(false, "bench: unknown gate '" + op + "' on line " + std::to_string(line));
+  return {};
+}
+
+}  // namespace
+
+Netlist read_bench(std::string_view text, const Library& library) {
+  std::istringstream stream{std::string(text)};
+  return read_bench_stream(stream, library);
+}
+
+Netlist read_bench_file(const std::string& path, const Library& library) {
+  std::ifstream in(path);
+  require(in.good(), "bench: cannot open file '" + path + "'");
+  return read_bench_stream(in, library);
+}
+
+Netlist read_bench_stream(std::istream& in, const Library& library) {
+  Netlist netlist(library);
+  std::vector<std::string> outputs;
+  std::vector<PendingGate> gates;
+  std::map<std::string, SignalId> signals;
+
+  const auto get_signal = [&](const std::string& name) {
+    const auto it = signals.find(name);
+    if (it != signals.end()) return it->second;
+    const SignalId id = netlist.add_signal(name);
+    signals.emplace(name, id);
+    return id;
+  };
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view view = trim(line);
+    const std::size_t hash = view.find('#');
+    if (hash != std::string_view::npos) view = trim(view.substr(0, hash));
+    if (view.empty()) continue;
+
+    const std::string upper = to_upper(view);
+    if (starts_with(upper, "INPUT(") || starts_with(upper, "OUTPUT(")) {
+      const std::size_t open = view.find('(');
+      const std::size_t close = view.rfind(')');
+      require(close != std::string_view::npos && close > open,
+              "bench: malformed port on line " + std::to_string(line_number));
+      const std::string name{trim(view.substr(open + 1, close - open - 1))};
+      require(!name.empty(), "bench: empty port name on line " + std::to_string(line_number));
+      if (starts_with(upper, "INPUT(")) {
+        require(signals.find(name) == signals.end(),
+                "bench: duplicate INPUT '" + name + "'");
+        signals.emplace(name, netlist.add_primary_input(name));
+      } else {
+        outputs.push_back(name);
+      }
+      continue;
+    }
+
+    const std::size_t eq = view.find('=');
+    require(eq != std::string_view::npos,
+            "bench: expected assignment on line " + std::to_string(line_number));
+    PendingGate gate;
+    gate.line = line_number;
+    gate.output = std::string(trim(view.substr(0, eq)));
+    std::string_view rhs = trim(view.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    require(open != std::string_view::npos && close != std::string_view::npos && close > open,
+            "bench: malformed gate on line " + std::to_string(line_number));
+    gate.op = to_upper(trim(rhs.substr(0, open)));
+    require(gate.op != "DFF" && gate.op != "DFFSR",
+            "bench: sequential element on line " + std::to_string(line_number) +
+                " (HALOTIS simulates combinational logic)");
+    for (const std::string& piece : split(rhs.substr(open + 1, close - open - 1), ',')) {
+      require(!piece.empty(),
+              "bench: empty operand on line " + std::to_string(line_number));
+      gate.inputs.push_back(piece);
+    }
+    require(!gate.inputs.empty(),
+            "bench: gate without inputs on line " + std::to_string(line_number));
+    gates.push_back(std::move(gate));
+  }
+
+  // Instantiate (two passes: signals first so order in the file is free).
+  for (const PendingGate& g : gates) (void)get_signal(g.output);
+  for (const PendingGate& g : gates) {
+    for (const std::string& in_name : g.inputs) (void)get_signal(in_name);
+  }
+
+  int synth_counter = 0;
+  for (const PendingGate& g : gates) {
+    const SignalId out = get_signal(g.output);
+    std::vector<SignalId> ins;
+    ins.reserve(g.inputs.size());
+    for (const std::string& name : g.inputs) ins.push_back(get_signal(name));
+
+    const std::string gate_name = "g_" + g.output;
+    if (g.op == "NOT" || g.op == "INV") {
+      require(ins.size() == 1, "bench: NOT takes one input (line " +
+                                   std::to_string(g.line) + ")");
+      (void)netlist.add_gate(gate_name, CellKind::kInv, ins, out);
+      continue;
+    }
+    if (g.op == "BUFF" || g.op == "BUF") {
+      require(ins.size() == 1, "bench: BUFF takes one input (line " +
+                                   std::to_string(g.line) + ")");
+      (void)netlist.add_gate(gate_name, CellKind::kBuf, ins, out);
+      continue;
+    }
+
+    const OpInfo info = op_info(g.op, g.line);
+    if (ins.size() == 1) {
+      // Degenerate 1-input AND/OR = BUF; NAND/NOR = NOT (seen in some decks).
+      (void)netlist.add_gate(gate_name, info.inverting ? CellKind::kInv : CellKind::kBuf,
+                             ins, out);
+      continue;
+    }
+    if (ins.size() == 2) {
+      (void)netlist.add_gate(gate_name, info.kind2, ins, out);
+      continue;
+    }
+    if (ins.size() == 3 && num_inputs(info.kind3) == 3) {
+      (void)netlist.add_gate(gate_name, info.kind3, ins, out);
+      continue;
+    }
+    if (ins.size() == 4 && num_inputs(info.kind4) == 4) {
+      (void)netlist.add_gate(gate_name, info.kind4, ins, out);
+      continue;
+    }
+
+    // Wide gate: balanced tree of the non-inverting core kind, then a final
+    // stage that applies the complement if needed.  XOR/XNOR chain by parity,
+    // AND/OR/NAND/NOR by conjunction/disjunction.
+    const bool is_parity = (g.op == "XOR" || g.op == "XNOR");
+    const CellKind core2 = is_parity ? CellKind::kXor2
+                          : (g.op == "AND" || g.op == "NAND") ? CellKind::kAnd2
+                                                              : CellKind::kOr2;
+    std::vector<SignalId> level = ins;
+    while (level.size() > 2) {
+      std::vector<SignalId> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        const SignalId mid =
+            netlist.add_signal("bench_t" + std::to_string(synth_counter));
+        const std::array<SignalId, 2> pair{level[i], level[i + 1]};
+        (void)netlist.add_gate("bench_g" + std::to_string(synth_counter), core2, pair,
+                               mid);
+        ++synth_counter;
+        next.push_back(mid);
+      }
+      if (level.size() % 2 == 1) next.push_back(level.back());
+      level = std::move(next);
+    }
+    // Final 2-input stage produces the complement directly when required.
+    CellKind final_kind;
+    if (is_parity) {
+      final_kind = (g.op == "XNOR") ? CellKind::kXnor2 : CellKind::kXor2;
+    } else if (g.op == "AND" || g.op == "NAND") {
+      final_kind = info.inverting ? CellKind::kNand2 : CellKind::kAnd2;
+    } else {
+      final_kind = info.inverting ? CellKind::kNor2 : CellKind::kOr2;
+    }
+    const std::array<SignalId, 2> pair{level[0], level[1]};
+    (void)netlist.add_gate(gate_name, final_kind, pair, out);
+  }
+
+  for (const std::string& name : outputs) {
+    const auto it = signals.find(name);
+    require(it != signals.end(), "bench: OUTPUT '" + name + "' never defined");
+    netlist.mark_primary_output(it->second);
+  }
+  netlist.check();
+  return netlist;
+}
+
+std::string write_bench(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "# written by HALOTIS\n";
+  for (SignalId pi : netlist.primary_inputs()) {
+    out << "INPUT(" << netlist.signal(pi).name << ")\n";
+  }
+  for (SignalId po : netlist.primary_outputs()) {
+    out << "OUTPUT(" << netlist.signal(po).name << ")\n";
+  }
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    const Gate& gate = netlist.gate(gid);
+    const CellKind kind = netlist.cell_of(gid).kind;
+    std::string op;
+    switch (kind) {
+      case CellKind::kBuf: op = "BUFF"; break;
+      case CellKind::kInv: op = "NOT"; break;
+      case CellKind::kAnd2: case CellKind::kAnd3: case CellKind::kAnd4: op = "AND"; break;
+      case CellKind::kNand2: case CellKind::kNand3: case CellKind::kNand4: op = "NAND"; break;
+      case CellKind::kOr2: case CellKind::kOr3: case CellKind::kOr4: op = "OR"; break;
+      case CellKind::kNor2: case CellKind::kNor3: case CellKind::kNor4: op = "NOR"; break;
+      case CellKind::kXor2: case CellKind::kXor3: op = "XOR"; break;
+      case CellKind::kXnor2: op = "XNOR"; break;
+      default:
+        require(false, std::string("write_bench(): cell kind ") +
+                           std::string(cell_kind_name(kind)) +
+                           " has no bench representation");
+    }
+    out << netlist.signal(gate.output).name << " = " << op << '(';
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << netlist.signal(gate.inputs[i]).name;
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+std::string_view c17_bench_text() {
+  return R"(# c17 ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+}  // namespace halotis

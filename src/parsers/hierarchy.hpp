@@ -1,0 +1,42 @@
+// Hierarchical netlist format: module definitions + instantiation, with a
+// flattener producing the plain Netlist the engines consume.
+//
+//   module FA (a b cin : sum cout)      # inputs : outputs
+//     signal axb
+//     gate x1 XOR2_X1 axb a b
+//     gate x2 XOR2_X1 sum axb cin
+//     signal ab
+//     gate a1 AND2_X1 ab a b
+//     signal cx
+//     gate a2 AND2_X1 cx axb cin
+//     gate o1 OR2_X1 cout ab cx
+//   endmodule
+//
+//   input x
+//   input y
+//   input ci
+//   signal s
+//   signal co
+//   output s
+//   inst fa0 FA (x y ci : s co)         # positional, inputs : outputs
+//
+// Instances may nest (modules instantiating modules); recursion is
+// rejected.  Flattening prefixes inner names with the instance path
+// ("fa0/axb"), so waveforms and reports stay navigable.
+#pragma once
+
+#include <string_view>
+
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+/// Parses and flattens; throws ContractViolation with line context on
+/// malformed input, unknown modules/cells, port mismatches or recursion.
+[[nodiscard]] Netlist read_hierarchical(std::string_view text, const Library& library);
+
+/// True when the text looks like the hierarchical dialect (has modules or
+/// instances); used by the CLI to pick the parser for .net files.
+[[nodiscard]] bool looks_hierarchical(std::string_view text);
+
+}  // namespace halotis

@@ -1,0 +1,96 @@
+#include "src/parsers/netlist_io.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "src/base/check.hpp"
+#include "src/base/strings.hpp"
+
+namespace halotis {
+
+Netlist read_netlist(std::string_view text, const Library& library) {
+  Netlist netlist(library);
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto tokens = split_whitespace(line.substr(0, line.find('#')));
+    if (tokens.empty()) continue;
+    const std::string context = "netlist line " + std::to_string(line_number);
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "input") {
+      require(tokens.size() == 2, context + ": input <name>");
+      (void)netlist.add_primary_input(tokens[1]);
+    } else if (keyword == "signal") {
+      require(tokens.size() == 2, context + ": signal <name>");
+      (void)netlist.add_signal(tokens[1]);
+    } else if (keyword == "output") {
+      require(tokens.size() == 2, context + ": output <name>");
+      const auto id = netlist.find_signal(tokens[1]);
+      require(id.has_value(), context + ": unknown signal '" + tokens[1] + "'");
+      netlist.mark_primary_output(*id);
+    } else if (keyword == "wirecap") {
+      require(tokens.size() == 3, context + ": wirecap <name> <pF>");
+      const auto id = netlist.find_signal(tokens[1]);
+      require(id.has_value(), context + ": unknown signal '" + tokens[1] + "'");
+      netlist.set_wire_cap(*id, parse_double(tokens[2], context));
+    } else if (keyword == "gate") {
+      require(tokens.size() >= 5, context + ": gate <name> <CELL> <out> <in...>");
+      const CellId cell = [&] {
+        const auto found = library.try_find(tokens[2]);
+        require(found.has_value(), context + ": unknown cell '" + tokens[2] + "'");
+        return *found;
+      }();
+      const auto out = netlist.find_signal(tokens[3]);
+      require(out.has_value(), context + ": unknown signal '" + tokens[3] + "'");
+      std::vector<SignalId> ins;
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        const auto in = netlist.find_signal(tokens[i]);
+        require(in.has_value(), context + ": unknown signal '" + tokens[i] + "'");
+        ins.push_back(*in);
+      }
+      (void)netlist.add_gate(tokens[1], cell, ins, *out);
+    } else {
+      require(false, context + ": unknown directive '" + keyword + "'");
+    }
+  }
+  netlist.check();
+  return netlist;
+}
+
+std::string write_netlist(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "# HALOTIS netlist (library: " << netlist.library().name() << ")\n";
+  for (SignalId pi : netlist.primary_inputs()) {
+    out << "input " << netlist.signal(pi).name << '\n';
+  }
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    if (!netlist.signal(sid).is_primary_input) {
+      out << "signal " << netlist.signal(sid).name << '\n';
+    }
+  }
+  for (SignalId po : netlist.primary_outputs()) {
+    out << "output " << netlist.signal(po).name << '\n';
+  }
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    if (netlist.signal(sid).wire_cap > 0.0) {
+      out << "wirecap " << netlist.signal(sid).name << ' '
+          << format_double(netlist.signal(sid).wire_cap, 9) << '\n';
+    }
+  }
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    const Gate& gate = netlist.gate(gid);
+    out << "gate " << gate.name << ' ' << netlist.library().cell(gate.cell).name << ' '
+        << netlist.signal(gate.output).name;
+    for (SignalId in : gate.inputs) out << ' ' << netlist.signal(in).name;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace halotis

@@ -1,0 +1,22 @@
+// Native HALOTIS netlist text format: the only format that round-trips
+// every feature (arbitrary library cells, wire capacitances).
+//
+//   # comment
+//   input  <name>
+//   signal <name>
+//   output <name>                  -- marks an existing signal
+//   wirecap <name> <pF>
+//   gate <name> <CELL> <out> <in1> [in2 ...]
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+[[nodiscard]] Netlist read_netlist(std::string_view text, const Library& library);
+[[nodiscard]] std::string write_netlist(const Netlist& netlist);
+
+}  // namespace halotis

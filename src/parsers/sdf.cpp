@@ -1,0 +1,68 @@
+#include "src/parsers/sdf.hpp"
+
+#include <sstream>
+
+#include "src/base/check.hpp"
+#include "src/base/strings.hpp"
+
+namespace halotis {
+
+std::string sdf_port_name(int index) {
+  require(index >= 0 && index < 26, "sdf_port_name(): index out of range");
+  return std::string(1, static_cast<char>('A' + index));
+}
+
+namespace {
+
+/// SDF identifiers cannot carry '/'; hierarchy separators become '.'.
+std::string sdf_escape(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/') c = '.';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_sdf(const Netlist& netlist, TimeNs input_slew,
+                      std::string_view design_name) {
+  require(input_slew > 0.0, "write_sdf(): input slew must be positive");
+  std::ostringstream out;
+  out << "(DELAYFILE\n";
+  out << "  (SDFVERSION \"2.1\")\n";
+  out << "  (DESIGN \"" << design_name << "\")\n";
+  out << "  (VENDOR \"HALOTIS\")\n";
+  out << "  (PROGRAM \"halotis convert\")\n";
+  out << "  (VERSION \"1.0\")\n";
+  out << "  (TIMESCALE 1ns)\n";
+  out << "  // Conventional tp0 macro-model delays at the instantiated load;\n";
+  out << "  // the degradation component (paper eq. 1) is dynamic and cannot\n";
+  out << "  // be expressed in SDF.\n";
+
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    const Gate& gate = netlist.gate(gid);
+    const Cell& cell = netlist.cell_of(gid);
+    const Farad cl = netlist.load_of(gate.output);
+
+    out << "  (CELL\n";
+    out << "    (CELLTYPE \"" << cell.name << "\")\n";
+    out << "    (INSTANCE " << sdf_escape(gate.name) << ")\n";
+    out << "    (DELAY (ABSOLUTE\n";
+    for (int pin = 0; pin < static_cast<int>(gate.inputs.size()); ++pin) {
+      const TimeNs rise = cell.pin(pin).rise.tp0(cl, input_slew);
+      const TimeNs fall = cell.pin(pin).fall.tp0(cl, input_slew);
+      const std::string rise_str = format_double(rise, 5);
+      const std::string fall_str = format_double(fall, 5);
+      out << "      (IOPATH " << sdf_port_name(pin) << " Y (" << rise_str
+          << "::" << rise_str << ") (" << fall_str << "::" << fall_str << "))\n";
+    }
+    out << "    ))\n";
+    out << "  )\n";
+  }
+  out << ")\n";
+  return out.str();
+}
+
+}  // namespace halotis

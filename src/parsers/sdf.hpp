@@ -1,0 +1,27 @@
+// SDF (Standard Delay Format, IEEE 1497 subset) writer.
+//
+// Exports one CELL per gate instance with ABSOLUTE IOPATH delays computed
+// from the library macro-models at the instance's actual load, so the
+// netlist can be re-simulated in third-party event-driven simulators with
+// HALOTIS's conventional (undegraded) timing.  Degradation is inherently
+// dynamic and has no SDF representation -- which is precisely the paper's
+// argument for a dedicated simulator; the exported file carries the tp0
+// part only (documented in the SDF header comment).
+#pragma once
+
+#include <string>
+
+#include "src/base/units.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+/// Serializes IOPATH delays for every gate.  `input_slew` is the assumed
+/// transition time for the slew-dependent part of the macro-model.
+[[nodiscard]] std::string write_sdf(const Netlist& netlist, TimeNs input_slew = 0.5,
+                                    std::string_view design_name = "halotis_top");
+
+/// Conventional SDF port name of input pin `index` ("A", "B", ..).
+[[nodiscard]] std::string sdf_port_name(int index);
+
+}  // namespace halotis

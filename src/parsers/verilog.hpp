@@ -1,0 +1,29 @@
+// Structural Verilog (gate-primitive subset) reader.
+//
+// Supports a single module using primitive instantiations:
+//
+//   module top (a, b, y);
+//     input a, b;
+//     output y;
+//     wire n1;
+//     nand g1 (n1, a, b);   // output first, then inputs
+//     not  g2 (y, n1);
+//   endmodule
+//
+// Primitives: and, nand, or, nor, xor, xnor (2-4 inputs), not, buf.
+// Comments: // and /* */.  Vectors, parameters, assigns and behavioural
+// constructs are out of scope and rejected with a clear message.
+#pragma once
+
+#include <string_view>
+
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+[[nodiscard]] Netlist read_verilog(std::string_view text, const Library& library);
+
+/// Writes the netlist as a single structural module named `top`.
+[[nodiscard]] std::string write_verilog(const Netlist& netlist);
+
+}  // namespace halotis

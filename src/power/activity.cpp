@@ -1,0 +1,79 @@
+#include "src/power/activity.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace halotis {
+
+ActivityReport compute_activity(const Simulator& sim, TimeNs glitch_width) {
+  const Netlist& netlist = sim.netlist();
+  const Volt vdd = netlist.library().vdd();
+  ActivityReport report;
+  report.window = sim.now();
+
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const auto history = sim.history(sid);
+    SignalActivity activity;
+    activity.signal = sid;
+    activity.name = netlist.signal(sid).name;
+    activity.transitions = history.size();
+    activity.load = netlist.load_of(sid);
+    activity.energy_pj =
+        0.5 * activity.load * vdd * vdd * static_cast<double>(history.size());
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      if (history[i].t50() - history[i - 1].t50() < glitch_width) {
+        activity.glitch_transitions += 2;  // both edges of the narrow pulse
+        if (i >= 2 &&
+            history[i - 1].t50() - history[i - 2].t50() < glitch_width) {
+          --activity.glitch_transitions;  // shared edge counted once
+        }
+      }
+    }
+    activity.glitch_transitions =
+        std::min(activity.glitch_transitions, activity.transitions);
+
+    report.total_transitions += activity.transitions;
+    report.total_glitch_transitions += activity.glitch_transitions;
+    report.total_energy_pj += activity.energy_pj;
+    if (activity.transitions > 0) {
+      report.glitch_energy_pj += 0.5 * activity.load * vdd * vdd *
+                                 static_cast<double>(activity.glitch_transitions);
+    }
+    report.per_signal.push_back(std::move(activity));
+  }
+  return report;
+}
+
+std::string format_activity(const ActivityReport& report, std::size_t max_rows) {
+  std::vector<const SignalActivity*> rows;
+  rows.reserve(report.per_signal.size());
+  for (const SignalActivity& a : report.per_signal) {
+    if (a.transitions > 0) rows.push_back(&a);
+  }
+  std::sort(rows.begin(), rows.end(), [](const SignalActivity* a, const SignalActivity* b) {
+    return a->energy_pj > b->energy_pj;
+  });
+  if (max_rows > 0 && rows.size() > max_rows) rows.resize(max_rows);
+
+  std::ostringstream out;
+  out << "signal                 toggles  glitch  load(pF)  energy(pJ)\n";
+  for (const SignalActivity* a : rows) {
+    char line[128];
+    std::snprintf(line, sizeof line, "%-22s %7zu %7zu %9.4f %11.4f\n", a->name.c_str(),
+                  a->transitions, a->glitch_transitions, a->load, a->energy_pj);
+    out << line;
+  }
+  char total[160];
+  std::snprintf(total, sizeof total,
+                "TOTAL: %llu transitions (%llu glitch, %.1f%%), %.3f pJ, %.4f mW over "
+                "%.2f ns\n",
+                static_cast<unsigned long long>(report.total_transitions),
+                static_cast<unsigned long long>(report.total_glitch_transitions),
+                100.0 * report.glitch_fraction(), report.total_energy_pj,
+                report.average_power_mw(), report.window);
+  out << total;
+  return out.str();
+}
+
+}  // namespace halotis

@@ -1,0 +1,58 @@
+// Switching activity and power estimation (the paper's Table 1 metric and
+// its section-1 motivation: "truly power consumption due to glitches").
+//
+// Dynamic energy per transition on a node of capacitance C is C*VDD^2/2;
+// glitch energy is the share attributable to pulses narrower than a
+// configurable width (which conventional models over- or under-count,
+// refs [6, 7] of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/units.hpp"
+#include "src/core/simulator.hpp"
+
+namespace halotis {
+
+struct SignalActivity {
+  SignalId signal;
+  std::string name;
+  std::size_t transitions = 0;
+  std::size_t glitch_transitions = 0;  ///< edges belonging to narrow pulses
+  Farad load = 0.0;
+  double energy_pj = 0.0;              ///< C * VDD^2 / 2 per transition
+};
+
+struct ActivityReport {
+  std::vector<SignalActivity> per_signal;
+  std::uint64_t total_transitions = 0;
+  std::uint64_t total_glitch_transitions = 0;
+  double total_energy_pj = 0.0;
+  double glitch_energy_pj = 0.0;
+  TimeNs window = 0.0;  ///< observation window used for power
+
+  /// Average dynamic power over the window, mW (pJ / ns).
+  [[nodiscard]] double average_power_mw() const {
+    return window > 0.0 ? total_energy_pj / window : 0.0;
+  }
+  [[nodiscard]] double glitch_fraction() const {
+    return total_transitions > 0
+               ? static_cast<double>(total_glitch_transitions) /
+                     static_cast<double>(total_transitions)
+               : 0.0;
+  }
+};
+
+/// Builds the report from a finished simulation.  `glitch_width` classifies
+/// pulses (pairs of consecutive edges closer than this) as glitches.
+[[nodiscard]] ActivityReport compute_activity(const Simulator& sim,
+                                              TimeNs glitch_width = 1.0);
+
+/// Formats the report as an aligned table (top `max_rows` signals by
+/// energy; 0 = all).
+[[nodiscard]] std::string format_activity(const ActivityReport& report,
+                                          std::size_t max_rows = 0);
+
+}  // namespace halotis

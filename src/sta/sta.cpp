@@ -1,0 +1,111 @@
+#include "src/sta/sta.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/check.hpp"
+#include "src/base/strings.hpp"
+
+namespace halotis {
+
+StaticTimingAnalyzer::StaticTimingAnalyzer(const Netlist& netlist, TimeNs input_slew)
+    : netlist_(&netlist), input_slew_(input_slew) {
+  require(input_slew > 0.0, "StaticTimingAnalyzer: input slew must be positive");
+  require(!netlist.has_combinational_cycles(),
+          "StaticTimingAnalyzer: netlist has combinational cycles");
+}
+
+TimingReport StaticTimingAnalyzer::analyze() const {
+  const Netlist& nl = *netlist_;
+  TimingReport report;
+  report.arrival.assign(nl.num_signals(), ArrivalWindow{kNeverNs, 0.0, 0.0});
+
+  // Primary inputs switch at t = 0 with the configured slew.
+  for (const SignalId pi : nl.primary_inputs()) {
+    report.arrival[pi.value()] = ArrivalWindow{0.0, 0.0, input_slew_};
+  }
+
+  // Track the fan-in edge that sets each signal's latest arrival, to
+  // recover the critical path afterwards.
+  std::vector<PathStep> latest_cause(nl.num_signals());
+
+  for (const GateId gid : nl.topological_order()) {
+    const Gate& gate = nl.gate(gid);
+    const Cell& cell = nl.cell_of(gid);
+    const Farad cl = nl.load_of(gate.output);
+    ArrivalWindow out{kNeverNs, 0.0, 0.0};
+    PathStep cause;
+    for (int pin = 0; pin < static_cast<int>(gate.inputs.size()); ++pin) {
+      const SignalId in = gate.inputs[static_cast<std::size_t>(pin)];
+      const ArrivalWindow& win = report.arrival[in.value()];
+      if (win.earliest == kNeverNs) continue;  // unreachable input
+      for (const Edge out_edge : {Edge::kRise, Edge::kFall}) {
+        const EdgeTiming& timing = cell.pin(pin).edge(out_edge);
+        const TimeNs tp = timing.tp0(cl, win.slew);
+        const TimeNs tau_out = cell.drive.tau_out(out_edge, cl);
+        out.earliest = std::min(out.earliest, win.earliest + tp);
+        if (win.latest + tp > out.latest) {
+          out.latest = win.latest + tp;
+          cause = PathStep{gid, in, gate.output, tp};
+        }
+        out.slew = std::max(out.slew, tau_out);
+      }
+    }
+    if (out.earliest == kNeverNs) continue;  // gate fed only by tie-offs
+    report.arrival[gate.output.value()] = out;
+    latest_cause[gate.output.value()] = cause;
+  }
+
+  // Critical output = latest primary-output arrival (fall back to any
+  // signal when no outputs are marked).
+  auto outputs = nl.primary_outputs();
+  std::vector<SignalId> scan(outputs.begin(), outputs.end());
+  if (scan.empty()) {
+    for (std::size_t s = 0; s < nl.num_signals(); ++s) {
+      scan.push_back(SignalId{static_cast<SignalId::underlying_type>(s)});
+    }
+  }
+  for (const SignalId sig : scan) {
+    const ArrivalWindow& win = report.arrival[sig.value()];
+    if (win.earliest == kNeverNs) continue;
+    if (win.latest >= report.critical_delay) {
+      report.critical_delay = win.latest;
+      report.critical_output = sig;
+    }
+  }
+
+  // Walk the cause chain back to a primary input.
+  if (report.critical_output.valid()) {
+    SignalId cursor = report.critical_output;
+    while (nl.signal(cursor).driver.valid()) {
+      const PathStep& step = latest_cause[cursor.value()];
+      if (!step.gate.valid()) break;
+      report.critical_path.push_back(step);
+      cursor = step.from;
+    }
+    std::reverse(report.critical_path.begin(), report.critical_path.end());
+  }
+  return report;
+}
+
+std::string StaticTimingAnalyzer::format(const TimingReport& report,
+                                         const Netlist& netlist) {
+  std::ostringstream out;
+  out << "critical delay: " << format_double(report.critical_delay, 5) << " ns to signal '"
+      << (report.critical_output.valid()
+              ? netlist.signal(report.critical_output).name
+              : std::string("<none>"))
+      << "'\n";
+  out << "critical path (" << report.critical_path.size() << " stages):\n";
+  TimeNs running = 0.0;
+  for (const PathStep& step : report.critical_path) {
+    running += step.delay;
+    out << "  " << netlist.signal(step.from).name << " -> "
+        << netlist.signal(step.to).name << "  via " << netlist.gate(step.gate).name << " ("
+        << netlist.cell_of(step.gate).name << ")  +" << format_double(step.delay, 4)
+        << " ns  @" << format_double(running, 5) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace halotis

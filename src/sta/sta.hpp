@@ -1,0 +1,63 @@
+// Static timing analysis over the same delay macro-models the simulator
+// uses.
+//
+// STA computes per-signal earliest/latest arrival windows assuming every
+// path can be exercised (topological propagation, no false-path analysis).
+// Comparing its worst-case arrival with the *simulated* (dynamic) arrival
+// shows how much pessimism glitch-free analysis carries, and gives the
+// simulator a cross-check: no simulated transition may ever arrive later
+// than the static latest arrival (a property test enforces this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/base/units.hpp"
+#include "src/core/delay_model.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+/// Arrival window of one signal, in ns after the driving input event.
+struct ArrivalWindow {
+  TimeNs earliest = 0.0;
+  TimeNs latest = 0.0;
+  /// Slowest input slope reaching this signal (used for downstream delays).
+  TimeNs slew = 0.0;
+};
+
+/// One edge of the critical path, driver -> receiver.
+struct PathStep {
+  GateId gate;
+  SignalId from;
+  SignalId to;
+  TimeNs delay = 0.0;  ///< tp contribution of this stage (worst edge)
+};
+
+struct TimingReport {
+  std::vector<ArrivalWindow> arrival;  ///< indexed by SignalId
+  TimeNs critical_delay = 0.0;         ///< max latest arrival over outputs
+  SignalId critical_output;
+  std::vector<PathStep> critical_path; ///< input -> critical output
+};
+
+class StaticTimingAnalyzer {
+ public:
+  /// `netlist` must be combinationally acyclic (STA rejects latch loops).
+  /// `input_slew` is the assumed primary-input ramp duration.
+  explicit StaticTimingAnalyzer(const Netlist& netlist, TimeNs input_slew = 0.5);
+
+  /// Full analysis with conventional (undegraded) delays -- the worst case
+  /// the DDM can only improve on.
+  [[nodiscard]] TimingReport analyze() const;
+
+  /// Formats the critical path like a timing report.
+  [[nodiscard]] static std::string format(const TimingReport& report,
+                                          const Netlist& netlist);
+
+ private:
+  const Netlist* netlist_;
+  TimeNs input_slew_;
+};
+
+}  // namespace halotis

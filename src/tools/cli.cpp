@@ -1,0 +1,357 @@
+#include "src/tools/cli.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "src/analog/analog_sim.hpp"
+#include "src/base/check.hpp"
+#include "src/base/strings.hpp"
+#include "src/core/simulator.hpp"
+#include "src/fault/fault.hpp"
+#include "src/netlist/library.hpp"
+#include "src/parsers/bench_format.hpp"
+#include "src/parsers/hierarchy.hpp"
+#include "src/parsers/netlist_io.hpp"
+#include "src/parsers/sdf.hpp"
+#include "src/parsers/stimulus_file.hpp"
+#include "src/parsers/verilog.hpp"
+#include "src/power/activity.hpp"
+#include "src/sta/sta.hpp"
+#include "src/waveform/ascii_plot.hpp"
+#include "src/waveform/vcd.hpp"
+
+namespace halotis {
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const {
+    const auto it = flags.find(name);
+    if (it == flags.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::string require_flag(const std::string& name) const {
+    const auto value = get(name);
+    require(value.has_value(), "missing required flag --" + name);
+    return *value;
+  }
+  [[nodiscard]] double number(const std::string& name, double fallback) const {
+    const auto value = get(name);
+    if (!value.has_value()) return fallback;
+    return parse_double(*value, "--" + name);
+  }
+};
+
+Options parse_args(const std::vector<std::string>& args) {
+  require(!args.empty(), "no command given");
+  Options options;
+  options.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    require(starts_with(arg, "--"), "expected --flag, got '" + arg + "'");
+    const std::string name = arg.substr(2);
+    // Boolean flags (no value) vs valued flags.
+    if (i + 1 < args.size() && !starts_with(args[i + 1], "--")) {
+      options.flags[name] = args[i + 1];
+      ++i;
+    } else {
+      options.flags[name] = "1";
+    }
+  }
+  return options;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string detect_format(const Options& options, const std::string& path) {
+  if (const auto fmt = options.get("format")) return *fmt;
+  if (path.size() >= 6 && path.substr(path.size() - 6) == ".bench") return "bench";
+  if (path.size() >= 2 && path.substr(path.size() - 2) == ".v") return "verilog";
+  return "native";
+}
+
+Netlist load_netlist(const Options& options, const Library& lib) {
+  const std::string path = options.require_flag("netlist");
+  const std::string format = detect_format(options, path);
+  const std::string text = read_file(path);
+  if (format == "bench") return read_bench(text, lib);
+  if (format == "verilog") return read_verilog(text, lib);
+  if (format == "native") {
+    // Native files may use the flat or the hierarchical dialect.
+    return looks_hierarchical(text) ? read_hierarchical(text, lib)
+                                    : read_netlist(text, lib);
+  }
+  require(false, "unknown netlist format '" + format + "'");
+  return Netlist(lib);  // unreachable
+}
+
+std::unique_ptr<DelayModel> make_model(const Options& options) {
+  const std::string name = options.get("model").value_or("ddm");
+  if (name == "ddm") return std::make_unique<DdmDelayModel>();
+  if (name == "cdm") return std::make_unique<CdmDelayModel>();
+  if (name == "cdm-classical") {
+    return std::make_unique<CdmDelayModel>(CdmDelayModel::InertialWindow::kGateDelay);
+  }
+  if (name == "transport") {
+    return std::make_unique<CdmDelayModel>(CdmDelayModel::InertialWindow::kNone);
+  }
+  require(false, "unknown model '" + name + "' (ddm|cdm|cdm-classical|transport)");
+  return nullptr;  // unreachable
+}
+
+Stimulus load_stimulus(const Options& options, const Netlist& netlist) {
+  if (const auto path = options.get("stim")) {
+    return read_stimulus(read_file(*path), netlist);
+  }
+  return Stimulus(0.5);  // quiescent testbench
+}
+
+int cmd_sim(const Options& options, std::ostream& out) {
+  const Library lib = Library::default_u6();
+  const Netlist netlist = load_netlist(options, lib);
+  const std::unique_ptr<DelayModel> model = make_model(options);
+  const Stimulus stimulus = load_stimulus(options, netlist);
+
+  SimConfig config;
+  config.t_end = options.number("t-end", kNeverNs);
+  Simulator sim(netlist, *model, config);
+  sim.apply_stimulus(stimulus);
+  const RunResult result = sim.run();
+
+  out << "model: " << model->name() << "\n";
+  out << "finished at t = " << format_double(result.end_time, 6) << " ns ("
+      << (result.reason == StopReason::kQueueExhausted    ? "queue exhausted"
+          : result.reason == StopReason::kHorizonReached  ? "horizon reached"
+                                                          : "event limit")
+      << ")\n";
+  const SimStats& stats = sim.stats();
+  out << "events: processed " << stats.events_processed << ", filtered "
+      << stats.filtered_events() << ", transitions " << stats.surviving_transitions()
+      << "\n";
+  if (result.reason == StopReason::kEventLimit) {
+    out << "event limit hit -- most active signals (possible oscillation):\n";
+    for (const SignalId sig : sim.most_active_signals(5)) {
+      out << "  " << netlist.signal(sig).name << ": " << sim.toggle_count(sig)
+          << " transitions\n";
+    }
+  }
+
+  out << "final output values:\n";
+  for (const SignalId po : netlist.primary_outputs()) {
+    out << "  " << netlist.signal(po).name << " = " << (sim.final_value(po) ? 1 : 0)
+        << "\n";
+  }
+
+  if (options.get("report")) {
+    out << '\n' << format_activity(compute_activity(sim), 20);
+  }
+  if (options.get("waves")) {
+    const TimeNs horizon = std::max(result.end_time, 1.0);
+    AsciiPlot plot(0.0, horizon * 1.05, 100);
+    for (const SignalId po : netlist.primary_outputs()) {
+      plot.add_digital(netlist.signal(po).name,
+                       DigitalWaveform::from_transitions(sim.initial_value(po),
+                                                         sim.history(po)));
+    }
+    out << '\n' << plot.render();
+  }
+  if (const auto vcd_path = options.get("vcd")) {
+    VcdWriter vcd("halotis");
+    for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+      const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+      vcd.add_signal(netlist.signal(sid).name,
+                     DigitalWaveform::from_transitions(sim.initial_value(sid),
+                                                       sim.history(sid)));
+    }
+    std::ofstream file(*vcd_path);
+    require(file.good(), "cannot write '" + *vcd_path + "'");
+    vcd.write(file);
+    out << "wrote " << *vcd_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_analog(const Options& options, std::ostream& out) {
+  const Library lib = Library::default_u6();
+  const Netlist netlist = load_netlist(options, lib);
+  const Stimulus stimulus = load_stimulus(options, netlist);
+  const TimeNs t_end = options.number("t-end", stimulus.last_edge_time() + 10.0);
+
+  AnalogSim sim(netlist);
+  sim.apply_stimulus(stimulus);
+  sim.run(t_end);
+  out << "analog reference: " << sim.steps() << " steps, " << sim.stage_evals()
+      << " stage evaluations\n";
+  out << "final output values:\n";
+  for (const SignalId po : netlist.primary_outputs()) {
+    out << "  " << netlist.signal(po).name << " = "
+        << format_double(sim.voltage(po), 4) << " V\n";
+  }
+  if (const auto csv_path = options.get("csv")) {
+    std::ofstream file(*csv_path);
+    require(file.good(), "cannot write '" + *csv_path + "'");
+    file << "t_ns";
+    for (const SignalId po : netlist.primary_outputs()) {
+      file << ',' << netlist.signal(po).name;
+    }
+    file << '\n';
+    const AnalogTrace& first = sim.trace(netlist.primary_outputs()[0]);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      file << format_double(first.time_of(i), 6);
+      for (const SignalId po : netlist.primary_outputs()) {
+        file << ',' << format_double(sim.trace(po).sample(i), 5);
+      }
+      file << '\n';
+    }
+    out << "wrote " << *csv_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_sta(const Options& options, std::ostream& out) {
+  const Library lib = Library::default_u6();
+  const Netlist netlist = load_netlist(options, lib);
+  const StaticTimingAnalyzer sta(netlist, options.number("slew", 0.5));
+  const TimingReport report = sta.analyze();
+  out << StaticTimingAnalyzer::format(report, netlist);
+  return 0;
+}
+
+int cmd_fault(const Options& options, std::ostream& out) {
+  const Library lib = Library::default_u6();
+  const Netlist netlist = load_netlist(options, lib);
+  const std::unique_ptr<DelayModel> model = make_model(options);
+
+  if (options.get("atpg")) {
+    AtpgOptions atpg;
+    atpg.period = options.number("period", 5.0);
+    atpg.max_candidates = static_cast<int>(options.number("candidates", 200));
+    atpg.seed = static_cast<std::uint64_t>(options.number("seed", 1));
+    const AtpgResult result = generate_tests(netlist, *model, atpg);
+    out << "ATPG: " << result.words.size() << " vectors, coverage " << result.detected
+        << " / " << result.total_faults << " ("
+        << format_double(100.0 * result.coverage(), 4) << "%)\n";
+    out << "vectors (hex, PI bit 0 = " << netlist.signal(netlist.primary_inputs()[0]).name
+        << "):";
+    for (const std::uint64_t word : result.words) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, " 0x%llX",
+                    static_cast<unsigned long long>(word));
+      out << buffer;
+    }
+    out << "\n";
+    if (!result.undetected.empty()) {
+      out << "undetected:";
+      for (const Fault& fault : result.undetected) {
+        out << ' ' << fault_name(netlist, fault);
+      }
+      out << "\n";
+    }
+    return 0;
+  }
+
+  const Stimulus stimulus = load_stimulus(options, netlist);
+  require(stimulus.last_edge_time() > 0.0, "fault simulation needs a --stim file");
+
+  FaultSimOptions fs_options;
+  fs_options.sample_period = options.number("period", 5.0);
+  const FaultSimResult result =
+      run_fault_simulation(netlist, stimulus, *model, {}, fs_options);
+  out << "stuck-at coverage: " << result.detected << " / " << result.total << " ("
+      << format_double(100.0 * result.coverage(), 4) << "%) under " << model->name()
+      << "\n";
+  if (!result.undetected.empty()) {
+    out << "undetected:";
+    for (const Fault& fault : result.undetected) {
+      out << ' ' << fault_name(netlist, fault);
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+int cmd_convert(const Options& options, std::ostream& out) {
+  const Library lib = Library::default_u6();
+  const Netlist netlist = load_netlist(options, lib);
+  const std::string to = options.require_flag("to");
+  std::string text;
+  if (to == "bench") {
+    text = write_bench(netlist);
+  } else if (to == "verilog") {
+    text = write_verilog(netlist);
+  } else if (to == "native") {
+    text = write_netlist(netlist);
+  } else if (to == "sdf") {
+    text = write_sdf(netlist, options.number("slew", 0.5));
+  } else {
+    require(false, "unknown target format '" + to + "'");
+  }
+  if (const auto path = options.get("out")) {
+    std::ofstream file(*path);
+    require(file.good(), "cannot write '" + *path + "'");
+    file << text;
+    out << "wrote " << *path << "\n";
+  } else {
+    out << text;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return R"(halotis -- high-accuracy logic timing simulator (IDDM)
+
+usage: halotis <command> [flags]
+
+commands:
+  sim      event-driven timing simulation
+           --netlist F [--format bench|verilog|native] [--stim F]
+           [--model ddm|cdm|cdm-classical|transport] [--t-end NS]
+           [--vcd F] [--report] [--waves]
+  analog   transistor-level reference simulation
+           --netlist F [--stim F] [--t-end NS] [--csv F]
+  sta      static timing analysis (conventional worst case)
+           --netlist F [--slew NS]
+  fault    serial stuck-at fault simulation / test generation
+           --netlist F --stim F [--model M] [--period NS]
+           --netlist F --atpg [--candidates N] [--seed N]
+  convert  netlist format conversion / delay annotation export
+           --netlist F --to bench|verilog|native|sdf [--slew NS] [--out F]
+)";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      out << cli_usage();
+      return args.empty() ? 2 : 0;
+    }
+    const Options options = parse_args(args);
+    if (options.command == "sim") return cmd_sim(options, out);
+    if (options.command == "analog") return cmd_analog(options, out);
+    if (options.command == "sta") return cmd_sta(options, out);
+    if (options.command == "fault") return cmd_fault(options, out);
+    if (options.command == "convert") return cmd_convert(options, out);
+    err << "unknown command '" << options.command << "'\n" << cli_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace halotis

@@ -1,0 +1,28 @@
+// The `halotis` command-line driver, as a library so tests can exercise it.
+//
+// Subcommands:
+//   sim     --netlist F [--stim F] [--model ddm|cdm|transport] [--t-end NS]
+//           [--vcd F] [--report] [--waves]      event-driven simulation
+//   analog  --netlist F [--stim F] [--t-end NS] [--csv F]
+//                                               transistor-level reference
+//   sta     --netlist F [--slew NS]             static timing analysis
+//   fault   --netlist F --stim F [--model M]    stuck-at fault simulation
+//   convert --netlist F --to bench|verilog|native [--out F]
+//
+// Netlist formats are detected from the file extension (.bench, .v,
+// anything else = native) unless --format overrides.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace halotis {
+
+/// Runs the CLI; returns the process exit code.  `args` excludes argv[0].
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// Usage text.
+[[nodiscard]] std::string cli_usage();
+
+}  // namespace halotis

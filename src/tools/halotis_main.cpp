@@ -1,0 +1,12 @@
+// Entry point for the `halotis` command-line tool.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return halotis::run_cli(args, std::cout, std::cerr);
+}

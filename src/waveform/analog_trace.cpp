@@ -1,0 +1,99 @@
+#include "src/waveform/analog_trace.hpp"
+
+#include <algorithm>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+Volt AnalogTrace::value_at(TimeNs t) const {
+  require(!samples_.empty(), "AnalogTrace::value_at(): empty trace");
+  if (t <= t0_) return samples_.front();
+  const double x = (t - t0_) / dt_;
+  const auto i = static_cast<std::size_t>(x);
+  if (i + 1 >= samples_.size()) return samples_.back();
+  const double frac = x - static_cast<double>(i);
+  return samples_[i] + (samples_[i + 1] - samples_[i]) * frac;
+}
+
+Volt AnalogTrace::min_value() const {
+  require(!samples_.empty(), "AnalogTrace::min_value(): empty trace");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Volt AnalogTrace::max_value() const {
+  require(!samples_.empty(), "AnalogTrace::max_value(): empty trace");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+namespace {
+
+/// Interpolated crossing instant of `level` between samples i and i+1.
+TimeNs interpolate_crossing(const AnalogTrace& trace, std::size_t i, Volt level) {
+  const Volt a = trace.sample(i);
+  const Volt b = trace.sample(i + 1);
+  const double frac = (b == a) ? 0.5 : (level - a) / (b - a);
+  return trace.time_of(i) + trace.dt() * std::clamp(frac, 0.0, 1.0);
+}
+
+}  // namespace
+
+DigitalWaveform AnalogTrace::digitize(Volt v_low, Volt v_mid, Volt v_high) const {
+  require(v_low < v_mid && v_mid < v_high,
+          "AnalogTrace::digitize(): need v_low < v_mid < v_high");
+  require(!samples_.empty(), "AnalogTrace::digitize(): empty trace");
+
+  bool state = samples_.front() > v_mid;
+  DigitalWaveform wave(state);
+
+  // Midswing crossing candidate while waiting for hysteresis confirmation.
+  TimeNs pending_cross = 0.0;
+  bool have_pending = false;
+
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    const Volt a = samples_[i];
+    const Volt b = samples_[i + 1];
+    if (!state) {
+      if (!have_pending && a <= v_mid && b > v_mid) {
+        pending_cross = interpolate_crossing(*this, i, v_mid);
+        have_pending = true;
+      }
+      if (b >= v_high && have_pending) {
+        wave.append(pending_cross, Edge::kRise);
+        state = true;
+        have_pending = false;
+      } else if (have_pending && b <= v_low) {
+        have_pending = false;  // dipped back: runt that never confirmed
+      }
+    } else {
+      if (!have_pending && a >= v_mid && b < v_mid) {
+        pending_cross = interpolate_crossing(*this, i, v_mid);
+        have_pending = true;
+      }
+      if (b <= v_low && have_pending) {
+        wave.append(pending_cross, Edge::kFall);
+        state = false;
+        have_pending = false;
+      } else if (have_pending && b >= v_high) {
+        have_pending = false;
+      }
+    }
+  }
+  return wave;
+}
+
+std::vector<TimeNs> AnalogTrace::crossings(Volt vt, Edge direction) const {
+  std::vector<TimeNs> times;
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    const Volt a = samples_[i];
+    const Volt b = samples_[i + 1];
+    if (direction == Edge::kRise && a <= vt && b > vt) {
+      times.push_back(interpolate_crossing(*this, i, vt));
+    } else if (direction == Edge::kFall && a >= vt && b < vt) {
+      times.push_back(interpolate_crossing(*this, i, vt));
+    }
+  }
+  return times;
+}
+
+}  // namespace halotis

@@ -1,0 +1,62 @@
+// Uniformly sampled analog voltage trace, plus digitization (threshold
+// crossing extraction with hysteresis) used to compare the reference
+// electrical simulator against HALOTIS.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/base/units.hpp"
+#include "src/waveform/digital_waveform.hpp"
+
+namespace halotis {
+
+class AnalogTrace {
+ public:
+  AnalogTrace() = default;
+  AnalogTrace(TimeNs t0, TimeNs dt) : t0_(t0), dt_(dt) {}
+
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void push_back(Volt v) { samples_.push_back(v); }
+
+  [[nodiscard]] TimeNs t0() const { return t0_; }
+  [[nodiscard]] TimeNs dt() const { return dt_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::span<const Volt> samples() const { return samples_; }
+  [[nodiscard]] Volt sample(std::size_t i) const { return samples_.at(i); }
+  [[nodiscard]] TimeNs time_of(std::size_t i) const {
+    return t0_ + dt_ * static_cast<double>(i);
+  }
+  [[nodiscard]] TimeNs end_time() const {
+    return samples_.empty() ? t0_ : time_of(samples_.size() - 1);
+  }
+
+  /// Linear interpolation; clamps outside the sampled range.
+  [[nodiscard]] Volt value_at(TimeNs t) const;
+
+  [[nodiscard]] Volt min_value() const;
+  [[nodiscard]] Volt max_value() const;
+
+  /// Digitizes with Schmitt-trigger hysteresis: the logic state switches
+  /// high when v rises above `v_high` and low when it falls below `v_low`.
+  /// Edge times are the midswing (`v_mid`) crossings found by local
+  /// interpolation.  This suppresses comparator chatter on degraded pulses
+  /// that hover near midswing.
+  [[nodiscard]] DigitalWaveform digitize(Volt v_low, Volt v_mid, Volt v_high) const;
+
+  /// Convenience digitization for rails [0, vdd]: 0.4/0.5/0.6 * vdd bands.
+  [[nodiscard]] DigitalWaveform digitize(Volt vdd) const {
+    return digitize(0.4 * vdd, 0.5 * vdd, 0.6 * vdd);
+  }
+
+  /// Times at which the trace crosses `vt` in the given direction.
+  [[nodiscard]] std::vector<TimeNs> crossings(Volt vt, Edge direction) const;
+
+ private:
+  TimeNs t0_ = 0.0;
+  TimeNs dt_ = 0.01;
+  std::vector<Volt> samples_;
+};
+
+}  // namespace halotis

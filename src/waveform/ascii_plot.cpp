@@ -1,0 +1,99 @@
+#include "src/waveform/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+AsciiPlot::AsciiPlot(TimeNs t_begin, TimeNs t_end, int columns)
+    : t_begin_(t_begin), t_end_(t_end), columns_(columns) {
+  require(t_end > t_begin, "AsciiPlot: t_end must exceed t_begin");
+  require(columns >= 10, "AsciiPlot: need at least 10 columns");
+}
+
+TimeNs AsciiPlot::column_time(int column) const {
+  return t_begin_ + (t_end_ - t_begin_) * (static_cast<double>(column) + 0.5) /
+                        static_cast<double>(columns_);
+}
+
+void AsciiPlot::add_digital(std::string label, const DigitalWaveform& wave) {
+  label_width_ = std::max(label_width_, label.size() + 1);
+  std::string body(static_cast<std::size_t>(columns_), ' ');
+  bool prev = wave.value_at(column_time(0));
+  for (int c = 0; c < columns_; ++c) {
+    const bool now = wave.value_at(column_time(c));
+    // Any edge inside this column?  Mark direction of the *net* change; a
+    // pulse entirely inside one column is marked '|'.
+    const TimeNs lo = t_begin_ + (t_end_ - t_begin_) * c / columns_;
+    const TimeNs hi = t_begin_ + (t_end_ - t_begin_) * (c + 1) / columns_;
+    int edges_inside = 0;
+    for (const DigitalEdge& e : wave.edges()) {
+      if (e.time >= lo && e.time < hi) ++edges_inside;
+    }
+    char ch = now ? '-' : '_';
+    if (edges_inside >= 2) {
+      ch = '|';
+    } else if (now != prev) {
+      ch = now ? '/' : '\\';
+    }
+    body[static_cast<std::size_t>(c)] = ch;
+    prev = now;
+  }
+  rows_.push_back(Row{std::move(label), std::move(body), false});
+}
+
+void AsciiPlot::add_analog(std::string label, const AnalogTrace& trace, Volt vdd) {
+  label_width_ = std::max(label_width_, label.size() + 1);
+  static constexpr char kLevels[] = "_.,:-=^~";  // 8 quantization steps
+  std::string body(static_cast<std::size_t>(columns_), ' ');
+  for (int c = 0; c < columns_; ++c) {
+    const Volt v = trace.empty() ? 0.0 : trace.value_at(column_time(c));
+    const double norm = std::clamp(v / vdd, 0.0, 1.0);
+    const int level = std::min(7, static_cast<int>(norm * 8.0));
+    body[static_cast<std::size_t>(c)] = kLevels[level];
+  }
+  rows_.push_back(Row{std::move(label), std::move(body), false});
+}
+
+void AsciiPlot::add_caption(std::string text) {
+  rows_.push_back(Row{"", std::move(text), true});
+}
+
+std::string AsciiPlot::render() const {
+  std::string out;
+  for (const Row& row : rows_) {
+    if (row.is_caption) {
+      out += row.body;
+      out += '\n';
+      continue;
+    }
+    std::string label = row.label;
+    label.resize(label_width_, ' ');
+    out += label;
+    out += row.body;
+    out += '\n';
+  }
+  // Time axis with ticks every ~10 columns.
+  std::string axis(label_width_, ' ');
+  std::string marks(static_cast<std::size_t>(columns_), '-');
+  std::string labels(label_width_ + static_cast<std::size_t>(columns_) + 8, ' ');
+  for (int c = 0; c < columns_; c += columns_ / 5) {
+    marks[static_cast<std::size_t>(c)] = '+';
+    const TimeNs t = t_begin_ + (t_end_ - t_begin_) * c / columns_;
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.3g", t);
+    const std::size_t pos = label_width_ + static_cast<std::size_t>(c);
+    for (std::size_t k = 0; buffer[k] != '\0' && pos + k < labels.size(); ++k) {
+      labels[pos + k] = buffer[k];
+    }
+  }
+  out += axis + marks + '\n';
+  while (!labels.empty() && labels.back() == ' ') labels.pop_back();
+  out += labels;
+  out += "  t (ns)\n";
+  return out;
+}
+
+}  // namespace halotis

@@ -1,0 +1,44 @@
+// Terminal rendering of waveforms in the style of the paper's figures:
+// one row per signal, a shared time axis, '_'/'-' levels with '/' and '\'
+// transition marks for digital rows and quantized sparklines for analog
+// traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/base/units.hpp"
+#include "src/waveform/analog_trace.hpp"
+#include "src/waveform/digital_waveform.hpp"
+
+namespace halotis {
+
+class AsciiPlot {
+ public:
+  /// Plot window [t_begin, t_end] rendered into `columns` characters.
+  AsciiPlot(TimeNs t_begin, TimeNs t_end, int columns = 100);
+
+  void add_digital(std::string label, const DigitalWaveform& wave);
+  void add_analog(std::string label, const AnalogTrace& trace, Volt vdd);
+  /// Inserts a separator/caption row (e.g. the applied vector sequence).
+  void add_caption(std::string text);
+
+  /// Renders all rows plus the time axis.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::string label;
+    std::string body;  // exactly `columns_` characters
+    bool is_caption = false;
+  };
+  [[nodiscard]] TimeNs column_time(int column) const;
+
+  TimeNs t_begin_;
+  TimeNs t_end_;
+  int columns_;
+  std::size_t label_width_ = 8;
+  std::vector<Row> rows_;
+};
+
+}  // namespace halotis

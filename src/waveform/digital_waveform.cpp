@@ -1,0 +1,87 @@
+#include "src/waveform/digital_waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+DigitalWaveform DigitalWaveform::from_transitions(bool initial,
+                                                  std::span<const Transition> history) {
+  DigitalWaveform wave(initial);
+  for (const Transition& tr : history) {
+    wave.append(tr.t50(), tr.edge, tr.tau);
+  }
+  return wave;
+}
+
+void DigitalWaveform::append(TimeNs time, Edge sense, TimeNs tau) {
+  if (edges_.empty()) {
+    require((sense == Edge::kRise) == !initial_,
+            "DigitalWaveform::append(): first edge must flip the initial value");
+  } else {
+    require(sense == opposite(edges_.back().sense),
+            "DigitalWaveform::append(): edges must alternate");
+    require(time > edges_.back().time,
+            "DigitalWaveform::append(): edges must be strictly time-ordered");
+  }
+  edges_.push_back(DigitalEdge{time, sense, tau});
+}
+
+bool DigitalWaveform::value_at(TimeNs t) const {
+  bool value = initial_;
+  for (const DigitalEdge& e : edges_) {
+    if (e.time > t) break;
+    value = (e.sense == Edge::kRise);
+  }
+  return value;
+}
+
+bool DigitalWaveform::final_value() const {
+  if (edges_.empty()) return initial_;
+  return edges_.back().sense == Edge::kRise;
+}
+
+std::size_t DigitalWaveform::pulses_narrower_than(TimeNs width) const {
+  std::size_t count = 0;
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i].time - edges_[i - 1].time < width) ++count;
+  }
+  return count;
+}
+
+WaveformMatch match_waveforms(const DigitalWaveform& reference, const DigitalWaveform& test,
+                              TimeNs tolerance) {
+  WaveformMatch result;
+  const auto ref = reference.edges();
+  const auto tst = test.edges();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double skew_sum = 0.0;
+  while (i < ref.size() && j < tst.size()) {
+    const double dt = tst[j].time - ref[i].time;
+    if (ref[i].sense == tst[j].sense && std::abs(dt) <= tolerance) {
+      ++result.matched;
+      skew_sum += std::abs(dt);
+      result.max_abs_skew = std::max(result.max_abs_skew, std::abs(dt));
+      ++i;
+      ++j;
+    } else if (dt < 0.0 || (ref[i].sense != tst[j].sense && tst[j].time <= ref[i].time)) {
+      // test edge with no reference partner
+      ++result.extra;
+      ++j;
+    } else {
+      ++result.missing;
+      ++i;
+    }
+  }
+  result.missing += ref.size() - i;
+  result.extra += tst.size() - j;
+  if (result.matched > 0) {
+    result.mean_abs_skew = skew_sum / static_cast<double>(result.matched);
+  }
+  return result;
+}
+
+}  // namespace halotis

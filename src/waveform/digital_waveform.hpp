@@ -1,0 +1,66 @@
+// Digital waveform: a logic signal as an initial value plus timestamped
+// edges (each edge also keeps its ramp duration for rendering/export).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/base/units.hpp"
+#include "src/core/transition.hpp"
+
+namespace halotis {
+
+/// One edge of a digital waveform, referenced to its midswing instant.
+struct DigitalEdge {
+  TimeNs time = 0.0;  ///< midswing (50 %) crossing
+  Edge sense = Edge::kRise;
+  TimeNs tau = 0.0;   ///< rail-to-rail ramp duration (0 if unknown)
+};
+
+class DigitalWaveform {
+ public:
+  DigitalWaveform() = default;
+  explicit DigitalWaveform(bool initial) : initial_(initial) {}
+
+  /// Builds from simulator output: initial value + surviving transitions.
+  static DigitalWaveform from_transitions(bool initial, std::span<const Transition> history);
+
+  /// Appends an edge; must alternate with the previous edge's sense and be
+  /// later in time.
+  void append(TimeNs time, Edge sense, TimeNs tau = 0.0);
+
+  [[nodiscard]] bool initial_value() const { return initial_; }
+  [[nodiscard]] std::span<const DigitalEdge> edges() const { return edges_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+
+  /// Logic value at time t (midswing-referenced).
+  [[nodiscard]] bool value_at(TimeNs t) const;
+  /// Value after all edges.
+  [[nodiscard]] bool final_value() const;
+  /// Number of pulses (pairs of opposite edges) narrower than `width`.
+  [[nodiscard]] std::size_t pulses_narrower_than(TimeNs width) const;
+
+ private:
+  bool initial_ = false;
+  std::vector<DigitalEdge> edges_;
+};
+
+/// Result of matching the edges of two digital waveforms in time order.
+struct WaveformMatch {
+  std::size_t matched = 0;    ///< edge pairs (same sense) within tolerance
+  std::size_t missing = 0;    ///< edges of the reference absent in the test
+  std::size_t extra = 0;      ///< edges of the test absent in the reference
+  double mean_abs_skew = 0.0; ///< mean |t_test - t_ref| of matched pairs, ns
+  double max_abs_skew = 0.0;
+
+  [[nodiscard]] bool exact_count() const { return missing == 0 && extra == 0; }
+};
+
+/// Greedy in-order matching of same-sense edges within `tolerance` ns.
+/// Reference first; symmetric counts reported in the result.
+[[nodiscard]] WaveformMatch match_waveforms(const DigitalWaveform& reference,
+                                            const DigitalWaveform& test,
+                                            TimeNs tolerance);
+
+}  // namespace halotis

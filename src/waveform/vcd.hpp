@@ -1,0 +1,41 @@
+// Value-change-dump (IEEE 1364) writer for digital waveforms, so HALOTIS
+// results can be inspected in GTKWave & co.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/base/units.hpp"
+#include "src/waveform/digital_waveform.hpp"
+
+namespace halotis {
+
+class VcdWriter {
+ public:
+  /// `timescale_ps` sets the VCD timescale (default 1 ps resolution).
+  explicit VcdWriter(std::string module_name = "halotis", int timescale_ps = 1)
+      : module_(std::move(module_name)), timescale_ps_(timescale_ps) {}
+
+  /// Registers a signal; order defines header order.
+  void add_signal(std::string name, const DigitalWaveform& wave);
+
+  /// Writes the complete dump.
+  void write(std::ostream& out) const;
+
+  /// Convenience: full dump as a string.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    DigitalWaveform wave;
+  };
+  [[nodiscard]] static std::string id_for(std::size_t index);
+
+  std::string module_;
+  int timescale_ps_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace halotis

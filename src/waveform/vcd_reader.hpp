@@ -1,0 +1,26 @@
+// VCD (value-change-dump) reader: loads scalar wire waveforms back into
+// DigitalWaveform objects, closing the export/import loop (diff two dumps,
+// regression-compare against another simulator's output).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/waveform/digital_waveform.hpp"
+
+namespace halotis {
+
+struct VcdDocument {
+  /// Timescale of one VCD tick in nanoseconds.
+  double tick_ns = 0.001;
+  /// Scalar signals by (scope-less) name.
+  std::map<std::string, DigitalWaveform> signals;
+};
+
+/// Parses a VCD dump (the subset VcdWriter produces plus common variants:
+/// scalar wires/regs, $dumpvars, 0/1 value changes; x/z values and vectors
+/// are rejected with a clear message).
+[[nodiscard]] VcdDocument read_vcd(std::string_view text);
+
+}  // namespace halotis

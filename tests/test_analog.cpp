@@ -1,0 +1,334 @@
+// Tests for the analog reference simulator: device models, pull networks,
+// transient behaviour, DC transfer, and the *emergent* degradation and
+// threshold-discrimination effects the paper models.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "src/analog/analog_sim.hpp"
+#include "src/analog/device.hpp"
+#include "src/analog/pull_network.hpp"
+#include "src/circuits/generators.hpp"
+
+namespace halotis {
+namespace {
+
+TEST(Device, CutoffSaturationTriode) {
+  const MosParams p{0.040, 0.8, 0.05, 0.6};
+  EXPECT_DOUBLE_EQ(nmos_current(p, 1.8, 0.5, 2.0), 0.0);   // vgs < vt
+  EXPECT_DOUBLE_EQ(nmos_current(p, 1.8, 2.0, 0.0), 0.0);   // vds = 0
+  EXPECT_DOUBLE_EQ(nmos_current(p, 1.8, 2.0, -1.0), 0.0);  // no reverse
+  const double beta = 0.040 * 3.0;
+  // Saturation at vgs = 2, vds = 3 (vov = 1.2 < vds).
+  const double sat = nmos_current(p, 1.8, 2.0, 3.0);
+  EXPECT_NEAR(sat, 0.5 * beta * 1.2 * 1.2 * (1.0 + 0.05 * 3.0), 1e-12);
+  // Triode at vds = 0.5 < vov.
+  const double triode = nmos_current(p, 1.8, 2.0, 0.5);
+  EXPECT_NEAR(triode, beta * (1.2 * 0.5 - 0.125) * (1.0 + 0.05 * 0.5), 1e-12);
+  EXPECT_LT(triode, sat);
+}
+
+TEST(Device, CurrentMonotoneInGateVoltage) {
+  const MosParams p{0.040, 0.8, 0.05, 0.6};
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 5.0; vg += 0.25) {
+    const double i = nmos_current(p, 1.8, vg, 2.5);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Device, PmosMirrorsNmos) {
+  const MosParams p{0.016, 0.9, 0.05, 0.6};
+  // PMOS with gate at 0 and drain at 2: |vgs| = 5, |vds| = 3.
+  EXPECT_NEAR(pmos_current(p, 4.5, 5.0, 0.0, 2.0), nmos_current(p, 4.5, 5.0, 3.0), 1e-15);
+  EXPECT_DOUBLE_EQ(pmos_current(p, 4.5, 5.0, 5.0, 2.0), 0.0);  // gate high: off
+}
+
+TEST(PullExpr, ConductionAndDuality) {
+  // AOI21 pull-down: (a*b) + c.
+  const PullExpr pdn = PullExpr::parallel(
+      {PullExpr::series({PullExpr::leaf(0), PullExpr::leaf(1)}), PullExpr::leaf(2)});
+  const std::array<bool, 3> ab_only{true, true, false};
+  const std::array<bool, 3> c_only{false, false, true};
+  const std::array<bool, 3> a_only{true, false, false};
+  EXPECT_TRUE(pdn.conducts(std::span<const bool>(ab_only.data(), 3)));
+  EXPECT_TRUE(pdn.conducts(std::span<const bool>(c_only.data(), 3)));
+  EXPECT_FALSE(pdn.conducts(std::span<const bool>(a_only.data(), 3)));
+
+  // Dual (pull-up) conducts exactly when the PDN does not, over all inputs.
+  const PullExpr pun = pdn.dual();
+  for (unsigned pattern = 0; pattern < 8; ++pattern) {
+    bool vals[3];
+    bool inverted[3];
+    for (int b = 0; b < 3; ++b) {
+      vals[b] = ((pattern >> b) & 1u) != 0;
+      inverted[b] = !vals[b];  // PMOS gates see complemented effectiveness
+    }
+    EXPECT_NE(pdn.conducts(std::span<const bool>(vals, 3)),
+              pun.conducts(std::span<const bool>(inverted, 3)))
+        << "pattern " << pattern;
+  }
+}
+
+TEST(PullExpr, SeriesCurrentIsLimited) {
+  const MosParams nmos{0.040, 0.8, 0.05, 0.6};
+  const PullExpr single = PullExpr::leaf(0);
+  const PullExpr stack =
+      PullExpr::series({PullExpr::leaf(0), PullExpr::leaf(1)});
+  const std::array<double, 2> both_on{5.0, 5.0};
+  const double i1 = pdn_current(single, nmos, 1.8, std::span<const double>(both_on.data(), 1), 2.5);
+  const double i2 = pdn_current(stack, nmos, 1.8, std::span<const double>(both_on.data(), 2), 2.5);
+  EXPECT_LT(i2, i1);       // stack conducts less
+  EXPECT_GT(i2, 0.3 * i1); // but not pathologically less
+  const std::array<double, 2> one_off{5.0, 0.0};
+  EXPECT_DOUBLE_EQ(
+      pdn_current(stack, nmos, 1.8, std::span<const double>(one_off.data(), 2), 2.5), 0.0);
+}
+
+TEST(PullExpr, ParallelCurrentAdds) {
+  const MosParams nmos{0.040, 0.8, 0.05, 0.6};
+  const PullExpr pair = PullExpr::parallel({PullExpr::leaf(0), PullExpr::leaf(1)});
+  const std::array<double, 2> both{5.0, 5.0};
+  const std::array<double, 2> one{5.0, 0.0};
+  const double i_both = pdn_current(pair, nmos, 1.8, std::span<const double>(both.data(), 2), 2.5);
+  const double i_one = pdn_current(pair, nmos, 1.8, std::span<const double>(one.data(), 2), 2.5);
+  EXPECT_NEAR(i_both, 2.0 * i_one, 1e-12);
+}
+
+TEST(ExpandCell, StageCountsMatchStandardCells) {
+  EXPECT_EQ(expand_cell(CellKind::kInv).size(), 1u);
+  EXPECT_EQ(expand_cell(CellKind::kBuf).size(), 2u);
+  EXPECT_EQ(expand_cell(CellKind::kNand3).size(), 1u);
+  EXPECT_EQ(expand_cell(CellKind::kAnd2).size(), 2u);
+  EXPECT_EQ(expand_cell(CellKind::kXor2).size(), 4u);
+  EXPECT_EQ(expand_cell(CellKind::kXor3).size(), 8u);
+  EXPECT_EQ(expand_cell(CellKind::kMux2).size(), 3u);
+  EXPECT_EQ(expand_cell(CellKind::kMaj3).size(), 2u);
+}
+
+/// Boolean check: for every cell kind and input pattern, evaluating the
+/// stage expansion (output = !(PDN conducts), cascaded) must reproduce
+/// eval_cell.
+TEST(ExpandCell, BooleanEquivalenceAllKinds) {
+  constexpr CellKind kKinds[] = {
+      CellKind::kBuf,   CellKind::kInv,   CellKind::kAnd2,  CellKind::kAnd3,
+      CellKind::kAnd4,  CellKind::kNand2, CellKind::kNand3, CellKind::kNand4,
+      CellKind::kOr2,   CellKind::kOr3,   CellKind::kOr4,   CellKind::kNor2,
+      CellKind::kNor3,  CellKind::kNor4,  CellKind::kXor2,  CellKind::kXor3,
+      CellKind::kXnor2, CellKind::kAoi21, CellKind::kAoi22, CellKind::kOai21,
+      CellKind::kOai22, CellKind::kMux2,  CellKind::kMaj3};
+  for (const CellKind kind : kKinds) {
+    const auto stages = expand_cell(kind);
+    const int n = num_inputs(kind);
+    for (unsigned pattern = 0; pattern < (1u << n); ++pattern) {
+      bool pins[4];
+      for (int b = 0; b < n; ++b) pins[b] = ((pattern >> b) & 1u) != 0;
+      std::vector<bool> stage_out(stages.size());
+      for (std::size_t s = 0; s < stages.size(); ++s) {
+        bool slots[8];
+        for (std::size_t k = 0; k < stages[s].sources.size(); ++k) {
+          const StageSource& src = stages[s].sources[k];
+          slots[k] = src.internal ? stage_out[static_cast<std::size_t>(src.index)]
+                                  : pins[src.index];
+        }
+        stage_out[s] = !stages[s].pdn.conducts(
+            std::span<const bool>(slots, stages[s].sources.size()));
+      }
+      EXPECT_EQ(stage_out.back(),
+                eval_cell(kind, std::span<const bool>(pins, static_cast<std::size_t>(n))))
+          << cell_kind_name(kind) << " pattern " << pattern;
+    }
+  }
+}
+
+class AnalogSimTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+};
+
+TEST_F(AnalogSimTest, InverterTransientFullSwing) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  chain.netlist.set_wire_cap(chain.nodes[1], 0.05);
+  Stimulus stim(0.4);
+  stim.add_edge(chain.nodes[0], 5.0, true);
+  AnalogSim sim(chain.netlist);
+  sim.apply_stimulus(stim);
+  sim.run(10.0);
+
+  EXPECT_NEAR(sim.voltage(chain.nodes[1]), 0.0, 0.05);  // settled low
+  const DigitalWaveform wave = sim.trace(chain.nodes[1]).digitize(5.0);
+  ASSERT_EQ(wave.edge_count(), 1u);
+  EXPECT_EQ(wave.edges()[0].sense, Edge::kFall);
+  EXPECT_GT(wave.edges()[0].time, 5.0);        // causal
+  EXPECT_LT(wave.edges()[0].time, 5.6);        // sub-ns gate delay
+}
+
+TEST_F(AnalogSimTest, ChainAlternatesAndAccumulatesDelay) {
+  ChainCircuit chain = make_chain(lib_, 4);
+  Stimulus stim(0.4);
+  stim.add_edge(chain.nodes[0], 3.0, true);
+  AnalogSim sim(chain.netlist);
+  sim.apply_stimulus(stim);
+  sim.run(10.0);
+  TimeNs prev = 3.0;
+  for (std::size_t i = 1; i < chain.nodes.size(); ++i) {
+    const DigitalWaveform wave = sim.trace(chain.nodes[i]).digitize(5.0);
+    ASSERT_EQ(wave.edge_count(), 1u) << "stage " << i;
+    EXPECT_EQ(wave.edges()[0].sense, i % 2 == 1 ? Edge::kFall : Edge::kRise);
+    EXPECT_GT(wave.edges()[0].time, prev);
+    prev = wave.edges()[0].time;
+  }
+}
+
+TEST_F(AnalogSimTest, DcTransferOfInverterIsMonotone) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  AnalogSim sim(chain.netlist);
+  double prev_out = 6.0;
+  for (double vin = 0.0; vin <= 5.0; vin += 0.5) {
+    const std::array<Volt, 1> pis{vin};
+    const auto solution = sim.dc_solve(std::span<const Volt>(pis.data(), 1));
+    const double vout = solution[chain.nodes[1].value()];
+    EXPECT_LE(vout, prev_out + 1e-6);
+    prev_out = vout;
+  }
+  // Rails at the extremes.
+  const std::array<Volt, 1> low{0.0};
+  EXPECT_NEAR(sim.dc_solve(std::span<const Volt>(low.data(), 1))[chain.nodes[1].value()],
+              5.0, 0.01);
+  const std::array<Volt, 1> high{5.0};
+  EXPECT_NEAR(sim.dc_solve(std::span<const Volt>(high.data(), 1))[chain.nodes[1].value()],
+              0.0, 0.01);
+}
+
+TEST_F(AnalogSimTest, DegradationEmergesFromElectricalBehaviour) {
+  // Narrower input pulses produce disproportionately narrower output
+  // pulses, and short enough pulses vanish -- without any delay *model*.
+  double last_shrink = -1.0;
+  bool saw_filtered = false;
+  for (const double width : {0.15, 0.3, 0.5, 1.0, 2.0}) {
+    ChainCircuit chain = make_chain(lib_, 1);
+    chain.netlist.set_wire_cap(chain.nodes[1], 0.08);
+    Stimulus stim(0.4);
+    stim.add_edge(chain.nodes[0], 5.0, true);
+    stim.add_edge(chain.nodes[0], 5.0 + width, false);
+    AnalogSim sim(chain.netlist);
+    sim.apply_stimulus(stim);
+    sim.run(12.0);
+    const DigitalWaveform wave = sim.trace(chain.nodes[1]).digitize(5.0);
+    if (wave.edge_count() == 0) {
+      saw_filtered = true;
+      continue;
+    }
+    ASSERT_EQ(wave.edge_count(), 2u) << "width " << width;
+    const double out_width = wave.edges()[1].time - wave.edges()[0].time;
+    const double shrink = width - out_width;
+    if (last_shrink >= 0.0) {
+      EXPECT_LE(shrink, last_shrink + 0.02) << "width " << width;
+    }
+    last_shrink = shrink;
+  }
+  EXPECT_TRUE(saw_filtered) << "the 150 ps pulse should die electrically";
+}
+
+TEST_F(AnalogSimTest, SkewedInvertersDiscriminateRuntPulses) {
+  // The Fig. 1 mechanism, purely electrical: a degraded pulse drives both
+  // skewed inverters; only one responds.
+  Fig1Circuit fx = make_fig1(lib_);
+  Stimulus stim(0.5);
+  // Falling pulse: after three inversions out0 carries a *positive*
+  // degraded runt, which the low-VM inverter sees and the high-VM one does
+  // not.
+  stim.set_initial(fx.in, true);
+  stim.add_edge(fx.in, 5.0, false);
+  stim.add_edge(fx.in, 5.9, true);
+  AnalogSim sim(fx.netlist);
+  sim.apply_stimulus(stim);
+  sim.run(16.0);
+
+  const auto out1_edges = sim.trace(fx.out1).digitize(5.0).edge_count();
+  const auto out2_edges = sim.trace(fx.out2).digitize(5.0).edge_count();
+  EXPECT_GE(out1_edges, 2u) << "low-threshold chain must see the pulse";
+  EXPECT_EQ(out2_edges, 0u) << "high-threshold chain must filter it";
+}
+
+TEST_F(AnalogSimTest, DischargeMatchesClosedFormSquareLawSolution) {
+  // An inverter whose input steps high discharges its output capacitor
+  // through the NMOS alone (PMOS cut off).  With lambda = 0 the square-law
+  // ODE has a closed form:
+  //   saturation (v >= vov):   t = C (v0 - v) / Isat
+  //   triode (v < vov):        t = t_sat + (C/(beta vov)) *
+  //                            ln( (vov/(vov - v/2)) * ((vov - vov/2)/v)
+  //                            ... evaluated between vov and v
+  // and the simulated trace must follow it to within integration error.
+  AnalogConfig config;
+  config.tech.nmos.lambda = 0.0;
+  config.tech.pmos.lambda = 0.0;
+  config.dt = 0.001;
+  config.sample_dt = 0.002;
+
+  Netlist nl(lib_);
+  const SignalId in = nl.add_primary_input("in");
+  const SignalId out = nl.add_signal("out");
+  nl.mark_primary_output(out);
+  nl.set_wire_cap(out, 0.2);  // dominate parasitics for a clean C
+  const std::array<SignalId, 1> ins{in};
+  (void)nl.add_gate("g", CellKind::kInv, ins, out);
+
+  AnalogSim sim(nl, config);
+  Stimulus stim(0.002);  // near-step input
+  stim.add_edge(in, 1.0, true, 0.002);
+  sim.apply_stimulus(stim);
+  sim.run(40.0);
+
+  // Effective device and node constants (mirror of the construction).
+  const MosParams& nmos = config.tech.nmos;
+  const Cell& inv = lib_.cell(lib_.by_kind(CellKind::kInv));
+  const double beta = nmos.k_prime * (inv.sizing.wn_um / nmos.l_um);
+  const double vdd = config.tech.vdd;
+  const double vov = vdd - nmos.vt;
+  const double cap = 0.2 + config.tech.node_floor_cap +
+                     config.tech.cd_ff_per_um * (inv.sizing.wn_um + inv.sizing.wp_um) *
+                         1e-3;
+  const double isat = 0.5 * beta * vov * vov;
+  const double t0 = 1.001;  // input reaches the rail
+
+  const auto analytic_time_to = [&](double v) {
+    double t = 0.0;
+    if (v >= vov) return cap * (vdd - v) / isat;
+    t = cap * (vdd - vov) / isat;  // saturation segment
+    // Triode: t += (C/(beta*vov)) * [ln(x/(vov - x/2))]_{v}^{vov}
+    const auto f = [&](double x) { return std::log(x / (vov - 0.5 * x)); };
+    t += cap / (beta * vov) * (f(vov) - f(v));
+    return t;
+  };
+
+  for (const double level : {4.5, 4.2, 3.5, 2.5, 1.5, 0.8}) {
+    const auto crossings = sim.trace(out).crossings(level, Edge::kFall);
+    ASSERT_EQ(crossings.size(), 1u) << "level " << level;
+    EXPECT_NEAR(crossings[0] - t0, analytic_time_to(level),
+                0.01 + 0.02 * analytic_time_to(level))
+        << "level " << level;
+  }
+}
+
+TEST_F(AnalogSimTest, StimulusRequiredBeforeRun) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  AnalogSim sim(chain.netlist);
+  EXPECT_THROW(sim.run(1.0), ContractViolation);
+}
+
+TEST_F(AnalogSimTest, TraceSamplingGrid) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  Stimulus stim(0.4);
+  AnalogSim sim(chain.netlist, AnalogConfig{0.002, 0.02, TechnologyParams::u6()});
+  sim.apply_stimulus(stim);
+  sim.run(1.0);
+  const AnalogTrace& trace = sim.trace(chain.nodes[0]);
+  EXPECT_DOUBLE_EQ(trace.dt(), 0.02);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 51.0, 2.0);  // 0..1 ns
+}
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,200 @@
+// Tests for the extended arithmetic generators: Wallace multiplier,
+// carry-lookahead adder, decoder, comparator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/rng.hpp"
+#include "src/circuits/arith.hpp"
+
+namespace halotis {
+namespace {
+
+class ArithTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+
+  std::vector<bool> steady(const Netlist& nl,
+                           const std::vector<std::pair<SignalId, bool>>& in) {
+    std::vector<bool> pi_values;
+    for (SignalId pi : nl.primary_inputs()) {
+      bool value = false;
+      for (const auto& [sig, v] : in) {
+        if (sig == pi) value = v;
+      }
+      pi_values.push_back(value);
+    }
+    std::unique_ptr<bool[]> buffer(new bool[pi_values.size()]);
+    for (std::size_t i = 0; i < pi_values.size(); ++i) buffer[i] = pi_values[i];
+    return nl.steady_state(std::span<const bool>(buffer.get(), pi_values.size()));
+  }
+};
+
+TEST_F(ArithTest, Wallace4x4Exhaustive) {
+  MultiplierCircuit mult = make_wallace_multiplier(lib_, 4);
+  EXPECT_NO_THROW(mult.netlist.check());
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<std::pair<SignalId, bool>> in;
+      for (int i = 0; i < 4; ++i) {
+        in.emplace_back(mult.a[static_cast<std::size_t>(i)], ((a >> i) & 1u) != 0);
+        in.emplace_back(mult.b[static_cast<std::size_t>(i)], ((b >> i) & 1u) != 0);
+      }
+      in.emplace_back(mult.tie0, false);
+      const auto values = steady(mult.netlist, in);
+      unsigned product = 0;
+      for (int k = 0; k < 8; ++k) {
+        if (values[mult.s[static_cast<std::size_t>(k)].value()]) product |= 1u << k;
+      }
+      ASSERT_EQ(product, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST_F(ArithTest, WallaceReductionIsLogDepth) {
+  // At these small widths the final carry-propagate adder dominates both
+  // architectures, so total depth is comparable; the tree's advantage shows
+  // in the *reduction* structure: its depth grows sub-linearly while the
+  // array's grows by a full adder row per operand bit.
+  const int a6 = make_multiplier(lib_, 6).netlist.depth();
+  const int a8 = make_multiplier(lib_, 8).netlist.depth();
+  const int w6 = make_wallace_multiplier(lib_, 6).netlist.depth();
+  const int w8 = make_wallace_multiplier(lib_, 8).netlist.depth();
+  EXPECT_LE(w6, a6 + 2);
+  EXPECT_LE(w8, a8 + 2);
+  // Growth from 6 to 8 bits: array adds two full FA rows, the tree less.
+  EXPECT_LT(w8 - w6, a8 - a6 + 1);
+}
+
+class WallaceWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(WallaceWidth, RandomSpotChecks) {
+  const int n = GetParam();
+  const Library lib = Library::default_u6();
+  MultiplierCircuit mult = make_wallace_multiplier(lib, n);
+  mult.netlist.check();
+  SplitMix64 rng(static_cast<std::uint64_t>(n) * 104729);
+  for (int trial = 0; trial < 16; ++trial) {
+    const auto a = rng.next_below(1ull << n);
+    const auto b = rng.next_below(1ull << n);
+    std::vector<bool> pi_values;
+    for (SignalId pi : mult.netlist.primary_inputs()) {
+      bool value = false;
+      for (int i = 0; i < n; ++i) {
+        if (pi == mult.a[static_cast<std::size_t>(i)]) value = ((a >> i) & 1u) != 0;
+        if (pi == mult.b[static_cast<std::size_t>(i)]) value = ((b >> i) & 1u) != 0;
+      }
+      pi_values.push_back(value);
+    }
+    std::unique_ptr<bool[]> buffer(new bool[pi_values.size()]);
+    for (std::size_t i = 0; i < pi_values.size(); ++i) buffer[i] = pi_values[i];
+    const auto values = mult.netlist.steady_state(
+        std::span<const bool>(buffer.get(), pi_values.size()));
+    std::uint64_t product = 0;
+    for (int k = 0; k < 2 * n; ++k) {
+      if (values[mult.s[static_cast<std::size_t>(k)].value()]) product |= 1ull << k;
+    }
+    ASSERT_EQ(product, a * b) << a << "*" << b << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WallaceWidth, ::testing::Values(2, 3, 5, 7));
+
+class ClaWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClaWidth, MatchesArithmetic) {
+  const int bits = GetParam();
+  const Library lib = Library::default_u6();
+  AdderCircuit adder = make_cla_adder(lib, bits);
+  adder.netlist.check();
+  SplitMix64 rng(static_cast<std::uint64_t>(bits) * 31337);
+  const int trials = bits <= 4 ? (1 << (2 * bits)) : 64;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t a;
+    std::uint64_t b;
+    if (bits <= 4) {
+      a = static_cast<std::uint64_t>(t) & ((1u << bits) - 1);
+      b = static_cast<std::uint64_t>(t) >> bits;
+    } else {
+      a = rng.next_below(1ull << bits);
+      b = rng.next_below(1ull << bits);
+    }
+    std::vector<bool> pi_values;
+    for (SignalId pi : adder.netlist.primary_inputs()) {
+      bool value = false;
+      for (int i = 0; i < bits; ++i) {
+        if (pi == adder.a[static_cast<std::size_t>(i)]) value = ((a >> i) & 1u) != 0;
+        if (pi == adder.b[static_cast<std::size_t>(i)]) value = ((b >> i) & 1u) != 0;
+      }
+      pi_values.push_back(value);
+    }
+    std::unique_ptr<bool[]> buffer(new bool[pi_values.size()]);
+    for (std::size_t i = 0; i < pi_values.size(); ++i) buffer[i] = pi_values[i];
+    const auto values = adder.netlist.steady_state(
+        std::span<const bool>(buffer.get(), pi_values.size()));
+    std::uint64_t sum = 0;
+    for (int k = 0; k <= bits; ++k) {
+      if (values[adder.sum[static_cast<std::size_t>(k)].value()]) sum |= 1ull << k;
+    }
+    ASSERT_EQ(sum, a + b) << a << "+" << b << " bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ClaWidth, ::testing::Values(1, 3, 4, 6, 8, 11));
+
+TEST_F(ArithTest, ClaIsShallowerThanRipple) {
+  AdderCircuit ripple = make_ripple_adder(lib_, 12);
+  AdderCircuit cla = make_cla_adder(lib_, 12);
+  EXPECT_LT(cla.netlist.depth(), ripple.netlist.depth());
+}
+
+TEST_F(ArithTest, DecoderOneHot) {
+  for (const int select_bits : {1, 2, 3}) {
+    DecoderCircuit dec = make_decoder(lib_, select_bits);
+    dec.netlist.check();
+    const int outputs = 1 << select_bits;
+    for (int address = 0; address < outputs; ++address) {
+      for (const bool enable : {false, true}) {
+        std::vector<std::pair<SignalId, bool>> in;
+        for (int i = 0; i < select_bits; ++i) {
+          in.emplace_back(dec.select[static_cast<std::size_t>(i)],
+                          ((address >> i) & 1) != 0);
+        }
+        in.emplace_back(dec.enable, enable);
+        const auto values = steady(dec.netlist, in);
+        for (int k = 0; k < outputs; ++k) {
+          const bool expected = enable && k == address;
+          ASSERT_EQ(values[dec.outputs[static_cast<std::size_t>(k)].value()], expected)
+              << "sel=" << select_bits << " addr=" << address << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ArithTest, ComparatorEquality) {
+  ComparatorCircuit cmp = make_comparator(lib_, 4);
+  cmp.netlist.check();
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<std::pair<SignalId, bool>> in;
+      for (int i = 0; i < 4; ++i) {
+        in.emplace_back(cmp.a[static_cast<std::size_t>(i)], ((a >> i) & 1u) != 0);
+        in.emplace_back(cmp.b[static_cast<std::size_t>(i)], ((b >> i) & 1u) != 0);
+      }
+      const auto values = steady(cmp.netlist, in);
+      ASSERT_EQ(values[cmp.equal.value()], a == b) << a << " vs " << b;
+    }
+  }
+}
+
+TEST_F(ArithTest, GeneratorContracts) {
+  EXPECT_THROW((void)make_wallace_multiplier(lib_, 1), ContractViolation);
+  EXPECT_THROW((void)make_cla_adder(lib_, 0), ContractViolation);
+  EXPECT_THROW((void)make_decoder(lib_, 0), ContractViolation);
+  EXPECT_THROW((void)make_decoder(lib_, 7), ContractViolation);
+  EXPECT_THROW((void)make_comparator(lib_, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,148 @@
+// Tests for the characterization flow: measurement fixtures, macro-model
+// fits, degradation fits (synthetic and analog-backed), VM extraction, and
+// agreement between the default library and the analog reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/characterize/characterize.hpp"
+
+namespace halotis {
+namespace {
+
+class CharacterizeTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+};
+
+TEST_F(CharacterizeTest, CellBenchShape) {
+  CellBench bench = make_cell_bench(lib_, "NAND2_X1", 0.05);
+  EXPECT_EQ(bench.pins.size(), 2u);
+  EXPECT_EQ(bench.netlist.num_gates(), 1u);
+  EXPECT_NEAR(bench.netlist.signal(bench.out).wire_cap, 0.05, 1e-12);
+  EXPECT_NO_THROW(bench.netlist.check());
+}
+
+TEST_F(CharacterizeTest, SensitizingAssignments) {
+  const Cell& nand = lib_.cell(lib_.find("NAND2_X1"));
+  const auto a = sensitizing_assignment(nand, 0, Edge::kRise);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a[1]);   // other pin must be 1 for NAND sensitization
+  EXPECT_FALSE(a[0]);  // rising edge starts low
+
+  const Cell& nor = lib_.cell(lib_.find("NOR2_X1"));
+  const auto b = sensitizing_assignment(nor, 1, Edge::kFall);
+  EXPECT_FALSE(b[0]);  // other pin must be 0 for NOR
+  EXPECT_TRUE(b[1]);   // falling edge starts high
+
+  const Cell& mux = lib_.cell(lib_.find("MUX2_X1"));
+  const auto c = sensitizing_assignment(mux, 0, Edge::kRise);
+  EXPECT_FALSE(c[2]);  // select must pick input a for pin 0 to control
+}
+
+TEST_F(CharacterizeTest, MeasuredDelayIsCausalAndLoadMonotone) {
+  const DelayMeasurement light = measure_delay(lib_, "INV_X1", 0, Edge::kRise, 0.02, 0.4);
+  const DelayMeasurement heavy = measure_delay(lib_, "INV_X1", 0, Edge::kRise, 0.12, 0.4);
+  EXPECT_EQ(light.out_edge, Edge::kFall);
+  EXPECT_GT(light.tp, 0.0);
+  EXPECT_GT(heavy.tp, light.tp);
+  EXPECT_GT(heavy.tau_out, light.tau_out);
+}
+
+TEST_F(CharacterizeTest, FitTp0AgreesWithLibrary) {
+  const std::vector<Farad> loads{0.02, 0.06, 0.12};
+  const std::vector<TimeNs> slews{0.2, 0.5, 1.0};
+  const MacroModelFit fit = fit_tp0(lib_, "INV_X1", 0, Edge::kRise, loads, slews);
+  EXPECT_GT(fit.r_squared, 0.95);
+  // The default library was calibrated from this flow: coefficients agree.
+  const EdgeTiming& lib_edge = lib_.cell(lib_.find("INV_X1")).pin(0).fall;
+  EXPECT_NEAR(fit.p_load, lib_edge.p_load, 0.5);
+  EXPECT_NEAR(fit.p_slew, lib_edge.p_slew, 0.08);
+  EXPECT_NEAR(fit.p0, lib_edge.p0, 0.05);
+}
+
+TEST_F(CharacterizeTest, FitDegradationRecoversSyntheticParameters) {
+  // Synthetic data generated exactly from eq. 1 must be recovered.
+  const double tp0 = 0.3;
+  const double tau = 0.18;
+  const double t0 = 0.04;
+  std::vector<DegradationPoint> points;
+  for (double t_elapsed = 0.06; t_elapsed < 0.9; t_elapsed += 0.05) {
+    DegradationPoint p;
+    p.t_elapsed = t_elapsed;
+    p.tp = tp0 * (1.0 - std::exp(-(t_elapsed - t0) / tau));
+    points.push_back(p);
+  }
+  const DegradationFit fit = fit_degradation(points, tp0);
+  EXPECT_NEAR(fit.tau, tau, 1e-9);
+  EXPECT_NEAR(fit.t0, t0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST_F(CharacterizeTest, FitDegradationHandlesDegenerateInput) {
+  std::vector<DegradationPoint> empty;
+  EXPECT_EQ(fit_degradation(empty, 0.3).points_used, 0);
+  // All settled points carry no information.
+  std::vector<DegradationPoint> settled(5);
+  for (auto& p : settled) {
+    p.t_elapsed = 10.0;
+    p.tp = 0.3;
+  }
+  const DegradationFit fit = fit_degradation(settled, 0.3);
+  EXPECT_EQ(fit.points_used, 0);
+  EXPECT_THROW((void)fit_degradation(settled, 0.0), ContractViolation);
+}
+
+TEST_F(CharacterizeTest, AnalogDegradationCurveFitsEquationOne) {
+  const std::vector<TimeNs> widths{0.38, 0.44, 0.52, 0.62, 0.75, 0.90};
+  // A rise-first pulse degrades the *falling-input* (output-rise) edge, so
+  // the settled reference is the opposite-edge delay.
+  const DelayMeasurement settled =
+      measure_delay(lib_, "INV_X1", 0, Edge::kFall, 0.10, 0.4);
+  const auto points =
+      measure_degradation(lib_, "INV_X1", 0, Edge::kRise, 0.10, 0.4, widths);
+  ASSERT_EQ(points.size(), widths.size());
+  const DegradationFit fit = fit_degradation(points, settled.tp);
+  EXPECT_GE(fit.points_used, 3);
+  EXPECT_GT(fit.tau, 0.0);
+  EXPECT_GT(fit.r_squared, 0.9) << "electrical degradation must follow eq. 1";
+}
+
+TEST_F(CharacterizeTest, NarrowPulsesFilteredInMeasurement) {
+  const std::vector<TimeNs> widths{0.05, 2.0};
+  const auto points =
+      measure_degradation(lib_, "INV_X1", 0, Edge::kRise, 0.10, 0.4, widths);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_TRUE(points[0].filtered);
+  EXPECT_FALSE(points[1].filtered);
+}
+
+TEST_F(CharacterizeTest, MeasuredVmMatchesLibraryThresholds) {
+  EXPECT_NEAR(measure_vm(lib_, "INV_X1", 0), lib_.cell(lib_.find("INV_X1")).pin(0).vt,
+              0.06);
+  EXPECT_NEAR(measure_vm(lib_, "NAND2_X1", 0), lib_.cell(lib_.find("NAND2_X1")).pin(0).vt,
+              0.06);
+  EXPECT_NEAR(measure_vm(lib_, "NOR2_X1", 0), lib_.cell(lib_.find("NOR2_X1")).pin(0).vt,
+              0.06);
+  EXPECT_NEAR(measure_vm(lib_, "INV_LVT", 0), 1.86, 0.06);
+  EXPECT_NEAR(measure_vm(lib_, "INV_HVT", 0), 3.20, 0.06);
+}
+
+TEST_F(CharacterizeTest, CharacterizeLibraryRefitsCells) {
+  const std::vector<std::string_view> cells{"INV_X1"};
+  CharacterizeOptions options;
+  options.fit_degradation = false;  // keep the test fast
+  const Library fitted = characterize_library(lib_, cells, options);
+  const Cell& cell = fitted.cell(fitted.find("INV_X1"));
+  // Fitted values are close to (but not byte-identical with) the defaults.
+  const Cell& original = lib_.cell(lib_.find("INV_X1"));
+  EXPECT_NEAR(cell.pin(0).vt, original.pin(0).vt, 0.06);
+  EXPECT_NEAR(cell.pin(0).fall.p_load, original.pin(0).fall.p_load, 0.5);
+  EXPECT_GT(cell.pin(0).fall.p_load, 1.0);
+  // Untouched cells remain identical.
+  EXPECT_DOUBLE_EQ(fitted.cell(fitted.find("NAND2_X1")).pin(0).fall.p0,
+                   lib_.cell(lib_.find("NAND2_X1")).pin(0).fall.p0);
+}
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,229 @@
+// Tests for the circuit generators, including exhaustive functional
+// verification of the paper's 4x4 multiplier.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "src/base/rng.hpp"
+#include "src/circuits/generators.hpp"
+
+namespace halotis {
+namespace {
+
+class CircuitsTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+};
+
+/// Evaluates a circuit's steady state for the given input word map.
+std::vector<bool> steady(const Netlist& nl, const std::vector<std::pair<SignalId, bool>>& in) {
+  std::vector<bool> pi_values;
+  for (SignalId pi : nl.primary_inputs()) {
+    bool value = false;
+    for (const auto& [sig, v] : in) {
+      if (sig == pi) value = v;
+    }
+    pi_values.push_back(value);
+  }
+  std::unique_ptr<bool[]> buffer(new bool[pi_values.size()]);
+  for (std::size_t i = 0; i < pi_values.size(); ++i) buffer[i] = pi_values[i];
+  return nl.steady_state(std::span<const bool>(buffer.get(), pi_values.size()));
+}
+
+TEST_F(CircuitsTest, ChainStructure) {
+  ChainCircuit chain = make_chain(lib_, 5);
+  EXPECT_EQ(chain.netlist.num_gates(), 5u);
+  EXPECT_EQ(chain.nodes.size(), 6u);
+  EXPECT_EQ(chain.netlist.depth(), 5);
+  EXPECT_NO_THROW(chain.netlist.check());
+  // Odd chain inverts.
+  const auto values = steady(chain.netlist, {{chain.nodes[0], true}});
+  EXPECT_FALSE(values[chain.nodes[5].value()]);
+}
+
+TEST_F(CircuitsTest, Fig1Structure) {
+  Fig1Circuit fx = make_fig1(lib_);
+  EXPECT_EQ(fx.netlist.num_gates(), 7u);  // 3 + 2 + 2 inverters
+  EXPECT_NO_THROW(fx.netlist.check());
+  // out0 fans out to exactly the two skewed inverters.
+  EXPECT_EQ(fx.netlist.signal(fx.out0).fanout.size(), 2u);
+  const auto values = steady(fx.netlist, {{fx.in, false}});
+  EXPECT_TRUE(values[fx.out0.value()]);   // three inversions of 0
+  EXPECT_FALSE(values[fx.out1.value()]);
+  EXPECT_TRUE(values[fx.out1c.value()]);
+}
+
+TEST_F(CircuitsTest, FullAdderTruthTable) {
+  for (unsigned pattern = 0; pattern < 8; ++pattern) {
+    Netlist nl(lib_);
+    const SignalId a = nl.add_primary_input("a");
+    const SignalId b = nl.add_primary_input("b");
+    const SignalId c = nl.add_primary_input("c");
+    const FullAdderPorts fa = add_full_adder(nl, "fa", a, b, c);
+    const bool va = (pattern & 1) != 0;
+    const bool vb = (pattern & 2) != 0;
+    const bool vc = (pattern & 4) != 0;
+    const auto values = steady(nl, {{a, va}, {b, vb}, {c, vc}});
+    const int total = (va ? 1 : 0) + (vb ? 1 : 0) + (vc ? 1 : 0);
+    EXPECT_EQ(values[fa.sum.value()], total % 2 == 1) << pattern;
+    EXPECT_EQ(values[fa.cout.value()], total >= 2) << pattern;
+  }
+}
+
+TEST_F(CircuitsTest, RippleAdderExhaustive4Bit) {
+  AdderCircuit adder = make_ripple_adder(lib_, 4);
+  EXPECT_NO_THROW(adder.netlist.check());
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<std::pair<SignalId, bool>> in;
+      for (int i = 0; i < 4; ++i) {
+        in.emplace_back(adder.a[static_cast<std::size_t>(i)], ((a >> i) & 1u) != 0);
+        in.emplace_back(adder.b[static_cast<std::size_t>(i)], ((b >> i) & 1u) != 0);
+      }
+      in.emplace_back(adder.tie0, false);
+      const auto values = steady(adder.netlist, in);
+      unsigned result = 0;
+      for (int i = 0; i < 5; ++i) {
+        if (values[adder.sum[static_cast<std::size_t>(i)].value()]) result |= 1u << i;
+      }
+      ASSERT_EQ(result, a + b) << a << "+" << b;
+    }
+  }
+}
+
+TEST_F(CircuitsTest, Multiplier4x4Exhaustive) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  EXPECT_NO_THROW(mult.netlist.check());
+  EXPECT_EQ(mult.s.size(), 8u);
+  // Paper Fig. 5 structure: 16 AND gates + 16 five-gate full adders.
+  EXPECT_EQ(mult.netlist.num_gates(), 16u + 16u * 5u);
+
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<std::pair<SignalId, bool>> in;
+      for (int i = 0; i < 4; ++i) {
+        in.emplace_back(mult.a[static_cast<std::size_t>(i)], ((a >> i) & 1u) != 0);
+        in.emplace_back(mult.b[static_cast<std::size_t>(i)], ((b >> i) & 1u) != 0);
+      }
+      in.emplace_back(mult.tie0, false);
+      const auto values = steady(mult.netlist, in);
+      unsigned product = 0;
+      for (int k = 0; k < 8; ++k) {
+        if (values[mult.s[static_cast<std::size_t>(k)].value()]) product |= 1u << k;
+      }
+      ASSERT_EQ(product, a * b) << a << "*" << b;
+    }
+  }
+}
+
+class MultiplierWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierWidth, RandomSpotChecks) {
+  const int n = GetParam();
+  const Library lib = Library::default_u6();
+  MultiplierCircuit mult = make_multiplier(lib, n);
+  EXPECT_NO_THROW(mult.netlist.check());
+  SplitMix64 rng(static_cast<std::uint64_t>(n) * 7919);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = rng.next_below(1ull << n);
+    const auto b = rng.next_below(1ull << n);
+    std::vector<std::pair<SignalId, bool>> in;
+    for (int i = 0; i < n; ++i) {
+      in.emplace_back(mult.a[static_cast<std::size_t>(i)], ((a >> i) & 1u) != 0);
+      in.emplace_back(mult.b[static_cast<std::size_t>(i)], ((b >> i) & 1u) != 0);
+    }
+    in.emplace_back(mult.tie0, false);
+    const auto values = steady(mult.netlist, in);
+    std::uint64_t product = 0;
+    for (int k = 0; k < 2 * n; ++k) {
+      if (values[mult.s[static_cast<std::size_t>(k)].value()]) product |= 1ull << k;
+    }
+    ASSERT_EQ(product, a * b) << a << "*" << b << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultiplierWidth, ::testing::Values(2, 3, 5, 6, 8));
+
+TEST_F(CircuitsTest, ParityTree) {
+  ParityCircuit parity = make_parity_tree(lib_, 8);
+  EXPECT_NO_THROW(parity.netlist.check());
+  for (unsigned pattern = 0; pattern < 256; ++pattern) {
+    std::vector<std::pair<SignalId, bool>> in;
+    int ones = 0;
+    for (int i = 0; i < 8; ++i) {
+      const bool bit = ((pattern >> i) & 1u) != 0;
+      in.emplace_back(parity.inputs[static_cast<std::size_t>(i)], bit);
+      ones += bit ? 1 : 0;
+    }
+    const auto values = steady(parity.netlist, in);
+    ASSERT_EQ(values[parity.parity.value()], ones % 2 == 1) << pattern;
+  }
+}
+
+TEST_F(CircuitsTest, C17TruthTable) {
+  C17Circuit c17 = make_c17(lib_);
+  EXPECT_EQ(c17.netlist.num_gates(), 6u);
+  // Independent oracle for the two outputs.
+  for (unsigned pattern = 0; pattern < 32; ++pattern) {
+    const bool n1 = (pattern & 1) != 0;
+    const bool n2 = (pattern & 2) != 0;
+    const bool n3 = (pattern & 4) != 0;
+    const bool n6 = (pattern & 8) != 0;
+    const bool n7 = (pattern & 16) != 0;
+    std::vector<std::pair<SignalId, bool>> in{{c17.inputs[0], n1}, {c17.inputs[1], n2},
+                                              {c17.inputs[2], n3}, {c17.inputs[3], n6},
+                                              {c17.inputs[4], n7}};
+    const auto values = steady(c17.netlist, in);
+    const bool g10 = !(n1 && n3);
+    const bool g11 = !(n3 && n6);
+    const bool g16 = !(n2 && g11);
+    const bool g19 = !(g11 && n7);
+    ASSERT_EQ(values[c17.outputs[0].value()], !(g10 && g16)) << pattern;
+    ASSERT_EQ(values[c17.outputs[1].value()], !(g16 && g19)) << pattern;
+  }
+}
+
+TEST_F(CircuitsTest, RandomCircuitWellFormedAndDeterministic) {
+  RandomCircuit r1 = make_random_circuit(lib_, 8, 60, 42);
+  RandomCircuit r2 = make_random_circuit(lib_, 8, 60, 42);
+  EXPECT_NO_THROW(r1.netlist.check());
+  EXPECT_EQ(r1.netlist.num_gates(), 60u);
+  EXPECT_FALSE(r1.outputs.empty());
+  EXPECT_FALSE(r1.netlist.has_combinational_cycles());
+  // Determinism: identical structure for identical seeds.
+  EXPECT_EQ(r1.netlist.num_signals(), r2.netlist.num_signals());
+  for (std::size_t g = 0; g < r1.netlist.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    EXPECT_EQ(r1.netlist.gate(gid).inputs, r2.netlist.gate(gid).inputs);
+  }
+  RandomCircuit r3 = make_random_circuit(lib_, 8, 60, 43);
+  bool differs = r3.netlist.num_signals() != r1.netlist.num_signals();
+  for (std::size_t g = 0; !differs && g < 60; ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    differs = r1.netlist.gate(gid).inputs != r3.netlist.gate(gid).inputs ||
+              r1.netlist.gate(gid).cell != r3.netlist.gate(gid).cell;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(CircuitsTest, NandLatchHoldsState) {
+  LatchCircuit latch = make_nand_latch(lib_);
+  EXPECT_TRUE(latch.netlist.has_combinational_cycles());
+  const auto set = steady(latch.netlist, {{latch.set_n, false}, {latch.reset_n, true}});
+  EXPECT_TRUE(set[latch.q.value()]);
+  EXPECT_FALSE(set[latch.qn.value()]);
+  const auto reset = steady(latch.netlist, {{latch.set_n, true}, {latch.reset_n, false}});
+  EXPECT_FALSE(reset[latch.q.value()]);
+  EXPECT_TRUE(reset[latch.qn.value()]);
+}
+
+TEST_F(CircuitsTest, GeneratorContractViolations) {
+  EXPECT_THROW((void)make_chain(lib_, 0), ContractViolation);
+  EXPECT_THROW((void)make_multiplier(lib_, 1), ContractViolation);
+  EXPECT_THROW((void)make_parity_tree(lib_, 1), ContractViolation);
+  EXPECT_THROW((void)make_random_circuit(lib_, 1, 5, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,178 @@
+// Tests for the command-line driver (run through the library entry point;
+// files go to a per-test temp directory).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/tools/cli.hpp"
+
+namespace halotis {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("halotis_cli_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  int run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return run_cli(args, out_, err_);
+  }
+
+  std::filesystem::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+
+  static constexpr const char* kBench = R"(INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = NAND(a, b)
+y = NOT(n1)
+)";
+  static constexpr const char* kStim = R"(slew 0.4
+init a 0
+init b 1
+edge a 5.0 1
+edge a 10.0 0
+)";
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run({"help"}), 0);
+  EXPECT_NE(out_.str().find("usage"), std::string::npos);
+  EXPECT_EQ(run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+  EXPECT_EQ(run({}), 2);
+}
+
+TEST_F(CliTest, SimProducesStatsAndFinalValues) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  EXPECT_EQ(run({"sim", "--netlist", netlist, "--stim", stim, "--model", "ddm"}), 0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("HALOTIS-DDM"), std::string::npos);
+  EXPECT_NE(text.find("events: processed"), std::string::npos);
+  EXPECT_NE(text.find("y = 0"), std::string::npos);  // a falls back to 0
+}
+
+TEST_F(CliTest, SimWritesVcd) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  const std::string vcd = (dir_ / "out.vcd").string();
+  EXPECT_EQ(run({"sim", "--netlist", netlist, "--stim", stim, "--vcd", vcd}), 0);
+  std::ifstream file(vcd);
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(content.str().find("$var wire 1"), std::string::npos);
+}
+
+TEST_F(CliTest, SimReportAndWaves) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  EXPECT_EQ(run({"sim", "--netlist", netlist, "--stim", stim, "--report", "--waves"}), 0);
+  EXPECT_NE(out_.str().find("TOTAL"), std::string::npos);
+  EXPECT_NE(out_.str().find("t (ns)"), std::string::npos);
+}
+
+TEST_F(CliTest, StaPrintsCriticalPath) {
+  const std::string netlist = write("and2.bench", kBench);
+  EXPECT_EQ(run({"sta", "--netlist", netlist}), 0);
+  EXPECT_NE(out_.str().find("critical delay"), std::string::npos);
+  EXPECT_NE(out_.str().find("g_y"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultReportsCoverage) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  EXPECT_EQ(run({"fault", "--netlist", netlist, "--stim", stim}), 0);
+  EXPECT_NE(out_.str().find("stuck-at coverage"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultAtpgGeneratesVectors) {
+  const std::string netlist = write("and2.bench", kBench);
+  EXPECT_EQ(run({"fault", "--netlist", netlist, "--atpg", "--candidates", "40",
+                 "--seed", "5"}), 0);
+  EXPECT_NE(out_.str().find("ATPG:"), std::string::npos);
+  EXPECT_NE(out_.str().find("vectors (hex"), std::string::npos);
+  EXPECT_NE(out_.str().find("100%"), std::string::npos);  // tiny circuit: full coverage
+}
+
+TEST_F(CliTest, ConvertToSdf) {
+  const std::string netlist = write("and2.bench", kBench);
+  EXPECT_EQ(run({"convert", "--netlist", netlist, "--to", "sdf"}), 0);
+  EXPECT_NE(out_.str().find("(DELAYFILE"), std::string::npos);
+  EXPECT_NE(out_.str().find("(IOPATH A Y"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertRoundTripsFormats) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string verilog_path = (dir_ / "and2.v").string();
+  EXPECT_EQ(run({"convert", "--netlist", netlist, "--to", "verilog", "--out",
+                 verilog_path}), 0);
+  // And simulate the converted file.
+  const std::string stim = write("and2.stim", kStim);
+  EXPECT_EQ(run({"sim", "--netlist", verilog_path, "--stim", stim}), 0);
+  EXPECT_NE(out_.str().find("y = 0"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertToNativePrintsToStdout) {
+  const std::string netlist = write("and2.bench", kBench);
+  EXPECT_EQ(run({"convert", "--netlist", netlist, "--to", "native"}), 0);
+  EXPECT_NE(out_.str().find("gate g_y"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalogRunsAndWritesCsv) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  const std::string csv = (dir_ / "trace.csv").string();
+  EXPECT_EQ(run({"analog", "--netlist", netlist, "--stim", stim, "--t-end", "12",
+                 "--csv", csv}), 0);
+  EXPECT_NE(out_.str().find("stage evaluations"), std::string::npos);
+  std::ifstream file(csv);
+  ASSERT_TRUE(file.good());
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "t_ns,y");
+}
+
+TEST_F(CliTest, ErrorsAreReportedNotThrown) {
+  EXPECT_EQ(run({"sim", "--netlist", "/nonexistent/file.bench"}), 1);
+  EXPECT_NE(err_.str().find("error:"), std::string::npos);
+  const std::string netlist = write("and2.bench", kBench);
+  EXPECT_EQ(run({"sim", "--netlist", netlist, "--model", "bogus"}), 1);
+  EXPECT_NE(err_.str().find("unknown model"), std::string::npos);
+  EXPECT_EQ(run({"convert", "--netlist", netlist, "--to", "pdf"}), 1);
+  EXPECT_EQ(run({"sim"}), 1);  // missing --netlist
+}
+
+TEST_F(CliTest, ModelVariantsAllRun) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  for (const char* model : {"ddm", "cdm", "cdm-classical", "transport"}) {
+    EXPECT_EQ(run({"sim", "--netlist", netlist, "--stim", stim, "--model", model}), 0)
+        << model;
+  }
+}
+
+}  // namespace
+}  // namespace halotis

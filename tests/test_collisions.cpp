@@ -1,0 +1,189 @@
+// Input-collision tests (the paper's section 1 motivation, ref [5]:
+// "the gate's behavior when two or more input transitions happen close in
+// time may be quite different from the response to an isolate input
+// transition").  Sweeps two-input gates with both inputs switching at a
+// controlled separation and checks the engine against the electrical
+// reference.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/analog/analog_sim.hpp"
+#include "src/characterize/characterize.hpp"
+#include "src/core/simulator.hpp"
+
+namespace halotis {
+namespace {
+
+struct TwoInputFixture {
+  Netlist netlist;
+  SignalId a, b, y;
+
+  TwoInputFixture(const Library& lib, std::string_view cell) : netlist(lib) {
+    a = netlist.add_primary_input("a");
+    b = netlist.add_primary_input("b");
+    y = netlist.add_signal("y");
+    netlist.mark_primary_output(y);
+    netlist.set_wire_cap(y, 0.06);
+    const std::array<SignalId, 2> ins{a, b};
+    (void)netlist.add_gate("dut", lib.find(cell), ins, y);
+  }
+};
+
+class CollisionSkew : public ::testing::TestWithParam<double> {};
+
+// NAND2 with both inputs rising: output falls once, regardless of skew;
+// the timing follows the later (controlling) input.
+TEST_P(CollisionSkew, NandBothRiseSingleFall) {
+  const Library lib = Library::default_u6();
+  const double skew = GetParam();
+  TwoInputFixture fx(lib, "NAND2_X1");
+  Stimulus stim(0.4);
+  stim.add_edge(fx.a, 5.0, true);
+  stim.add_edge(fx.b, 5.0 + skew, true);
+
+  const DdmDelayModel ddm;
+  Simulator sim(fx.netlist, ddm);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+
+  const auto history = sim.history(fx.y);
+  ASSERT_EQ(history.size(), 1u) << "skew " << skew;
+  EXPECT_EQ(history[0].edge, Edge::kFall);
+  // The fall follows the later rise.
+  EXPECT_GT(history[0].t50(), 5.0 + skew);
+
+  AnalogSim analog(fx.netlist);
+  Stimulus stim2(0.4);
+  stim2.add_edge(fx.a, 5.0, true);
+  stim2.add_edge(fx.b, 5.0 + skew, true);
+  analog.apply_stimulus(stim2);
+  analog.run(5.0 + skew + 6.0);
+  const DigitalWaveform ref = analog.trace(fx.y).digitize(lib.vdd());
+  ASSERT_EQ(ref.edge_count(), 1u);
+  EXPECT_NEAR(history[0].t50(), ref.edges()[0].time, 0.25) << "skew " << skew;
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, CollisionSkew,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0));
+
+// NAND2 with a rising and a falling input (a rises, b falls): small skews
+// keep the output quiet, large skews make a 0-glitch.  Per-point agreement
+// at the exact boundary is not required (a borderline runt may sit just
+// above one engine's threshold and below the other's); what must agree is
+// the *location* of the glitch-onset boundary, and the final values at
+// every skew.
+TEST(Collision, NandCrossingInputsGlitchBoundaryMatchesAnalog) {
+  const Library lib = Library::default_u6();
+  const double skews[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.55, 0.7, 0.9, 1.2, 1.6, 2.2, 3.0};
+  double ddm_onset = -1.0;
+  double analog_onset = -1.0;
+  for (const double skew : skews) {
+    TwoInputFixture fx(lib, "NAND2_X1");
+    const auto stimulate = [&](auto& engine) {
+      Stimulus stim(0.4);
+      stim.set_initial(fx.b, true);
+      stim.add_edge(fx.a, 5.0, true);          // a: 0 -> 1
+      stim.add_edge(fx.b, 5.0 + skew, false);  // b: 1 -> 0 a bit later
+      engine.apply_stimulus(stim);
+    };
+    const DdmDelayModel ddm;
+    Simulator sim(fx.netlist, ddm);
+    stimulate(sim);
+    (void)sim.run();
+
+    AnalogSim analog(fx.netlist);
+    stimulate(analog);
+    analog.run(5.0 + skew + 8.0);
+
+    if (ddm_onset < 0.0 && sim.history(fx.y).size() >= 2) ddm_onset = skew;
+    if (analog_onset < 0.0 &&
+        analog.trace(fx.y).digitize(lib.vdd()).edge_count() >= 2) {
+      analog_onset = skew;
+    }
+    // Final value is 1 at every skew (b low blocks the NAND).
+    EXPECT_TRUE(sim.final_value(fx.y)) << "skew " << skew;
+    EXPECT_GT(analog.voltage(fx.y), 0.5 * lib.vdd()) << "skew " << skew;
+  }
+  ASSERT_GE(ddm_onset, 0.0) << "DDM never produced the glitch";
+  ASSERT_GE(analog_onset, 0.0) << "reference never produced the glitch";
+  EXPECT_NEAR(ddm_onset, analog_onset, 0.31)
+      << "glitch-onset boundaries diverge (DDM " << ddm_onset << ", analog "
+      << analog_onset << ")";
+}
+
+TEST(Collision, SimultaneousOppositeEdgesOnXorMakeNoSteadyChange) {
+  // a and b swap values at the same instant: XOR output starts and ends at
+  // 1; any activity in between must be a (possibly filtered) glitch pair.
+  const Library lib = Library::default_u6();
+  TwoInputFixture fx(lib, "XOR2_X1");
+  Stimulus stim(0.4);
+  stim.set_initial(fx.a, true);
+  stim.set_initial(fx.b, false);
+  stim.add_edge(fx.a, 5.0, false);
+  stim.add_edge(fx.b, 5.0, true);
+
+  const DdmDelayModel ddm;
+  Simulator sim(fx.netlist, ddm);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+  EXPECT_TRUE(sim.final_value(fx.y));
+  EXPECT_EQ(sim.history(fx.y).size() % 2, 0u);  // complete pulses only
+}
+
+TEST(Collision, NarrowingSkewReducesNorPulse) {
+  // NOR2: b held low, a emits a 1->0->1 dip -> output pulse; as the dip
+  // narrows, the output pulse narrows faster (degradation) and finally
+  // disappears.  Monotone behaviour, no discontinuity (paper section 2).
+  const Library lib = Library::default_u6();
+  double previous_width = 1e9;
+  bool vanished = false;
+  for (const double dip : {2.0, 1.2, 0.8, 0.55, 0.4, 0.3, 0.22, 0.16}) {
+    TwoInputFixture fx(lib, "NOR2_X1");
+    Stimulus stim(0.4);
+    stim.set_initial(fx.a, true);
+    stim.add_edge(fx.a, 5.0, false);
+    stim.add_edge(fx.a, 5.0 + dip, true);
+
+    const DdmDelayModel ddm;
+    Simulator sim(fx.netlist, ddm);
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+    const auto history = sim.history(fx.y);
+    if (history.empty()) {
+      vanished = true;
+      continue;
+    }
+    ASSERT_EQ(history.size(), 2u) << "dip " << dip;
+    EXPECT_FALSE(vanished) << "pulse reappeared after vanishing (dip " << dip << ")";
+    const double width = history[1].t50() - history[0].t50();
+    EXPECT_LT(width, previous_width + 1e-9) << "dip " << dip;
+    previous_width = width;
+  }
+  EXPECT_TRUE(vanished) << "narrowest dip should be filtered";
+}
+
+TEST(Collision, PinOrderMattersForDelay) {
+  // NAND2 pins carry different stack positions: the same event arriving on
+  // pin 0 vs pin 1 yields (slightly) different delays, as characterized.
+  const Library lib = Library::default_u6();
+  TimeNs t50[2];
+  for (const int pin : {0, 1}) {
+    TwoInputFixture fx(lib, "NAND2_X1");
+    Stimulus stim(0.4);
+    stim.set_initial(pin == 0 ? fx.b : fx.a, true);  // other pin enabled
+    stim.add_edge(pin == 0 ? fx.a : fx.b, 5.0, true);
+    const DdmDelayModel ddm;
+    Simulator sim(fx.netlist, ddm);
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+    const auto history = sim.history(fx.y);
+    ASSERT_EQ(history.size(), 1u);
+    t50[pin] = history[0].t50();
+  }
+  EXPECT_NE(t50[0], t50[1]);
+  EXPECT_LT(t50[0], t50[1]);  // pin 1 sits deeper in the stack
+}
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,112 @@
+// Cell-level conformance: for every library cell, pin and input edge, the
+// DDM's settled propagation delay must track the electrical reference
+// within tolerance -- the paper's core accuracy claim at single-cell
+// granularity.  Parameterized over the whole default library.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/characterize/characterize.hpp"
+#include "src/core/simulator.hpp"
+
+namespace halotis {
+namespace {
+
+struct ConformanceCase {
+  const char* cell;
+  int pin;
+};
+
+// Every distinct (cell, representative pin) pair of the default library;
+// pin 0 plus the last pin for multi-input cells (interior pins behave
+// between the two).
+const ConformanceCase kCases[] = {
+    {"INV_X1", 0},   {"INV_X2", 0},   {"INV_X4", 0},   {"BUF_X1", 0},
+    {"BUF_X2", 0},   {"INV_LVT", 0},  {"INV_HVT", 0},  {"NAND2_X1", 0},
+    {"NAND2_X1", 1}, {"NAND2_X2", 0}, {"NAND3_X1", 2}, {"NAND4_X1", 3},
+    {"NOR2_X1", 0},  {"NOR2_X1", 1},  {"NOR3_X1", 2},  {"NOR4_X1", 3},
+    {"AND2_X1", 0},  {"AND3_X1", 1},  {"AND4_X1", 3},  {"OR2_X1", 1},
+    {"OR3_X1", 2},   {"OR4_X1", 0},   {"XOR2_X1", 0},  {"XOR2_X1", 1},
+    {"XNOR2_X1", 0}, {"XOR3_X1", 2},  {"AOI21_X1", 0}, {"AOI21_X1", 2},
+    {"AOI22_X1", 1}, {"OAI21_X1", 0}, {"OAI22_X1", 3}, {"MUX2_X1", 0},
+    {"MUX2_X1", 2},  {"MAJ3_X1", 0},  {"MAJ3_X1", 2}};
+
+class CellConformance : public ::testing::TestWithParam<ConformanceCase> {};
+
+TEST_P(CellConformance, SettledDelayTracksAnalogReference) {
+  const Library lib = Library::default_u6();
+  const ConformanceCase& test_case = GetParam();
+  const Cell& cell = lib.cell(lib.find(test_case.cell));
+
+  for (const Edge in_edge : {Edge::kRise, Edge::kFall}) {
+    // Electrical measurement.
+    const DelayMeasurement analog =
+        measure_delay(lib, test_case.cell, test_case.pin, in_edge, 0.06, 0.5);
+    // Model prediction at the same operating point.
+    CellBench bench = make_cell_bench(lib, test_case.cell, 0.06);
+    const Farad cl = bench.netlist.load_of(bench.out);
+    const EdgeTiming& timing = cell.pin(test_case.pin).edge(analog.out_edge);
+    const TimeNs model_tp = timing.tp0(cl, 0.5);
+
+    // 25% relative + 40 ps absolute tolerance: the library's coefficients
+    // are shared across cells of a family, the reference is per-instance.
+    EXPECT_NEAR(model_tp, analog.tp, 0.04 + 0.25 * analog.tp)
+        << test_case.cell << " pin " << test_case.pin
+        << (in_edge == Edge::kRise ? " in-rise" : " in-fall");
+    EXPECT_GT(analog.tp, 0.0);
+  }
+}
+
+TEST_P(CellConformance, OutputSlopeTracksAnalogReference) {
+  const Library lib = Library::default_u6();
+  const ConformanceCase& test_case = GetParam();
+  const Cell& cell = lib.cell(lib.find(test_case.cell));
+
+  const DelayMeasurement analog =
+      measure_delay(lib, test_case.cell, test_case.pin, Edge::kRise, 0.06, 0.5);
+  CellBench bench = make_cell_bench(lib, test_case.cell, 0.06);
+  const Farad cl = bench.netlist.load_of(bench.out);
+  const TimeNs model_tau = cell.drive.tau_out(analog.out_edge, cl);
+  ASSERT_GT(analog.tau_out, 0.0);
+  EXPECT_NEAR(model_tau, analog.tau_out, 0.08 + 0.45 * analog.tau_out)
+      << test_case.cell << " pin " << test_case.pin;
+}
+
+TEST_P(CellConformance, SimulatorUsesTheModelExactly) {
+  // The event-driven engine applied to a single settled cell must land on
+  // the macro-model's tp to numerical precision (no hidden fudge).
+  const Library lib = Library::default_u6();
+  const ConformanceCase& test_case = GetParam();
+  const Cell& cell = lib.cell(lib.find(test_case.cell));
+
+  CellBench bench = make_cell_bench(lib, test_case.cell, 0.06);
+  const std::vector<bool> assignment =
+      sensitizing_assignment(cell, test_case.pin, Edge::kRise);
+  Stimulus stim(0.5);
+  for (std::size_t i = 0; i < bench.pins.size(); ++i) {
+    stim.set_initial(bench.pins[i], assignment[i]);
+  }
+  stim.add_edge(bench.pins[static_cast<std::size_t>(test_case.pin)], 5.0, true, 0.5);
+
+  const DdmDelayModel ddm;
+  Simulator sim(bench.netlist, ddm);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+
+  const auto history = sim.history(bench.out);
+  ASSERT_EQ(history.size(), 1u) << test_case.cell;
+  const Farad cl = bench.netlist.load_of(bench.out);
+  const EdgeTiming& timing = cell.pin(test_case.pin).edge(history[0].edge);
+  EXPECT_NEAR(history[0].t50(), 5.0 + timing.tp0(cl, 0.5), 1e-9) << test_case.cell;
+  EXPECT_NEAR(history[0].tau, cell.drive.tau_out(history[0].edge, cl), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Library, CellConformance, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<ConformanceCase>& param_info) {
+      return std::string(param_info.param.cell) + "_pin" +
+             std::to_string(param_info.param.pin);
+    });
+
+}  // namespace
+}  // namespace halotis

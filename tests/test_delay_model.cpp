@@ -1,0 +1,209 @@
+// Tests for the DDM (paper eq. 1-3) and CDM delay models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/delay_model.hpp"
+
+namespace halotis {
+namespace {
+
+class DelayModelTest : public ::testing::Test {
+ protected:
+  DelayModelTest() : lib_(Library::default_u6()) {
+    cell_ = &lib_.cell(lib_.find("INV_X1"));
+  }
+
+  DelayRequest base_request() const {
+    DelayRequest r;
+    r.cell = cell_;
+    r.pin = 0;
+    r.out_edge = Edge::kFall;
+    r.cl = 0.05;
+    r.tau_in = 0.4;
+    r.t_in50 = 10.0;
+    r.t_event = 10.0;  // midswing receiver: event coincides with t50
+    r.vdd = lib_.vdd();
+    return r;
+  }
+
+  Library lib_;
+  const Cell* cell_ = nullptr;
+};
+
+TEST_F(DelayModelTest, DdmSettledGateGivesConventionalDelay) {
+  const DdmDelayModel ddm;
+  const DelayRequest r = base_request();  // no t_prev_out50
+  const DelayResult res = ddm.compute(r);
+  const EdgeTiming& edge = cell_->pin(0).fall;
+  EXPECT_DOUBLE_EQ(res.tp, edge.tp0(r.cl, r.tau_in));
+  EXPECT_FALSE(res.filtered);
+  EXPECT_DOUBLE_EQ(res.inertial_window, 0.0);
+}
+
+TEST_F(DelayModelTest, DdmDelayDegradesForCloseTransitions) {
+  const DdmDelayModel ddm;
+  DelayRequest r = base_request();
+  const TimeNs tp_settled = ddm.compute(r).tp;
+
+  r.t_prev_out50 = r.t_in50 - 0.3;  // output switched 0.3 ns ago
+  const DelayResult close = ddm.compute(r);
+  EXPECT_FALSE(close.filtered);
+  EXPECT_LT(close.tp, tp_settled);
+  EXPECT_GT(close.tp, 0.0);
+}
+
+TEST_F(DelayModelTest, DdmDelayMonotonicInElapsedTime) {
+  const DdmDelayModel ddm;
+  DelayRequest r = base_request();
+  TimeNs prev_tp = 0.0;
+  for (double t_elapsed = 0.3; t_elapsed < 5.0; t_elapsed += 0.1) {
+    r.t_prev_out50 = r.t_in50 - t_elapsed;
+    const DelayResult res = ddm.compute(r);
+    ASSERT_FALSE(res.filtered) << "T=" << t_elapsed;
+    EXPECT_GE(res.tp, prev_tp) << "T=" << t_elapsed;
+    prev_tp = res.tp;
+  }
+}
+
+TEST_F(DelayModelTest, DdmConvergesToConventionalDelay) {
+  const DdmDelayModel ddm;
+  DelayRequest r = base_request();
+  const TimeNs tp_settled = ddm.compute(r).tp;
+  r.t_prev_out50 = r.t_in50 - 1000.0;  // ages ago
+  EXPECT_NEAR(ddm.compute(r).tp, tp_settled, 1e-9);
+}
+
+TEST_F(DelayModelTest, DdmFiltersWhenElapsedBelowT0) {
+  const DdmDelayModel ddm;
+  DelayRequest r = base_request();
+  const EdgeTiming& edge = cell_->pin(0).fall;
+  const TimeNs t0 = edge.deg_t0(r.tau_in, r.vdd);
+  ASSERT_GT(t0, 0.0);
+  r.t_prev_out50 = r.t_in50 - 0.5 * t0;  // T < T0
+  const DelayResult res = ddm.compute(r);
+  EXPECT_TRUE(res.filtered);
+}
+
+TEST_F(DelayModelTest, DdmMatchesEquationOne) {
+  const DdmDelayModel ddm;
+  DelayRequest r = base_request();
+  const EdgeTiming& edge = cell_->pin(0).fall;
+  const TimeNs tp0 = edge.tp0(r.cl, r.tau_in);
+  const TimeNs tau = edge.deg_tau(r.cl, r.vdd);
+  const TimeNs t0 = edge.deg_t0(r.tau_in, r.vdd);
+
+  const double t_elapsed = 0.7;
+  r.t_prev_out50 = r.t_in50 - t_elapsed;
+  const DelayResult res = ddm.compute(r);
+  const double expected = tp0 * (1.0 - std::exp(-(t_elapsed - t0) / tau));
+  EXPECT_NEAR(res.tp, expected, 1e-12);
+}
+
+TEST_F(DelayModelTest, DegradationParametersFollowEq2AndEq3) {
+  const EdgeTiming& edge = cell_->pin(0).fall;
+  // eq. 2: tau * VDD = A + B * CL -> linear in CL.
+  const double tau1 = edge.deg_tau(0.02, 5.0);
+  const double tau2 = edge.deg_tau(0.04, 5.0);
+  const double tau3 = edge.deg_tau(0.06, 5.0);
+  EXPECT_NEAR(tau2 - tau1, tau3 - tau2, 1e-12);
+  EXPECT_NEAR(tau1 * 5.0, edge.deg_a + edge.deg_b * 0.02, 1e-12);
+  // eq. 3: T0 proportional to tau_in.
+  EXPECT_NEAR(edge.deg_t0(0.8, 5.0), 2.0 * edge.deg_t0(0.4, 5.0), 1e-12);
+  EXPECT_NEAR(edge.deg_t0(0.4, 5.0), (0.5 - edge.deg_c / 5.0) * 0.4, 1e-12);
+}
+
+TEST_F(DelayModelTest, DdmUsesPerPinThresholds) {
+  const DdmDelayModel ddm;
+  const Cell& nand = lib_.cell(lib_.find("NAND2_X1"));
+  const Cell& nor = lib_.cell(lib_.find("NOR2_X1"));
+  const Cell& inv = lib_.cell(lib_.find("INV_X1"));
+  EXPECT_DOUBLE_EQ(ddm.event_threshold(nand, 0, 5.0), nand.pin(0).vt);
+  EXPECT_DOUBLE_EQ(ddm.event_threshold(nand, 1, 5.0), nand.pin(1).vt);
+  // Receivers of different kinds on one net see different thresholds --
+  // the effect the paper's Fig. 1 relies on.
+  EXPECT_LT(ddm.event_threshold(nand, 0, 5.0), ddm.event_threshold(inv, 0, 5.0));
+  EXPECT_LT(ddm.event_threshold(inv, 0, 5.0), ddm.event_threshold(nor, 0, 5.0));
+}
+
+TEST_F(DelayModelTest, CdmIgnoresInternalState) {
+  const CdmDelayModel cdm;
+  DelayRequest r = base_request();
+  const TimeNs tp_settled = cdm.compute(r).tp;
+  r.t_prev_out50 = r.t_in50 - 0.2;  // would degrade under DDM
+  const DelayResult res = cdm.compute(r);
+  EXPECT_DOUBLE_EQ(res.tp, tp_settled);
+  EXPECT_FALSE(res.filtered);
+}
+
+TEST_F(DelayModelTest, CdmDefaultsToTransportLikeWindow) {
+  // Matches the paper's observed HALOTIS-CDM behaviour (Table 1: almost no
+  // filtered events).
+  const CdmDelayModel cdm;
+  EXPECT_DOUBLE_EQ(cdm.compute(base_request()).inertial_window, 0.0);
+}
+
+TEST_F(DelayModelTest, CdmWindowModes) {
+  const CdmDelayModel fixed(CdmDelayModel::InertialWindow::kFixed, 0.75);
+  EXPECT_DOUBLE_EQ(fixed.compute(base_request()).inertial_window, 0.75);
+  const CdmDelayModel classical(CdmDelayModel::InertialWindow::kGateDelay);
+  const DelayResult res = classical.compute(base_request());
+  EXPECT_DOUBLE_EQ(res.inertial_window, res.tp);
+}
+
+TEST_F(DelayModelTest, CdmThresholdIsMidswingEverywhere) {
+  const CdmDelayModel cdm;
+  const Cell& nand = lib_.cell(lib_.find("NAND2_X1"));
+  EXPECT_DOUBLE_EQ(cdm.event_threshold(nand, 0, 5.0), 2.5);
+  EXPECT_DOUBLE_EQ(cdm.event_threshold(nand, 1, 5.0), 2.5);
+  const Cell& lvt = lib_.cell(lib_.find("INV_LVT"));
+  EXPECT_DOUBLE_EQ(cdm.event_threshold(lvt, 0, 5.0), 2.5);  // VT ignored
+}
+
+TEST_F(DelayModelTest, DelayGrowsWithLoadAndSlew) {
+  const DdmDelayModel ddm;
+  DelayRequest r = base_request();
+  const TimeNs tp_base = ddm.compute(r).tp;
+  r.cl *= 2.0;
+  const TimeNs tp_heavier = ddm.compute(r).tp;
+  EXPECT_GT(tp_heavier, tp_base);
+  r = base_request();
+  r.tau_in *= 2.0;
+  EXPECT_GT(ddm.compute(r).tp, tp_base);
+}
+
+class DdmElapsedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DdmElapsedSweep, DelayFractionMatchesExponentialLaw) {
+  const Library lib = Library::default_u6();
+  const Cell& cell = lib.cell(lib.find("NAND2_X1"));
+  const DdmDelayModel ddm;
+  DelayRequest r;
+  r.cell = &cell;
+  r.pin = 1;
+  r.out_edge = Edge::kRise;
+  r.cl = 0.06;
+  r.tau_in = 0.5;
+  r.t_in50 = 100.0;
+  r.t_event = 100.0;
+  r.vdd = lib.vdd();
+  const TimeNs tp0 = ddm.compute(r).tp;
+
+  const double t_elapsed = GetParam();
+  r.t_prev_out50 = r.t_in50 - t_elapsed;
+  const DelayResult res = ddm.compute(r);
+  const EdgeTiming& edge = cell.pin(1).rise;
+  const TimeNs tau = edge.deg_tau(r.cl, r.vdd);
+  const TimeNs t0 = edge.deg_t0(r.tau_in, r.vdd);
+  if (t_elapsed <= t0) {
+    EXPECT_TRUE(res.filtered);
+  } else {
+    EXPECT_NEAR(res.tp / tp0, 1.0 - std::exp(-(t_elapsed - t0) / tau), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ElapsedTimes, DdmElapsedSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4));
+
+}  // namespace
+}  // namespace halotis

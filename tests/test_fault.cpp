@@ -1,0 +1,152 @@
+// Tests for the stuck-at fault simulator.
+#include <gtest/gtest.h>
+
+#include "src/circuits/generators.hpp"
+#include "src/fault/fault.hpp"
+
+namespace halotis {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+  DdmDelayModel ddm_;
+};
+
+TEST_F(FaultTest, EnumerationCoversEverySignalTwice) {
+  C17Circuit c17 = make_c17(lib_);
+  const auto faults = enumerate_faults(c17.netlist);
+  EXPECT_EQ(faults.size(), 2 * c17.netlist.num_signals());
+}
+
+TEST_F(FaultTest, ApplyFaultRewiresReceivers) {
+  C17Circuit c17 = make_c17(lib_);
+  const SignalId n11 = *c17.netlist.find_signal("N11");
+  const FaultyMachine machine = apply_fault(c17.netlist, Fault{n11, true});
+  machine.netlist.check();
+  // Same gate count; the faulted line keeps its driver but loses receivers.
+  EXPECT_EQ(machine.netlist.num_gates(), c17.netlist.num_gates());
+  EXPECT_TRUE(machine.netlist.signal(machine.fault_net).is_primary_input);
+  EXPECT_EQ(machine.netlist.signal(n11).fanout.size(), 0u);
+  EXPECT_EQ(machine.netlist.signal(machine.fault_net).fanout.size(),
+            c17.netlist.signal(n11).fanout.size());
+}
+
+TEST_F(FaultTest, FaultedPrimaryOutputObservedAsConstant) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  const FaultyMachine machine =
+      apply_fault(chain.netlist, Fault{chain.nodes.back(), true});
+  // The PO list of the faulty machine now exposes the constant net.
+  bool found = false;
+  for (const SignalId po : machine.netlist.primary_outputs()) {
+    if (po == machine.fault_net) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FaultTest, ExhaustiveVectorsReachFullCoverageOnInverter) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  Stimulus stim(0.4);
+  stim.add_edge(chain.nodes[0], 5.0, true);
+  stim.add_edge(chain.nodes[0], 10.0, false);
+
+  const FaultSimResult result = run_fault_simulation(chain.netlist, stim, ddm_);
+  // in/SA0, in/SA1, out/SA0, out/SA1 are all observable with both vectors.
+  EXPECT_EQ(result.total, 4u);
+  EXPECT_EQ(result.detected, 4u);
+  EXPECT_DOUBLE_EQ(result.coverage(), 1.0);
+}
+
+TEST_F(FaultTest, UndetectedFaultsReported) {
+  // A single constant-ish vector cannot detect every c17 fault.
+  C17Circuit c17 = make_c17(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(c17.inputs[0], 5.0, true);  // only N1 ever toggles
+
+  const FaultSimResult result = run_fault_simulation(c17.netlist, stim, ddm_);
+  EXPECT_GT(result.detected, 0u);
+  EXPECT_FALSE(result.undetected.empty());
+  EXPECT_EQ(result.detected + result.undetected.size(), result.total);
+  EXPECT_LT(result.coverage(), 1.0);
+}
+
+TEST_F(FaultTest, RicherSequenceImprovesCoverage) {
+  C17Circuit c17 = make_c17(lib_);
+  std::vector<SignalId> inputs(c17.inputs.begin(), c17.inputs.end());
+
+  Stimulus weak(0.4);
+  weak.apply_word(inputs, 0x1F, 5.0);
+
+  Stimulus strong(0.4);
+  const std::vector<std::uint64_t> words{0x00, 0x1F, 0x0A, 0x15, 0x07, 0x18};
+  strong.apply_sequence(inputs, words, 5.0, 5.0);
+
+  const FaultSimResult weak_result = run_fault_simulation(c17.netlist, weak, ddm_);
+  const FaultSimResult strong_result = run_fault_simulation(c17.netlist, strong, ddm_);
+  EXPECT_GT(strong_result.detected, weak_result.detected);
+  EXPECT_GE(strong_result.coverage(), 0.9);
+}
+
+TEST_F(FaultTest, FaultNames) {
+  C17Circuit c17 = make_c17(lib_);
+  EXPECT_EQ(fault_name(c17.netlist, Fault{c17.inputs[0], false}), "N1/SA0");
+  EXPECT_EQ(fault_name(c17.netlist, Fault{c17.outputs[1], true}), "N23/SA1");
+}
+
+TEST_F(FaultTest, AtpgReachesHighCoverageOnC17) {
+  C17Circuit c17 = make_c17(lib_);
+  AtpgOptions options;
+  options.max_candidates = 120;
+  options.seed = 3;
+  const AtpgResult result = generate_tests(c17.netlist, ddm_, options);
+  EXPECT_GE(result.coverage(), 0.95);
+  EXPECT_EQ(result.detected + result.undetected.size(), result.total_faults);
+  // The compact set is much smaller than the candidate budget.
+  EXPECT_LE(result.words.size(), 12u);
+  EXPECT_GE(result.words.size(), 3u);
+
+  // Replaying the generated set reproduces the claimed coverage.
+  const Stimulus replay = make_vector_stimulus(c17.netlist, result.words);
+  const FaultSimResult check = run_fault_simulation(c17.netlist, replay, ddm_);
+  EXPECT_EQ(check.detected, result.detected);
+}
+
+TEST_F(FaultTest, AtpgDeterministicPerSeed) {
+  C17Circuit c17 = make_c17(lib_);
+  AtpgOptions options;
+  options.max_candidates = 60;
+  options.seed = 11;
+  const AtpgResult a = generate_tests(c17.netlist, ddm_, options);
+  const AtpgResult b = generate_tests(c17.netlist, ddm_, options);
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(a.detected, b.detected);
+}
+
+TEST_F(FaultTest, VectorStimulusHelper) {
+  C17Circuit c17 = make_c17(lib_);
+  const std::vector<std::uint64_t> words{0x00, 0x1F, 0x0A};
+  const Stimulus stim = make_vector_stimulus(c17.netlist, words, 4.0, 0.3);
+  // Word 2 (0x0A): N1=0 N2=1 N3=0 N6=1 N7=0 at t=8.
+  EXPECT_FALSE(stim.initial_value(c17.inputs[0]));
+  const auto edges_n2 = stim.edges(c17.inputs[1]);
+  ASSERT_GE(edges_n2.size(), 1u);
+  EXPECT_DOUBLE_EQ(edges_n2[0].time, 4.0);  // rose with 0x1F
+  EXPECT_DOUBLE_EQ(stim.default_slew(), 0.3);
+}
+
+TEST_F(FaultTest, SpecificFaultSubsetOnly) {
+  C17Circuit c17 = make_c17(lib_);
+  Stimulus stim(0.4);
+  std::vector<SignalId> inputs(c17.inputs.begin(), c17.inputs.end());
+  const std::vector<std::uint64_t> words{0x00, 0x1F, 0x0A, 0x15};
+  stim.apply_sequence(inputs, words, 5.0, 5.0);
+
+  const std::vector<Fault> subset{Fault{c17.outputs[0], false},
+                                  Fault{c17.outputs[0], true}};
+  const FaultSimResult result = run_fault_simulation(c17.netlist, stim, ddm_, subset);
+  EXPECT_EQ(result.total, 2u);
+  EXPECT_EQ(result.detected, 2u);  // an output line fault is always visible
+}
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,171 @@
+// Tests for the hierarchical netlist dialect and flattener.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/circuits/generators.hpp"
+#include "src/parsers/hierarchy.hpp"
+
+namespace halotis {
+namespace {
+
+constexpr const char* kFullAdderModule = R"(
+# gate-level full adder as a reusable module
+module FA (a b cin : sum cout)
+  signal axb
+  gate x1 XOR2_X1 axb a b
+  gate x2 XOR2_X1 sum axb cin
+  signal ab
+  gate a1 AND2_X1 ab a b
+  signal cx
+  gate a2 AND2_X1 cx axb cin
+  gate o1 OR2_X1 cout ab cx
+endmodule
+)";
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+
+  std::vector<bool> steady(const Netlist& nl, const std::vector<bool>& pis) {
+    std::unique_ptr<bool[]> buffer(new bool[pis.size()]);
+    for (std::size_t i = 0; i < pis.size(); ++i) buffer[i] = pis[i];
+    return nl.steady_state(std::span<const bool>(buffer.get(), pis.size()));
+  }
+};
+
+TEST_F(HierarchyTest, SingleInstanceMatchesGateLevelFullAdder) {
+  const std::string text = std::string(kFullAdderModule) + R"(
+input x
+input y
+input ci
+signal s
+signal co
+output s
+output co
+inst fa0 FA (x y ci : s co)
+)";
+  const Netlist nl = read_hierarchical(text, lib_);
+  EXPECT_EQ(nl.num_gates(), 5u);
+  EXPECT_TRUE(nl.find_signal("fa0/axb").has_value());  // scoped inner name
+  EXPECT_TRUE(nl.find_gate("fa0/x1").has_value());
+
+  for (unsigned pattern = 0; pattern < 8; ++pattern) {
+    const bool a = (pattern & 1) != 0;
+    const bool b = (pattern & 2) != 0;
+    const bool c = (pattern & 4) != 0;
+    const auto values = steady(nl, {a, b, c});
+    const int total = a + b + c;
+    ASSERT_EQ(values[nl.find_signal("s")->value()], total % 2 == 1) << pattern;
+    ASSERT_EQ(values[nl.find_signal("co")->value()], total >= 2) << pattern;
+  }
+}
+
+TEST_F(HierarchyTest, NestedModulesFlatten) {
+  // A 2-bit ripple adder module built from two FA instances.
+  const std::string valid = std::string(kFullAdderModule) + R"(
+module ADD2 (a0 a1 b0 b1 ci : s0 s1 co)
+  signal c0
+  inst f0 FA (a0 b0 ci : s0 c0)
+  inst f1 FA (a1 b1 c0 : s1 co)
+endmodule
+
+input x0
+input x1
+input y0
+input y1
+input zero
+signal u0
+signal u1
+signal uc
+output u0
+output u1
+output uc
+inst adder ADD2 (x0 x1 y0 y1 zero : u0 u1 uc)
+)";
+  const Netlist nl = read_hierarchical(valid, lib_);
+  EXPECT_EQ(nl.num_gates(), 10u);  // two FAs of five gates
+  EXPECT_TRUE(nl.find_gate("adder/f1/o1").has_value());
+
+  // Functional: x + y over 2 bits.
+  for (unsigned x = 0; x < 4; ++x) {
+    for (unsigned y = 0; y < 4; ++y) {
+      const auto values = steady(nl, {(x & 1) != 0, (x & 2) != 0, (y & 1) != 0,
+                                      (y & 2) != 0, false});
+      unsigned sum = 0;
+      if (values[nl.find_signal("u0")->value()]) sum |= 1;
+      if (values[nl.find_signal("u1")->value()]) sum |= 2;
+      if (values[nl.find_signal("uc")->value()]) sum |= 4;
+      ASSERT_EQ(sum, x + y) << x << "+" << y;
+    }
+  }
+}
+
+TEST_F(HierarchyTest, WirecapInsideModules) {
+  const std::string text = std::string(kFullAdderModule) + R"(
+module LOADED (a : y)
+  signal mid
+  wirecap mid 0.25
+  gate g1 INV_X1 mid a
+  gate g2 INV_X1 y mid
+endmodule
+input a
+signal y
+output y
+inst u0 LOADED (a : y)
+)";
+  const Netlist nl = read_hierarchical(text, lib_);
+  EXPECT_NEAR(nl.signal(*nl.find_signal("u0/mid")).wire_cap, 0.25, 1e-12);
+}
+
+TEST_F(HierarchyTest, ErrorsAreSpecific) {
+  // Unknown module.
+  EXPECT_THROW((void)read_hierarchical("input a\nsignal y\ninst u0 NOPE (a : y)\n", lib_),
+               ContractViolation);
+  // Port count mismatch.
+  const std::string bad_ports = std::string(kFullAdderModule) +
+                                "input a\nsignal s\nsignal c\ninst f FA (a : s c)\n";
+  EXPECT_THROW((void)read_hierarchical(bad_ports, lib_), ContractViolation);
+  // Recursion.
+  const char* recursive = R"(
+module LOOP (a : y)
+  signal t
+  inst inner LOOP (a : t)
+  gate g INV_X1 y t
+endmodule
+input a
+signal y
+output y
+inst top LOOP (a : y)
+)";
+  EXPECT_THROW((void)read_hierarchical(recursive, lib_), ContractViolation);
+  // Unterminated module.
+  EXPECT_THROW((void)read_hierarchical("module M (a : y)\n  signal t\n", lib_),
+               ContractViolation);
+  // Duplicate module.
+  EXPECT_THROW((void)read_hierarchical(
+                   "module M (a : y)\nendmodule\nmodule M (a : y)\nendmodule\n", lib_),
+               ContractViolation);
+}
+
+TEST_F(HierarchyTest, LooksHierarchicalDetection) {
+  EXPECT_TRUE(looks_hierarchical("module M (a : y)\nendmodule\n"));
+  EXPECT_TRUE(looks_hierarchical("input a\ninst u M (a : y)\n"));
+  EXPECT_FALSE(looks_hierarchical("input a\nsignal y\ngate g INV_X1 y a\n"));
+}
+
+TEST_F(HierarchyTest, FlatDialectStillWorksThroughHierarchicalReader) {
+  const char* flat = R"(
+input a
+signal y
+output y
+gate g INV_X1 y a
+)";
+  const Netlist nl = read_hierarchical(flat, lib_);
+  EXPECT_EQ(nl.num_gates(), 1u);
+  const auto values = steady(nl, {true});
+  EXPECT_FALSE(values[nl.find_signal("y")->value()]);
+}
+
+}  // namespace
+}  // namespace halotis

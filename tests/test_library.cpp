@@ -1,0 +1,131 @@
+// Tests for the Library container and the default u6 technology data.
+#include <gtest/gtest.h>
+
+#include "src/netlist/library.hpp"
+
+namespace halotis {
+namespace {
+
+TEST(Library, DefaultU6HasEveryKind) {
+  const Library lib = Library::default_u6();
+  EXPECT_EQ(lib.name(), "u6");
+  EXPECT_DOUBLE_EQ(lib.vdd(), 5.0);
+  for (CellKind kind :
+       {CellKind::kBuf, CellKind::kInv, CellKind::kAnd2, CellKind::kNand2,
+        CellKind::kNand3, CellKind::kNand4, CellKind::kNor2, CellKind::kOr2,
+        CellKind::kXor2, CellKind::kXnor2, CellKind::kAoi21, CellKind::kOai21,
+        CellKind::kMux2, CellKind::kMaj3}) {
+    EXPECT_NO_THROW((void)lib.by_kind(kind)) << cell_kind_name(kind);
+  }
+}
+
+TEST(Library, FindByName) {
+  const Library lib = Library::default_u6();
+  const CellId inv = lib.find("INV_X1");
+  EXPECT_EQ(lib.cell(inv).kind, CellKind::kInv);
+  EXPECT_FALSE(lib.try_find("NOPE").has_value());
+  EXPECT_THROW((void)lib.find("NOPE"), ContractViolation);
+}
+
+TEST(Library, SkewedInvertersForFig1) {
+  const Library lib = Library::default_u6();
+  const Cell& lvt = lib.cell(lib.find("INV_LVT"));
+  const Cell& hvt = lib.cell(lib.find("INV_HVT"));
+  const Cell& nom = lib.cell(lib.find("INV_X1"));
+  EXPECT_LT(lvt.pin(0).vt, nom.pin(0).vt);
+  EXPECT_GT(hvt.pin(0).vt, nom.pin(0).vt);
+  // Thresholds must sit strictly inside the swing.
+  EXPECT_GT(lvt.pin(0).vt, 0.0);
+  EXPECT_LT(hvt.pin(0).vt, lib.vdd());
+}
+
+TEST(Library, DegradationOffsetTracksThreshold) {
+  // The C parameter (eq. 3) must decrease as the pin threshold rises: a
+  // low-threshold receiver accepts narrower pulses (smaller T0).
+  const Library lib = Library::default_u6();
+  const Cell& lvt = lib.cell(lib.find("INV_LVT"));
+  const Cell& nom = lib.cell(lib.find("INV_X1"));
+  const Cell& hvt = lib.cell(lib.find("INV_HVT"));
+  EXPECT_GT(lvt.pin(0).fall.deg_c, nom.pin(0).fall.deg_c);
+  EXPECT_GT(nom.pin(0).fall.deg_c, hvt.pin(0).fall.deg_c);
+  // And therefore T0(LVT) < T0(nominal) < T0(HVT) at equal input slope.
+  const double t0_lvt = lvt.pin(0).fall.deg_t0(1.0, lib.vdd());
+  const double t0_nom = nom.pin(0).fall.deg_t0(1.0, lib.vdd());
+  const double t0_hvt = hvt.pin(0).fall.deg_t0(1.0, lib.vdd());
+  EXPECT_LT(t0_lvt, t0_nom);
+  EXPECT_LT(t0_nom, t0_hvt);
+  EXPECT_LT(t0_lvt, 0.0);  // responds to overlapping-midpoint pulses
+  EXPECT_GT(t0_hvt, 0.0);
+}
+
+TEST(Library, AllCellsHaveConsistentData) {
+  const Library lib = Library::default_u6();
+  for (const Cell& cell : lib.cells()) {
+    EXPECT_EQ(static_cast<int>(cell.pins.size()), num_inputs(cell.kind)) << cell.name;
+    EXPECT_GT(cell.cout_self, 0.0) << cell.name;
+    EXPECT_GT(cell.sizing.wn_um, 0.0) << cell.name;
+    for (const PinTiming& pin : cell.pins) {
+      EXPECT_GT(pin.cin, 0.0) << cell.name;
+      EXPECT_GT(pin.vt, 0.5) << cell.name;
+      EXPECT_LT(pin.vt, lib.vdd() - 0.5) << cell.name;
+      for (Edge edge : {Edge::kRise, Edge::kFall}) {
+        const EdgeTiming& t = pin.edge(edge);
+        EXPECT_GT(t.p0, 0.0) << cell.name;
+        EXPECT_GT(t.p_load, 0.0) << cell.name;
+        EXPECT_GE(t.p_slew, 0.0) << cell.name;
+        EXPECT_GT(t.deg_a, 0.0) << cell.name;
+        EXPECT_GE(t.deg_b, 0.0) << cell.name;
+        // C stays inside the supply range; C > VDD/2 (negative T0) is
+        // legitimate for low-threshold receivers, which respond even to
+        // pulses whose midswing crossings overlap.
+        EXPECT_GT(t.deg_c, 0.0) << cell.name;
+        EXPECT_LT(t.deg_c, lib.vdd()) << cell.name;
+      }
+    }
+    EXPECT_GT(cell.drive.tau_out(Edge::kRise, 0.01), 0.0) << cell.name;
+    EXPECT_GT(cell.drive.tau_out(Edge::kFall, 0.01), 0.0) << cell.name;
+  }
+}
+
+TEST(Library, MacroModelsIncreaseWithLoad) {
+  const Library lib = Library::default_u6();
+  for (const Cell& cell : lib.cells()) {
+    const EdgeTiming& t = cell.pin(0).rise;
+    EXPECT_LT(t.tp0(0.01, 0.3), t.tp0(0.10, 0.3)) << cell.name;
+    EXPECT_LT(t.deg_tau(0.01, lib.vdd()), t.deg_tau(0.10, lib.vdd())) << cell.name;
+    EXPECT_LT(cell.drive.tau_out(Edge::kRise, 0.01),
+              cell.drive.tau_out(Edge::kRise, 0.10))
+        << cell.name;
+  }
+}
+
+TEST(Library, AddRejectsDuplicatesAndBadPinCounts) {
+  Library lib("test", 5.0);
+  Cell cell;
+  cell.name = "INV_A";
+  cell.kind = CellKind::kInv;
+  cell.pins.resize(1);
+  EXPECT_NO_THROW((void)lib.add(cell));
+  EXPECT_THROW((void)lib.add(cell), ContractViolation);  // duplicate name
+  Cell bad;
+  bad.name = "BAD";
+  bad.kind = CellKind::kNand2;
+  bad.pins.resize(1);  // should be 2
+  EXPECT_THROW((void)lib.add(bad), ContractViolation);
+}
+
+TEST(Library, FirstCellOfKindIsDefault) {
+  Library lib("test", 5.0);
+  Cell a;
+  a.name = "INV_FIRST";
+  a.kind = CellKind::kInv;
+  a.pins.resize(1);
+  Cell b = a;
+  b.name = "INV_SECOND";
+  const CellId first = lib.add(a);
+  (void)lib.add(b);
+  EXPECT_EQ(lib.by_kind(CellKind::kInv), first);
+}
+
+}  // namespace
+}  // namespace halotis

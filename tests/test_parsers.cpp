@@ -1,0 +1,249 @@
+// Tests for the ISCAS bench reader/writer, the Verilog subset, the native
+// netlist format and the stimulus file format.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/circuits/generators.hpp"
+#include "src/parsers/bench_format.hpp"
+#include "src/parsers/netlist_io.hpp"
+#include "src/parsers/stimulus_file.hpp"
+#include "src/parsers/verilog.hpp"
+
+namespace halotis {
+namespace {
+
+class ParsersTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+
+  std::vector<bool> steady(const Netlist& nl, std::vector<bool> pi_values) {
+    std::unique_ptr<bool[]> buffer(new bool[pi_values.size()]);
+    for (std::size_t i = 0; i < pi_values.size(); ++i) buffer[i] = pi_values[i];
+    return nl.steady_state(std::span<const bool>(buffer.get(), pi_values.size()));
+  }
+};
+
+TEST_F(ParsersTest, C17BenchMatchesGeneratedC17) {
+  const Netlist parsed = read_bench(c17_bench_text(), lib_);
+  EXPECT_EQ(parsed.num_gates(), 6u);
+  EXPECT_EQ(parsed.primary_inputs().size(), 5u);
+  EXPECT_EQ(parsed.primary_outputs().size(), 2u);
+
+  C17Circuit reference = make_c17(lib_);
+  for (unsigned pattern = 0; pattern < 32; ++pattern) {
+    std::vector<bool> pis;
+    for (int b = 0; b < 5; ++b) pis.push_back(((pattern >> b) & 1u) != 0);
+    const auto got = steady(parsed, pis);
+    const auto want = steady(reference.netlist, pis);
+    for (int o = 0; o < 2; ++o) {
+      ASSERT_EQ(got[parsed.primary_outputs()[o].value()],
+                want[reference.outputs[static_cast<std::size_t>(o)].value()])
+          << pattern;
+    }
+  }
+}
+
+TEST_F(ParsersTest, BenchRoundTrip) {
+  C17Circuit c17 = make_c17(lib_);
+  const std::string text = write_bench(c17.netlist);
+  const Netlist reparsed = read_bench(text, lib_);
+  EXPECT_EQ(reparsed.num_gates(), c17.netlist.num_gates());
+  EXPECT_EQ(reparsed.primary_inputs().size(), c17.netlist.primary_inputs().size());
+  for (unsigned pattern = 0; pattern < 32; ++pattern) {
+    std::vector<bool> pis;
+    for (int b = 0; b < 5; ++b) pis.push_back(((pattern >> b) & 1u) != 0);
+    const auto got = steady(reparsed, pis);
+    const auto want = steady(c17.netlist, pis);
+    for (std::size_t o = 0; o < 2; ++o) {
+      ASSERT_EQ(got[reparsed.primary_outputs()[o].value()],
+                want[c17.netlist.primary_outputs()[o].value()]);
+    }
+  }
+}
+
+TEST_F(ParsersTest, WideGatesDecomposeToTrees) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+INPUT(f)
+OUTPUT(y)
+y = NAND(a, b, c, d, e, f)
+)";
+  const Netlist nl = read_bench(text, lib_);
+  EXPECT_GT(nl.num_gates(), 1u);  // decomposed
+  // Function check: NAND of six inputs.
+  for (unsigned pattern = 0; pattern < 64; ++pattern) {
+    std::vector<bool> pis;
+    bool all = true;
+    for (int b = 0; b < 6; ++b) {
+      const bool bit = ((pattern >> b) & 1u) != 0;
+      pis.push_back(bit);
+      all = all && bit;
+    }
+    const auto values = steady(nl, pis);
+    ASSERT_EQ(values[nl.primary_outputs()[0].value()], !all) << pattern;
+  }
+}
+
+TEST_F(ParsersTest, WideXorKeepsParity) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+y = XOR(a, b, c, d, e)
+)";
+  const Netlist nl = read_bench(text, lib_);
+  for (unsigned pattern = 0; pattern < 32; ++pattern) {
+    std::vector<bool> pis;
+    int ones = 0;
+    for (int b = 0; b < 5; ++b) {
+      const bool bit = ((pattern >> b) & 1u) != 0;
+      pis.push_back(bit);
+      ones += bit ? 1 : 0;
+    }
+    const auto values = steady(nl, pis);
+    ASSERT_EQ(values[nl.primary_outputs()[0].value()], ones % 2 == 1) << pattern;
+  }
+}
+
+TEST_F(ParsersTest, BenchErrors) {
+  EXPECT_THROW((void)read_bench("INPUT(a)\nq = DFF(a)\n", lib_), ContractViolation);
+  EXPECT_THROW((void)read_bench("y = FROB(a)\nINPUT(a)\n", lib_), ContractViolation);
+  EXPECT_THROW((void)read_bench("INPUT(a)\nOUTPUT(zz)\ny = NOT(a)\n", lib_),
+               ContractViolation);
+  EXPECT_THROW((void)read_bench("INPUT(a)\ny NOT(a)\n", lib_), ContractViolation);
+  // Comments and blank lines are fine.
+  EXPECT_NO_THROW((void)read_bench("# nothing\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # inv\n",
+                                   lib_));
+}
+
+TEST_F(ParsersTest, VerilogParseAndEvaluate) {
+  const char* text = R"(
+// half adder
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  /* no wires needed */
+  xor gx (s, a, b);
+  and ga (c, a, b);
+endmodule
+)";
+  const Netlist nl = read_verilog(text, lib_);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  for (unsigned pattern = 0; pattern < 4; ++pattern) {
+    const bool a = (pattern & 1) != 0;
+    const bool b = (pattern & 2) != 0;
+    const auto values = steady(nl, {a, b});
+    ASSERT_EQ(values[nl.find_signal("s")->value()], a != b);
+    ASSERT_EQ(values[nl.find_signal("c")->value()], a && b);
+  }
+}
+
+TEST_F(ParsersTest, VerilogRoundTrip) {
+  ParityCircuit parity = make_parity_tree(lib_, 4);
+  const std::string text = write_verilog(parity.netlist);
+  const Netlist reparsed = read_verilog(text, lib_);
+  EXPECT_EQ(reparsed.num_gates(), parity.netlist.num_gates());
+  for (unsigned pattern = 0; pattern < 16; ++pattern) {
+    std::vector<bool> pis;
+    int ones = 0;
+    for (int b = 0; b < 4; ++b) {
+      const bool bit = ((pattern >> b) & 1u) != 0;
+      pis.push_back(bit);
+      ones += bit ? 1 : 0;
+    }
+    const auto values = steady(reparsed, pis);
+    ASSERT_EQ(values[reparsed.primary_outputs()[0].value()], ones % 2 == 1);
+  }
+}
+
+TEST_F(ParsersTest, VerilogRejectsBehavioural) {
+  EXPECT_THROW((void)read_verilog("module m (a); input a; assign b = a; endmodule", lib_),
+               ContractViolation);
+  EXPECT_THROW((void)read_verilog("module m (a); input a[3:0]; endmodule", lib_),
+               ContractViolation);
+  EXPECT_THROW((void)read_verilog("no module here", lib_), ContractViolation);
+}
+
+TEST_F(ParsersTest, NativeNetlistRoundTripWithWireCaps) {
+  Netlist original(lib_);
+  const SignalId a = original.add_primary_input("a");
+  const SignalId b = original.add_primary_input("b");
+  const SignalId m = original.add_signal("m");
+  const SignalId y = original.add_signal("y");
+  original.mark_primary_output(y);
+  original.set_wire_cap(m, 0.055);
+  const std::array<SignalId, 3> aoi_in{a, b, a};
+  (void)original.add_gate("g1", lib_.find("AOI21_X1"), aoi_in, m);
+  const std::array<SignalId, 1> inv_in{m};
+  (void)original.add_gate("g2", CellKind::kInv, inv_in, y);
+
+  const std::string text = write_netlist(original);
+  const Netlist reparsed = read_netlist(text, lib_);
+  EXPECT_EQ(reparsed.num_gates(), 2u);
+  EXPECT_NEAR(reparsed.signal(*reparsed.find_signal("m")).wire_cap, 0.055, 1e-12);
+  EXPECT_EQ(reparsed.cell_of(*reparsed.find_gate("g1")).kind, CellKind::kAoi21);
+  for (unsigned pattern = 0; pattern < 4; ++pattern) {
+    const bool va = (pattern & 1) != 0;
+    const bool vb = (pattern & 2) != 0;
+    const auto got = steady(reparsed, {va, vb});
+    const auto want = steady(original, {va, vb});
+    ASSERT_EQ(got[reparsed.find_signal("y")->value()], want[y.value()]);
+  }
+}
+
+TEST_F(ParsersTest, StimulusFileDirectives) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  const char* text = R"(
+# testbench
+slew 0.25
+init in 1
+edge in 5.0 0
+edge in 9.0 1 0.6
+)";
+  const Stimulus stim = read_stimulus(text, chain.netlist);
+  EXPECT_DOUBLE_EQ(stim.default_slew(), 0.25);
+  EXPECT_TRUE(stim.initial_value(chain.nodes[0]));
+  const auto edges = stim.edges(chain.nodes[0]);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(edges[0].time, 5.0);
+  EXPECT_FALSE(edges[0].value);
+  EXPECT_DOUBLE_EQ(edges[1].tau, 0.6);
+}
+
+TEST_F(ParsersTest, StimulusSequenceWords) {
+  MultiplierCircuit mult = make_multiplier(lib_, 2);
+  // Inputs a1 a0 b1 b0 as MSB..LSB of the word.
+  const std::string text = "seq a1 a0 b1 b0 start 5 period 5 words 0x0 0xF 0x5\n";
+  const Stimulus stim = read_stimulus(text, mult.netlist);
+  // Word 0xF at t=5: all four rise.
+  for (const SignalId sig : {mult.a[0], mult.a[1], mult.b[0], mult.b[1]}) {
+    EXPECT_FALSE(stim.initial_value(sig));
+    const auto edges = stim.edges(sig);
+    ASSERT_GE(edges.size(), 1u);
+    EXPECT_DOUBLE_EQ(edges[0].time, 5.0);
+    EXPECT_TRUE(edges[0].value);
+  }
+  // Word 0x5 = a1=0 a0=1 b1=0 b0=1 at t=10: a1 and b1 fall.
+  EXPECT_EQ(stim.edges(mult.a[1]).size(), 2u);
+  EXPECT_EQ(stim.edges(mult.a[0]).size(), 1u);
+}
+
+TEST_F(ParsersTest, StimulusErrors) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  EXPECT_THROW((void)read_stimulus("edge nosuch 1 0\n", chain.netlist), ContractViolation);
+  EXPECT_THROW((void)read_stimulus("edge n1 1 0\n", chain.netlist), ContractViolation);
+  EXPECT_THROW((void)read_stimulus("bogus directive\n", chain.netlist), ContractViolation);
+  EXPECT_THROW((void)read_stimulus("edge in abc 0\n", chain.netlist), ContractViolation);
+}
+
+}  // namespace
+}  // namespace halotis

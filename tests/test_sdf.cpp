@@ -1,0 +1,86 @@
+// Tests for the SDF delay-annotation writer.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.hpp"
+#include "src/circuits/generators.hpp"
+#include "src/parsers/sdf.hpp"
+
+namespace halotis {
+namespace {
+
+class SdfTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+};
+
+TEST_F(SdfTest, HeaderAndStructure) {
+  C17Circuit c17 = make_c17(lib_);
+  const std::string sdf = write_sdf(c17.netlist);
+  EXPECT_NE(sdf.find("(DELAYFILE"), std::string::npos);
+  EXPECT_NE(sdf.find("(SDFVERSION \"2.1\")"), std::string::npos);
+  EXPECT_NE(sdf.find("(TIMESCALE 1ns)"), std::string::npos);
+  // One CELL per gate (count CELLTYPE: "(CELL" is a prefix of it).
+  std::size_t cells = 0;
+  std::size_t pos = 0;
+  while ((pos = sdf.find("(CELLTYPE", pos)) != std::string::npos) {
+    ++cells;
+    pos += 9;
+  }
+  EXPECT_EQ(cells, c17.netlist.num_gates());
+  EXPECT_NE(sdf.find("(CELLTYPE \"NAND2_X1\")"), std::string::npos);
+  EXPECT_NE(sdf.find("(INSTANCE G22)"), std::string::npos);
+}
+
+TEST_F(SdfTest, IopathValuesMatchMacroModel) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  chain.netlist.set_wire_cap(chain.nodes[1], 0.08);
+  const TimeNs slew = 0.7;
+  const std::string sdf = write_sdf(chain.netlist, slew);
+
+  const Cell& inv = lib_.cell(lib_.by_kind(CellKind::kInv));
+  const Farad cl = chain.netlist.load_of(chain.nodes[1]);
+  const std::string rise = format_double(inv.pin(0).rise.tp0(cl, slew), 5);
+  const std::string fall = format_double(inv.pin(0).fall.tp0(cl, slew), 5);
+  EXPECT_NE(sdf.find("(IOPATH A Y (" + rise + "::" + rise + ") (" + fall +
+                     "::" + fall + "))"),
+            std::string::npos)
+      << sdf;
+}
+
+TEST_F(SdfTest, MultiInputPortsAndPinOrder) {
+  Netlist nl(lib_);
+  const SignalId a = nl.add_primary_input("a");
+  const SignalId b = nl.add_primary_input("b");
+  const SignalId c = nl.add_primary_input("c");
+  const SignalId y = nl.add_signal("y");
+  nl.mark_primary_output(y);
+  const std::array<SignalId, 3> ins{a, b, c};
+  (void)nl.add_gate("g", CellKind::kNand3, ins, y);
+  const std::string sdf = write_sdf(nl);
+  EXPECT_NE(sdf.find("(IOPATH A Y"), std::string::npos);
+  EXPECT_NE(sdf.find("(IOPATH B Y"), std::string::npos);
+  EXPECT_NE(sdf.find("(IOPATH C Y"), std::string::npos);
+  EXPECT_EQ(sdf.find("(IOPATH D Y"), std::string::npos);
+}
+
+TEST_F(SdfTest, HierarchicalNamesEscaped) {
+  Netlist nl(lib_);
+  const SignalId a = nl.add_primary_input("a");
+  const SignalId y = nl.add_signal("u0/y");
+  nl.mark_primary_output(y);
+  const std::array<SignalId, 1> ins{a};
+  (void)nl.add_gate("u0/g1", CellKind::kInv, ins, y);
+  const std::string sdf = write_sdf(nl);
+  EXPECT_NE(sdf.find("(INSTANCE u0.g1)"), std::string::npos);
+  EXPECT_EQ(sdf.find("u0/g1"), std::string::npos);
+}
+
+TEST_F(SdfTest, PortNames) {
+  EXPECT_EQ(sdf_port_name(0), "A");
+  EXPECT_EQ(sdf_port_name(3), "D");
+  EXPECT_THROW((void)sdf_port_name(26), ContractViolation);
+  EXPECT_THROW((void)write_sdf(Netlist(lib_), 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,454 @@
+// Engine semantics tests: propagation, degradation, annihilation, the
+// per-input threshold pair rule (the paper's new inertial treatment),
+// CDM classical filtering, stop conditions and global consistency.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "src/core/simulator.hpp"
+
+namespace halotis {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+  DdmDelayModel ddm_;
+  CdmDelayModel cdm_;
+};
+
+/// in -> INV -> out, output marked primary.  `load` emulates realistic
+/// fanout wiring (an unloaded calibrated inverter switches in ~60 ps,
+/// putting its degradation window below the test's pulse widths).
+struct InvFixture {
+  explicit InvFixture(const Library& lib, Farad load = 0.1) : nl(lib) {
+    in = nl.add_primary_input("in");
+    out = nl.add_signal("out");
+    nl.mark_primary_output(out);
+    nl.set_wire_cap(out, load);
+    const std::array<SignalId, 1> ins{in};
+    (void)nl.add_gate("g", CellKind::kInv, ins, out);
+  }
+  Netlist nl;
+  SignalId in, out;
+};
+
+TEST_F(SimulatorTest, InverterPropagatesSingleEdge) {
+  InvFixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.in, 5.0, true);
+
+  Simulator sim(fx.nl, ddm_);
+  sim.apply_stimulus(stim);
+  const RunResult result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kQueueExhausted);
+
+  EXPECT_FALSE(sim.initial_value(fx.in));
+  EXPECT_TRUE(sim.initial_value(fx.out));  // INV(0) = 1
+  EXPECT_TRUE(sim.final_value(fx.in));
+  EXPECT_FALSE(sim.final_value(fx.out));
+
+  const auto history = sim.history(fx.out);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].edge, Edge::kFall);
+
+  // Delay must equal the macro-model tp0 (gate fully settled).
+  const Cell& inv = lib_.cell(lib_.by_kind(CellKind::kInv));
+  const Farad cl = fx.nl.load_of(fx.out);
+  const TimeNs expected_tp = inv.pin(0).fall.tp0(cl, 0.4);
+  EXPECT_NEAR(history[0].t50(), 5.0 + expected_tp, 1e-9);
+  EXPECT_NEAR(history[0].tau, inv.drive.tau_out(Edge::kFall, cl), 1e-12);
+}
+
+TEST_F(SimulatorTest, ChainDelaysAccumulate) {
+  Netlist nl(lib_);
+  const SignalId in = nl.add_primary_input("in");
+  std::vector<SignalId> nodes{in};
+  for (int i = 0; i < 4; ++i) {
+    const SignalId next = nl.add_signal("n" + std::to_string(i));
+    const std::array<SignalId, 1> ins{nodes.back()};
+    (void)nl.add_gate("g" + std::to_string(i), CellKind::kInv, ins, next);
+    nodes.push_back(next);
+  }
+  nl.mark_primary_output(nodes.back());
+
+  Stimulus stim(0.4);
+  stim.add_edge(in, 2.0, true);
+  Simulator sim(nl, ddm_);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+
+  TimeNs last_t50 = 2.0;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const auto history = sim.history(nodes[i]);
+    ASSERT_EQ(history.size(), 1u) << "stage " << i;
+    EXPECT_GT(history[0].t50(), last_t50) << "stage " << i;
+    // Alternating senses down the chain.
+    EXPECT_EQ(history[0].edge, (i % 2 == 1) ? Edge::kFall : Edge::kRise);
+    last_t50 = history[0].t50();
+  }
+}
+
+TEST_F(SimulatorTest, PulseDegradesThroughInverter) {
+  // A settled gate maps an input pulse of width w to width
+  // w + (tp_rise - tp_fall); degradation shrinks the second edge's delay,
+  // so narrow pulses come out *narrower* than that asymptotic width, and
+  // the deficit grows monotonically as the pulse narrows (eq. 1).
+  const double widths[] = {0.42, 0.55, 0.75, 1.1, 2.0, 12.0};
+  std::vector<double> out_widths;
+  for (const double w : widths) {
+    InvFixture fx(lib_);
+    Stimulus stim(0.4);
+    stim.add_edge(fx.in, 5.0, true);
+    stim.add_edge(fx.in, 5.0 + w, false);
+    Simulator sim(fx.nl, ddm_);
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+    const auto history = sim.history(fx.out);
+    ASSERT_EQ(history.size(), 2u) << "w=" << w;
+    out_widths.push_back(history[1].t50() - history[0].t50());
+  }
+  // The widest pulse is effectively settled: its width change is the
+  // rise/fall delay asymmetry.
+  const double asymptote = out_widths.back() - widths[std::size(widths) - 1];
+  std::vector<double> deficit;
+  for (std::size_t i = 0; i < out_widths.size(); ++i) {
+    deficit.push_back(widths[i] + asymptote - out_widths[i]);
+  }
+  EXPECT_NEAR(deficit.back(), 0.0, 1e-6);
+  EXPECT_GT(deficit.front(), 0.01);  // >10 ps lost at the narrowest width
+  for (std::size_t i = 1; i < deficit.size(); ++i) {
+    EXPECT_GE(deficit[i - 1], deficit[i] - 1e-9) << "index " << i;
+  }
+}
+
+TEST_F(SimulatorTest, RuntPulseAnnihilatedAtOutput) {
+  InvFixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.in, 5.0, true);
+  stim.add_edge(fx.in, 5.2, false);  // T below T0 + tp: pulse collapses
+  Simulator sim(fx.nl, ddm_);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+
+  EXPECT_TRUE(sim.history(fx.out).empty());
+  EXPECT_GE(sim.stats().annihilations, 1u);
+  EXPECT_TRUE(sim.final_value(fx.out));  // back to initial 1
+  EXPECT_EQ(sim.toggle_count(fx.out), 0u);
+}
+
+TEST_F(SimulatorTest, WidePulsePropagatesFullyUnderBothModels) {
+  for (const DelayModel* model :
+       std::initializer_list<const DelayModel*>{&ddm_, &cdm_}) {
+    InvFixture fx(lib_);
+    Stimulus stim(0.4);
+    stim.add_edge(fx.in, 5.0, true);
+    stim.add_edge(fx.in, 9.0, false);
+    Simulator sim(fx.nl, *model);
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+    EXPECT_EQ(sim.history(fx.out).size(), 2u) << model->name();
+    EXPECT_EQ(sim.stats().filtered_events(), 0u) << model->name();
+  }
+}
+
+TEST_F(SimulatorTest, ClassicalCdmWindowSwallowsPulseNarrowerThanGateDelay) {
+  const CdmDelayModel classical(CdmDelayModel::InertialWindow::kGateDelay);
+  InvFixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.in, 5.0, true);
+  stim.add_edge(fx.in, 5.1, false);  // 100 ps < tp ~ 290 ps at this load
+  Simulator sim(fx.nl, classical);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+  EXPECT_TRUE(sim.history(fx.out).empty());
+  EXPECT_GE(sim.stats().cdm_inertial_filtered, 1u);
+}
+
+TEST_F(SimulatorTest, CdmTransportModePropagatesNarrowPulses) {
+  const CdmDelayModel transport(CdmDelayModel::InertialWindow::kNone);
+  InvFixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.in, 5.0, true);
+  stim.add_edge(fx.in, 5.1, false);
+  Simulator sim(fx.nl, transport);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+  EXPECT_EQ(sim.history(fx.out).size(), 2u);
+}
+
+/// The paper's Fig. 1 scenario in miniature: one runt pulse on a net
+/// feeding a low-threshold and a high-threshold inverter.
+struct Fig1Fixture {
+  explicit Fig1Fixture(const Library& lib) : nl(lib) {
+    in = nl.add_primary_input("in");
+    lvt_out = nl.add_signal("lvt_out");
+    hvt_out = nl.add_signal("hvt_out");
+    nl.mark_primary_output(lvt_out);
+    nl.mark_primary_output(hvt_out);
+    const std::array<SignalId, 1> ins{in};
+    (void)nl.add_gate("g_lvt", lib.find("INV_LVT"), ins, lvt_out);
+    (void)nl.add_gate("g_hvt", lib.find("INV_HVT"), ins, hvt_out);
+  }
+  Netlist nl;
+  SignalId in, lvt_out, hvt_out;
+};
+
+TEST_F(SimulatorTest, DdmFiltersPerInputThreshold) {
+  // Slow ramps (tau = 1 ns) with a 0.2 ns midswing separation: the rising
+  // ramp crosses 3.2 V only *after* the falling ramp has dropped below it
+  // (pair rule filters at the HVT input), while the 1.8 V crossing pair
+  // stays ordered and the low-threshold inverter responds.
+  Fig1Fixture fx(lib_);
+  Stimulus stim(1.0);
+  stim.add_edge(fx.in, 5.0, true);
+  stim.add_edge(fx.in, 5.2, false);
+
+  Simulator sim(fx.nl, ddm_);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+
+  // The low-threshold inverter saw the pulse (both events fired)...
+  EXPECT_EQ(sim.history(fx.lvt_out).size(), 2u);
+  // ...the high-threshold inverter never did (pair rule cancelled it).
+  EXPECT_TRUE(sim.history(fx.hvt_out).empty());
+  EXPECT_GE(sim.stats().pair_cancellations, 1u);
+}
+
+TEST_F(SimulatorTest, CdmCannotDiscriminatePerInput) {
+  // Classical model: both receivers see identical midswing events, so a
+  // propagatable pulse reaches both (threshold-based discrimination is
+  // structurally impossible; only rise/fall delay asymmetry could ever
+  // absorb a borderline runt, which this width avoids).
+  Fig1Fixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.in, 5.0, true);
+  stim.add_edge(fx.in, 5.5, false);
+
+  Simulator sim(fx.nl, cdm_);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+
+  EXPECT_EQ(sim.history(fx.lvt_out).size(), 2u);
+  EXPECT_EQ(sim.history(fx.hvt_out).size(), 2u);
+  EXPECT_EQ(sim.stats().pair_cancellations, 0u);  // no threshold filtering
+}
+
+TEST_F(SimulatorTest, EventCountsBalance) {
+  Fig1Fixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.in, 5.0, true);
+  stim.add_edge(fx.in, 5.08, false);
+  stim.add_edge(fx.in, 8.0, true);
+  stim.add_edge(fx.in, 12.0, false);
+  Simulator sim(fx.nl, ddm_);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+
+  const SimStats& s = sim.stats();
+  EXPECT_EQ(s.events_created, s.events_processed + s.events_cancelled);
+  EXPECT_EQ(s.transitions_created - s.transitions_annihilated,
+            sim.total_activity());
+}
+
+/// A reconvergent XOR makes glitches: a -> xor(a, buf(a)) produces a pulse
+/// on every input edge under conventional timing.
+struct GlitchFixture {
+  explicit GlitchFixture(const Library& lib, int chain_length = 3) : nl(lib) {
+    a = nl.add_primary_input("a");
+    SignalId delayed = a;
+    for (int i = 0; i < chain_length; ++i) {
+      const SignalId next = nl.add_signal("d" + std::to_string(i));
+      const std::array<SignalId, 1> ins{delayed};
+      (void)nl.add_gate("buf" + std::to_string(i), CellKind::kBuf, ins, next);
+      delayed = next;
+    }
+    y = nl.add_signal("y");
+    nl.mark_primary_output(y);
+    const std::array<SignalId, 2> xor_in{a, delayed};
+    (void)nl.add_gate("gx", CellKind::kXor2, xor_in, y);
+  }
+  Netlist nl;
+  SignalId a, y;
+};
+
+TEST_F(SimulatorTest, ReconvergentXorGlitches) {
+  GlitchFixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.a, 5.0, true);
+  stim.add_edge(fx.a, 15.0, false);
+  Simulator sim(fx.nl, cdm_);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+  // Under CDM the hazard pulse survives (chain delay > inertial window):
+  // two pulses of two transitions each.
+  EXPECT_EQ(sim.history(fx.y).size(), 4u);
+  EXPECT_FALSE(sim.final_value(fx.y));
+}
+
+TEST_F(SimulatorTest, DdmNeverProducesMoreActivityThanTransportCdm) {
+  GlitchFixture fx(lib_, 2);
+  const CdmDelayModel transport(CdmDelayModel::InertialWindow::kNone);
+
+  std::uint64_t activity[2];
+  const DelayModel* models[2] = {&ddm_, &transport};
+  for (int m = 0; m < 2; ++m) {
+    GlitchFixture local(lib_, 2);
+    Stimulus stim(0.4);
+    stim.add_edge(local.a, 5.0, true);
+    stim.add_edge(local.a, 10.0, false);
+    Simulator sim(local.nl, *models[m]);
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+    activity[m] = sim.total_activity();
+  }
+  EXPECT_LE(activity[0], activity[1]);
+}
+
+TEST_F(SimulatorTest, PerceivedValuesConsistentAfterQuiescence) {
+  GlitchFixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.a, 5.0, true);
+  stim.add_edge(fx.a, 5.3, false);
+  stim.add_edge(fx.a, 7.0, true);
+  stim.add_edge(fx.a, 7.15, false);
+  stim.add_edge(fx.a, 9.0, true);
+
+  Simulator sim(fx.nl, ddm_);
+  sim.apply_stimulus(stim);
+  const RunResult result = sim.run();
+  ASSERT_EQ(result.reason, StopReason::kQueueExhausted);
+
+  // Invariant: once quiescent, every gate input perceives exactly the final
+  // value of its driving signal, and every gate output equals its function.
+  for (std::size_t g = 0; g < fx.nl.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    const Gate& gate = fx.nl.gate(gid);
+    bool ins[4] = {};
+    for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+      const bool perceived = sim.perceived_value(PinRef{gid, static_cast<int>(p)});
+      EXPECT_EQ(perceived, sim.final_value(gate.inputs[p]))
+          << "gate " << gate.name << " pin " << p;
+      ins[p] = perceived;
+    }
+    EXPECT_EQ(sim.final_value(gate.output),
+              eval_cell(fx.nl.cell_of(gid).kind,
+                        std::span<const bool>(ins, gate.inputs.size())))
+        << "gate " << gate.name;
+  }
+}
+
+TEST_F(SimulatorTest, SignalHistoriesAlternateAndAreOrdered) {
+  GlitchFixture fx(lib_);
+  Stimulus stim(0.4);
+  stim.add_edge(fx.a, 5.0, true);
+  stim.add_edge(fx.a, 6.0, false);
+  stim.add_edge(fx.a, 7.0, true);
+  Simulator sim(fx.nl, ddm_);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+
+  for (std::size_t s = 0; s < fx.nl.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const auto history = sim.history(sid);
+    bool value = sim.initial_value(sid);
+    TimeNs last = -1e18;
+    for (const Transition& tr : history) {
+      EXPECT_EQ(tr.final_value(), !value) << fx.nl.signal(sid).name;
+      value = tr.final_value();
+      EXPECT_GT(tr.t50(), last) << fx.nl.signal(sid).name;
+      last = tr.t50();
+    }
+    EXPECT_EQ(value, sim.final_value(sid));
+  }
+}
+
+TEST_F(SimulatorTest, RingOscillatorHitsEventLimit) {
+  Netlist nl(lib_);
+  const SignalId en = nl.add_primary_input("en");
+  const SignalId q = nl.add_signal("q");
+  const SignalId n1 = nl.add_signal("n1");
+  const SignalId n2 = nl.add_signal("n2");
+  const std::array<SignalId, 2> nand_in{en, n2};
+  (void)nl.add_gate("gn", CellKind::kNand2, nand_in, q);
+  const std::array<SignalId, 1> i1{q};
+  (void)nl.add_gate("g1", CellKind::kInv, i1, n1);
+  const std::array<SignalId, 1> i2{n1};
+  (void)nl.add_gate("g2", CellKind::kInv, i2, n2);
+
+  Stimulus stim(0.4);
+  stim.add_edge(en, 1.0, true);
+
+  SimConfig config;
+  config.max_events = 500;
+  Simulator sim(nl, ddm_, config);
+  sim.apply_stimulus(stim);
+  const RunResult result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kEventLimit);
+  EXPECT_EQ(sim.stats().events_processed, 500u);
+}
+
+TEST_F(SimulatorTest, HorizonStopsTheRun) {
+  Netlist nl(lib_);
+  const SignalId en = nl.add_primary_input("en");
+  const SignalId q = nl.add_signal("q");
+  const SignalId n1 = nl.add_signal("n1");
+  const SignalId n2 = nl.add_signal("n2");
+  const std::array<SignalId, 2> nand_in{en, n2};
+  (void)nl.add_gate("gn", CellKind::kNand2, nand_in, q);
+  const std::array<SignalId, 1> i1{q};
+  (void)nl.add_gate("g1", CellKind::kInv, i1, n1);
+  const std::array<SignalId, 1> i2{n1};
+  (void)nl.add_gate("g2", CellKind::kInv, i2, n2);
+
+  Stimulus stim(0.4);
+  stim.add_edge(en, 1.0, true);
+
+  SimConfig config;
+  config.t_end = 50.0;
+  Simulator sim(nl, ddm_, config);
+  sim.apply_stimulus(stim);
+  const RunResult result = sim.run();
+  EXPECT_EQ(result.reason, StopReason::kHorizonReached);
+  EXPECT_LE(result.end_time, 50.0);
+  EXPECT_GT(sim.toggle_count(q), 10u);  // it oscillated until the horizon
+}
+
+TEST_F(SimulatorTest, ApplyStimulusTwiceThrows) {
+  InvFixture fx(lib_);
+  Stimulus stim(0.4);
+  Simulator sim(fx.nl, ddm_);
+  sim.apply_stimulus(stim);
+  EXPECT_THROW(sim.apply_stimulus(stim), ContractViolation);
+}
+
+TEST_F(SimulatorTest, RunWithoutStimulusThrows) {
+  InvFixture fx(lib_);
+  Simulator sim(fx.nl, ddm_);
+  EXPECT_THROW((void)sim.run(), ContractViolation);
+}
+
+TEST_F(SimulatorTest, InitialWordPropagatesThroughSteadyState) {
+  Netlist nl(lib_);
+  const SignalId a = nl.add_primary_input("a");
+  const SignalId b = nl.add_primary_input("b");
+  const SignalId y = nl.add_signal("y");
+  nl.mark_primary_output(y);
+  const std::array<SignalId, 2> ins{a, b};
+  (void)nl.add_gate("g", CellKind::kNand2, ins, y);
+
+  Stimulus stim(0.4);
+  stim.set_initial(a, true);
+  stim.set_initial(b, true);
+  Simulator sim(nl, ddm_);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+  EXPECT_FALSE(sim.initial_value(y));
+  EXPECT_FALSE(sim.final_value(y));
+  EXPECT_EQ(sim.stats().events_processed, 0u);
+}
+
+}  // namespace
+}  // namespace halotis

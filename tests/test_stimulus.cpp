@@ -1,0 +1,97 @@
+// Tests for the Stimulus testbench description.
+#include <gtest/gtest.h>
+
+#include "src/circuits/generators.hpp"
+#include "src/core/stimulus.hpp"
+
+namespace halotis {
+namespace {
+
+class StimulusTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+};
+
+TEST_F(StimulusTest, InitialValuesDefaultLow) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  Stimulus stim(0.4);
+  EXPECT_FALSE(stim.initial_value(chain.nodes[0]));
+  stim.set_initial(chain.nodes[0], true);
+  EXPECT_TRUE(stim.initial_value(chain.nodes[0]));
+}
+
+TEST_F(StimulusTest, RedundantEdgesDropped) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  const SignalId in = chain.nodes[0];
+  Stimulus stim(0.4);
+  stim.add_edge(in, 1.0, false);  // same as initial: dropped
+  EXPECT_TRUE(stim.edges(in).empty());
+  stim.add_edge(in, 2.0, true);
+  stim.add_edge(in, 3.0, true);   // repeated value: dropped
+  stim.add_edge(in, 4.0, false);
+  ASSERT_EQ(stim.edges(in).size(), 2u);
+  EXPECT_DOUBLE_EQ(stim.edges(in)[0].time, 2.0);
+  EXPECT_DOUBLE_EQ(stim.edges(in)[1].time, 4.0);
+}
+
+TEST_F(StimulusTest, OrderViolationsRejected) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  const SignalId in = chain.nodes[0];
+  Stimulus stim(0.4);
+  stim.add_edge(in, 5.0, true);
+  EXPECT_THROW(stim.add_edge(in, 4.0, false), ContractViolation);
+  EXPECT_THROW(stim.add_edge(in, -1.0, false), ContractViolation);
+  EXPECT_THROW(stim.add_edge(in, 6.0, false, -0.5), ContractViolation);
+  // set_initial after edges exist is a misuse.
+  EXPECT_THROW(stim.set_initial(in, true), ContractViolation);
+}
+
+TEST_F(StimulusTest, ApplyWordSetsBitsLsbFirst) {
+  MultiplierCircuit mult = make_multiplier(lib_, 2);
+  Stimulus stim(0.4);
+  const std::vector<SignalId> bits{mult.a[0], mult.a[1], mult.b[0], mult.b[1]};
+  stim.apply_word(bits, 0b1010, 3.0);
+  EXPECT_TRUE(stim.edges(mult.a[0]).empty());   // bit 0 = 0 (no change)
+  ASSERT_EQ(stim.edges(mult.a[1]).size(), 1u);  // bit 1 = 1
+  EXPECT_TRUE(stim.edges(mult.a[1])[0].value);
+  EXPECT_TRUE(stim.edges(mult.b[0]).empty());
+  ASSERT_EQ(stim.edges(mult.b[1]).size(), 1u);
+}
+
+TEST_F(StimulusTest, ApplySequenceFirstWordIsInitial) {
+  MultiplierCircuit mult = make_multiplier(lib_, 2);
+  Stimulus stim(0.4);
+  const std::vector<SignalId> bits{mult.a[0], mult.a[1], mult.b[0], mult.b[1]};
+  const std::vector<std::uint64_t> words{0b0011, 0b0101, 0b0011};
+  stim.apply_sequence(bits, words, 5.0, 5.0);
+
+  EXPECT_TRUE(stim.initial_value(mult.a[0]));
+  EXPECT_TRUE(stim.initial_value(mult.a[1]));
+  EXPECT_FALSE(stim.initial_value(mult.b[0]));
+  // a1: 1 -> 0 at t=5, 0 -> 1 at t=10.
+  ASSERT_EQ(stim.edges(mult.a[1]).size(), 2u);
+  EXPECT_DOUBLE_EQ(stim.edges(mult.a[1])[0].time, 5.0);
+  EXPECT_FALSE(stim.edges(mult.a[1])[0].value);
+  EXPECT_DOUBLE_EQ(stim.edges(mult.a[1])[1].time, 10.0);
+  // a0 stays 1 throughout.
+  EXPECT_TRUE(stim.edges(mult.a[0]).empty());
+  EXPECT_DOUBLE_EQ(stim.last_edge_time(), 10.0);
+}
+
+TEST_F(StimulusTest, PerEdgeSlewOverride) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  Stimulus stim(0.4);
+  stim.add_edge(chain.nodes[0], 2.0, true);        // default slew
+  stim.add_edge(chain.nodes[0], 6.0, false, 1.2);  // explicit
+  EXPECT_DOUBLE_EQ(stim.edges(chain.nodes[0])[0].tau, 0.0);  // 0 = default
+  EXPECT_DOUBLE_EQ(stim.edges(chain.nodes[0])[1].tau, 1.2);
+  EXPECT_DOUBLE_EQ(stim.default_slew(), 0.4);
+}
+
+TEST_F(StimulusTest, LastEdgeTimeEmpty) {
+  Stimulus stim(0.4);
+  EXPECT_DOUBLE_EQ(stim.last_edge_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,94 @@
+// Tests for the transition ramp arithmetic (paper Fig. 3): threshold
+// crossings, midswing, ordering properties across thresholds.
+#include <gtest/gtest.h>
+
+#include "src/core/transition.hpp"
+
+namespace halotis {
+namespace {
+
+constexpr Volt kVdd = 5.0;
+
+Transition make(Edge edge, TimeNs t_start, TimeNs tau) {
+  Transition tr;
+  tr.signal = SignalId{0};
+  tr.edge = edge;
+  tr.t_start = t_start;
+  tr.tau = tau;
+  return tr;
+}
+
+TEST(Transition, MidswingIsCenter) {
+  const Transition tr = make(Edge::kRise, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(tr.t50(), 11.0);
+  EXPECT_DOUBLE_EQ(tr.crossing_time(2.5, kVdd), 11.0);
+}
+
+TEST(Transition, RisingCrossesLowThresholdsFirst) {
+  const Transition tr = make(Edge::kRise, 0.0, 4.0);
+  const TimeNs low = tr.crossing_time(1.0, kVdd);
+  const TimeNs mid = tr.crossing_time(2.5, kVdd);
+  const TimeNs high = tr.crossing_time(4.0, kVdd);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  EXPECT_DOUBLE_EQ(low, 0.8);   // 4 ns * 1/5
+  EXPECT_DOUBLE_EQ(high, 3.2);  // 4 ns * 4/5
+}
+
+TEST(Transition, FallingCrossesHighThresholdsFirst) {
+  const Transition tr = make(Edge::kFall, 0.0, 4.0);
+  const TimeNs high = tr.crossing_time(4.0, kVdd);
+  const TimeNs mid = tr.crossing_time(2.5, kVdd);
+  const TimeNs low = tr.crossing_time(1.0, kVdd);
+  EXPECT_LT(high, mid);
+  EXPECT_LT(mid, low);
+  EXPECT_DOUBLE_EQ(high, 0.8);
+  EXPECT_DOUBLE_EQ(low, 3.2);
+}
+
+TEST(Transition, PaperFig3EventOrdering) {
+  // A falling transition driving three inputs with thresholds
+  // VT_g2 > VT_g3 > VT_g1 produces events in that order (E1, E2, E3).
+  const Transition out = make(Edge::kFall, 2.0, 3.0);
+  const TimeNs e1 = out.crossing_time(3.6, kVdd);  // highest threshold
+  const TimeNs e2 = out.crossing_time(2.5, kVdd);
+  const TimeNs e3 = out.crossing_time(1.4, kVdd);  // lowest threshold
+  EXPECT_LT(e1, e2);
+  EXPECT_LT(e2, e3);
+}
+
+TEST(Transition, FinalValueFollowsEdge) {
+  EXPECT_TRUE(make(Edge::kRise, 0.0, 1.0).final_value());
+  EXPECT_FALSE(make(Edge::kFall, 0.0, 1.0).final_value());
+}
+
+TEST(Transition, CrossingRejectsRailThresholds) {
+  const Transition tr = make(Edge::kRise, 0.0, 1.0);
+  EXPECT_THROW((void)tr.crossing_time(0.0, kVdd), ContractViolation);
+  EXPECT_THROW((void)tr.crossing_time(kVdd, kVdd), ContractViolation);
+  EXPECT_THROW((void)tr.crossing_time(-1.0, kVdd), ContractViolation);
+}
+
+class TransitionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransitionSweep, RiseAndFallCrossingsAreMirrorImages) {
+  const double vt = GetParam();
+  const Transition rise = make(Edge::kRise, 0.0, 3.0);
+  const Transition fall = make(Edge::kFall, 0.0, 3.0);
+  // Crossing fraction of a rise at vt equals that of a fall at VDD - vt.
+  EXPECT_NEAR(rise.crossing_time(vt, kVdd), fall.crossing_time(kVdd - vt, kVdd), 1e-12);
+}
+
+TEST_P(TransitionSweep, CrossingWithinRamp) {
+  const double vt = GetParam();
+  const Transition tr = make(Edge::kRise, 7.0, 2.5);
+  const TimeNs t = tr.crossing_time(vt, kVdd);
+  EXPECT_GE(t, tr.t_start);
+  EXPECT_LE(t, tr.t_start + tr.tau);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThresholdSweep, TransitionSweep,
+                         ::testing::Values(0.5, 1.0, 1.8, 2.5, 3.2, 4.0, 4.5));
+
+}  // namespace
+}  // namespace halotis

@@ -1,0 +1,100 @@
+// Tests for the per-instance variation delay model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/mathfit.hpp"
+#include "src/circuits/generators.hpp"
+#include "src/core/simulator.hpp"
+
+namespace halotis {
+namespace {
+
+class VariationTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+  DdmDelayModel ddm_;
+};
+
+TEST_F(VariationTest, FactorsAreDeterministicPerSeedAndGate) {
+  const VariationDelayModel a(ddm_, 0.1, 42);
+  const VariationDelayModel b(ddm_, 0.1, 42);
+  const VariationDelayModel c(ddm_, 0.1, 43);
+  for (unsigned g = 0; g < 50; ++g) {
+    EXPECT_DOUBLE_EQ(a.factor(GateId{g}), b.factor(GateId{g}));
+  }
+  int differing = 0;
+  for (unsigned g = 0; g < 50; ++g) {
+    if (a.factor(GateId{g}) != c.factor(GateId{g})) ++differing;
+  }
+  EXPECT_GT(differing, 45);  // different seed: different corner
+}
+
+TEST_F(VariationTest, FactorsAreRoughlyLognormal) {
+  const double sigma = 0.2;
+  const VariationDelayModel model(ddm_, sigma, 7);
+  std::vector<double> logs;
+  for (unsigned g = 0; g < 4000; ++g) {
+    const double f = model.factor(GateId{g});
+    EXPECT_GT(f, 0.0);
+    logs.push_back(std::log(f));
+  }
+  EXPECT_NEAR(mean(logs), 0.0, 0.02);
+  EXPECT_NEAR(stddev(logs), sigma, 0.02);
+}
+
+TEST_F(VariationTest, ZeroSigmaIsIdentity) {
+  const VariationDelayModel model(ddm_, 0.0, 9);
+  ChainCircuit chain = make_chain(lib_, 3);
+  Stimulus stim(0.4);
+  stim.add_edge(chain.nodes[0], 2.0, true);
+
+  Simulator base_sim(chain.netlist, ddm_);
+  base_sim.apply_stimulus(stim);
+  (void)base_sim.run();
+  Simulator var_sim(chain.netlist, model);
+  var_sim.apply_stimulus(stim);
+  (void)var_sim.run();
+
+  const auto base_hist = base_sim.history(chain.nodes.back());
+  const auto var_hist = var_sim.history(chain.nodes.back());
+  ASSERT_EQ(base_hist.size(), var_hist.size());
+  for (std::size_t i = 0; i < base_hist.size(); ++i) {
+    EXPECT_DOUBLE_EQ(base_hist[i].t50(), var_hist[i].t50());
+  }
+}
+
+TEST_F(VariationTest, VariationShiftsArrivalTimes) {
+  ChainCircuit chain = make_chain(lib_, 6);
+  Stimulus stim(0.4);
+  stim.add_edge(chain.nodes[0], 2.0, true);
+
+  Simulator nominal(chain.netlist, ddm_);
+  nominal.apply_stimulus(stim);
+  (void)nominal.run();
+  const TimeNs t_nominal = nominal.history(chain.nodes.back())[0].t50();
+
+  int shifted = 0;
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    const VariationDelayModel model(ddm_, 0.15, seed);
+    Simulator sim(chain.netlist, model);
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+    const TimeNs t = sim.history(chain.nodes.back())[0].t50();
+    if (std::abs(t - t_nominal) > 1e-6) ++shifted;
+    // Functional result unchanged.
+    EXPECT_EQ(sim.final_value(chain.nodes.back()),
+              nominal.final_value(chain.nodes.back()));
+  }
+  EXPECT_EQ(shifted, 10);
+}
+
+TEST_F(VariationTest, ThresholdsUntouched) {
+  const VariationDelayModel model(ddm_, 0.3, 5);
+  const Cell& lvt = lib_.cell(lib_.find("INV_LVT"));
+  EXPECT_DOUBLE_EQ(model.event_threshold(lvt, 0, 5.0),
+                   ddm_.event_threshold(lvt, 0, 5.0));
+}
+
+}  // namespace
+}  // namespace halotis

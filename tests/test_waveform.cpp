@@ -1,0 +1,294 @@
+// Tests for digital waveforms, edge matching, analog traces / digitization,
+// VCD output and the ASCII plot renderer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/waveform/analog_trace.hpp"
+#include "src/waveform/ascii_plot.hpp"
+#include "src/waveform/digital_waveform.hpp"
+#include "src/waveform/vcd.hpp"
+#include "src/waveform/vcd_reader.hpp"
+
+namespace halotis {
+namespace {
+
+TEST(DigitalWaveform, AppendEnforcesAlternation) {
+  DigitalWaveform wave(false);
+  wave.append(1.0, Edge::kRise);
+  EXPECT_THROW(wave.append(2.0, Edge::kRise), ContractViolation);
+  wave.append(2.0, Edge::kFall);
+  EXPECT_THROW(wave.append(1.5, Edge::kRise), ContractViolation);  // time order
+  EXPECT_THROW(DigitalWaveform(false).append(1.0, Edge::kFall), ContractViolation);
+}
+
+TEST(DigitalWaveform, ValueAtAndFinal) {
+  DigitalWaveform wave(false);
+  wave.append(1.0, Edge::kRise);
+  wave.append(3.0, Edge::kFall);
+  EXPECT_FALSE(wave.value_at(0.5));
+  EXPECT_TRUE(wave.value_at(2.0));
+  EXPECT_FALSE(wave.value_at(4.0));
+  EXPECT_FALSE(wave.final_value());
+  EXPECT_EQ(wave.edge_count(), 2u);
+}
+
+TEST(DigitalWaveform, FromTransitions) {
+  std::vector<Transition> history;
+  Transition tr;
+  tr.signal = SignalId{0};
+  tr.edge = Edge::kRise;
+  tr.t_start = 1.0;
+  tr.tau = 0.4;
+  history.push_back(tr);
+  tr.edge = Edge::kFall;
+  tr.t_start = 2.0;
+  history.push_back(tr);
+  const DigitalWaveform wave = DigitalWaveform::from_transitions(false, history);
+  ASSERT_EQ(wave.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(wave.edges()[0].time, 1.2);
+  EXPECT_DOUBLE_EQ(wave.edges()[0].tau, 0.4);
+}
+
+TEST(DigitalWaveform, PulseCounting) {
+  DigitalWaveform wave(false);
+  wave.append(1.0, Edge::kRise);
+  wave.append(1.2, Edge::kFall);   // 0.2 pulse
+  wave.append(5.0, Edge::kRise);
+  wave.append(9.0, Edge::kFall);   // 4.0 pulse
+  EXPECT_EQ(wave.pulses_narrower_than(1.0), 1u);
+  EXPECT_EQ(wave.pulses_narrower_than(10.0), 3u);  // inter-pulse gap counts too
+  EXPECT_EQ(wave.pulses_narrower_than(0.1), 0u);
+}
+
+TEST(WaveformMatch, IdenticalWaveformsMatchExactly) {
+  DigitalWaveform a(false);
+  a.append(1.0, Edge::kRise);
+  a.append(2.0, Edge::kFall);
+  const WaveformMatch m = match_waveforms(a, a, 0.1);
+  EXPECT_EQ(m.matched, 2u);
+  EXPECT_TRUE(m.exact_count());
+  EXPECT_DOUBLE_EQ(m.mean_abs_skew, 0.0);
+}
+
+TEST(WaveformMatch, SkewWithinToleranceMatches) {
+  DigitalWaveform ref(false);
+  ref.append(1.0, Edge::kRise);
+  ref.append(2.0, Edge::kFall);
+  DigitalWaveform test(false);
+  test.append(1.05, Edge::kRise);
+  test.append(1.92, Edge::kFall);
+  const WaveformMatch m = match_waveforms(ref, test, 0.2);
+  EXPECT_EQ(m.matched, 2u);
+  EXPECT_NEAR(m.mean_abs_skew, (0.05 + 0.08) / 2.0, 1e-12);
+  EXPECT_NEAR(m.max_abs_skew, 0.08, 1e-12);
+}
+
+TEST(WaveformMatch, ExtraGlitchReported) {
+  DigitalWaveform ref(false);
+  ref.append(1.0, Edge::kRise);
+  ref.append(5.0, Edge::kFall);
+  DigitalWaveform test(false);
+  test.append(1.0, Edge::kRise);
+  test.append(2.0, Edge::kFall);  // extra glitch
+  test.append(2.3, Edge::kRise);
+  test.append(5.0, Edge::kFall);
+  const WaveformMatch m = match_waveforms(ref, test, 0.2);
+  EXPECT_EQ(m.matched, 2u);
+  EXPECT_EQ(m.extra, 2u);
+  EXPECT_EQ(m.missing, 0u);
+}
+
+TEST(WaveformMatch, MissingEdgesReported) {
+  DigitalWaveform ref(false);
+  ref.append(1.0, Edge::kRise);
+  ref.append(2.0, Edge::kFall);
+  ref.append(3.0, Edge::kRise);
+  ref.append(4.0, Edge::kFall);
+  DigitalWaveform test(false);
+  test.append(3.0, Edge::kRise);
+  test.append(4.0, Edge::kFall);
+  const WaveformMatch m = match_waveforms(ref, test, 0.2);
+  EXPECT_EQ(m.matched, 2u);
+  EXPECT_EQ(m.missing, 2u);
+  EXPECT_EQ(m.extra, 0u);
+}
+
+AnalogTrace make_pulse_trace(double width, double slope_ns = 0.2) {
+  // 0 -> 5 -> 0 trapezoid sampled at 10 ps.
+  AnalogTrace trace(0.0, 0.01);
+  for (int i = 0; i < 1000; ++i) {
+    const double t = 0.01 * i;
+    double v = 0.0;
+    if (t >= 1.0 && t < 1.0 + slope_ns) v = 5.0 * (t - 1.0) / slope_ns;
+    else if (t >= 1.0 + slope_ns && t < 1.0 + slope_ns + width) v = 5.0;
+    else if (t >= 1.0 + slope_ns + width && t < 1.0 + 2 * slope_ns + width) {
+      v = 5.0 * (1.0 - (t - 1.0 - slope_ns - width) / slope_ns);
+    }
+    trace.push_back(v);
+  }
+  return trace;
+}
+
+TEST(AnalogTrace, ValueAtInterpolates) {
+  AnalogTrace trace(0.0, 1.0);
+  trace.push_back(0.0);
+  trace.push_back(2.0);
+  trace.push_back(4.0);
+  EXPECT_DOUBLE_EQ(trace.value_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(trace.value_at(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(trace.value_at(-1.0), 0.0);  // clamps
+  EXPECT_DOUBLE_EQ(trace.value_at(9.0), 4.0);
+}
+
+TEST(AnalogTrace, DigitizeFullSwingPulse) {
+  const AnalogTrace trace = make_pulse_trace(2.0);
+  const DigitalWaveform wave = trace.digitize(5.0);
+  ASSERT_EQ(wave.edge_count(), 2u);
+  EXPECT_EQ(wave.edges()[0].sense, Edge::kRise);
+  EXPECT_EQ(wave.edges()[1].sense, Edge::kFall);
+  EXPECT_NEAR(wave.edges()[0].time, 1.1, 0.02);  // midswing of the ramp
+}
+
+TEST(AnalogTrace, DigitizeSuppressesRuntBelowHysteresis) {
+  // Peak at 2.4 V < v_high = 3 V: no event.
+  AnalogTrace trace(0.0, 0.01);
+  for (int i = 0; i < 500; ++i) {
+    const double t = 0.01 * i;
+    const double v = 2.4 * std::exp(-((t - 2.0) * (t - 2.0)) / 0.02);
+    trace.push_back(v);
+  }
+  EXPECT_EQ(trace.digitize(5.0).edge_count(), 0u);
+}
+
+TEST(AnalogTrace, CrossingsDirectional) {
+  const AnalogTrace trace = make_pulse_trace(2.0);
+  const auto rises = trace.crossings(2.5, Edge::kRise);
+  const auto falls = trace.crossings(2.5, Edge::kFall);
+  ASSERT_EQ(rises.size(), 1u);
+  ASSERT_EQ(falls.size(), 1u);
+  EXPECT_LT(rises[0], falls[0]);
+  EXPECT_TRUE(trace.crossings(6.0, Edge::kRise).empty());
+}
+
+TEST(AnalogTrace, MinMax) {
+  const AnalogTrace trace = make_pulse_trace(1.0);
+  EXPECT_DOUBLE_EQ(trace.min_value(), 0.0);
+  EXPECT_NEAR(trace.max_value(), 5.0, 1e-9);
+}
+
+TEST(Vcd, HeaderAndChanges) {
+  DigitalWaveform a(false);
+  a.append(1.0, Edge::kRise);
+  a.append(2.5, Edge::kFall);
+  DigitalWaveform b(true);
+  VcdWriter writer("testmod");
+  writer.add_signal("sig_a", a);
+  writer.add_signal("sig_b", b);
+  const std::string vcd = writer.to_string();
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module testmod $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! sig_a $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 \" sig_b $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#1000\n1!"), std::string::npos);   // rise at 1 ns
+  EXPECT_NE(vcd.find("#2500\n0!"), std::string::npos);   // fall at 2.5 ns
+  EXPECT_NE(vcd.find("0!"), std::string::npos);
+  EXPECT_NE(vcd.find("1\""), std::string::npos);          // initial high
+}
+
+TEST(VcdReader, RoundTripsWriterOutput) {
+  DigitalWaveform a(false);
+  a.append(1.25, Edge::kRise);
+  a.append(2.5, Edge::kFall);
+  a.append(7.125, Edge::kRise);
+  DigitalWaveform b(true);
+  b.append(3.0, Edge::kFall);
+  VcdWriter writer("roundtrip");
+  writer.add_signal("alpha", a);
+  writer.add_signal("beta", b);
+
+  const VcdDocument doc = read_vcd(writer.to_string());
+  EXPECT_DOUBLE_EQ(doc.tick_ns, 0.001);
+  ASSERT_EQ(doc.signals.size(), 2u);
+  const DigitalWaveform& ra = doc.signals.at("alpha");
+  EXPECT_FALSE(ra.initial_value());
+  ASSERT_EQ(ra.edge_count(), 3u);
+  EXPECT_NEAR(ra.edges()[0].time, 1.25, 1e-9);
+  EXPECT_NEAR(ra.edges()[2].time, 7.125, 1e-9);
+  const DigitalWaveform& rb = doc.signals.at("beta");
+  EXPECT_TRUE(rb.initial_value());
+  ASSERT_EQ(rb.edge_count(), 1u);
+  EXPECT_EQ(rb.edges()[0].sense, Edge::kFall);
+}
+
+TEST(VcdReader, HandlesForeignDialect) {
+  const char* text = R"($date today $end
+$version someone else $end
+$timescale 10 ps $end
+$scope module top $end
+$var wire 1 ! clk $end
+$var reg 1 " q $end
+$upscope $end
+$enddefinitions $end
+#0
+$dumpvars
+0!
+1"
+$end
+#50
+1!
+#100
+0!
+0"
+)";
+  const VcdDocument doc = read_vcd(text);
+  EXPECT_DOUBLE_EQ(doc.tick_ns, 0.01);
+  const DigitalWaveform& clk = doc.signals.at("clk");
+  ASSERT_EQ(clk.edge_count(), 2u);
+  EXPECT_NEAR(clk.edges()[0].time, 0.5, 1e-9);   // 50 ticks * 10 ps
+  EXPECT_NEAR(clk.edges()[1].time, 1.0, 1e-9);
+  EXPECT_TRUE(doc.signals.at("q").initial_value());
+}
+
+TEST(VcdReader, RejectsUnsupportedContent) {
+  EXPECT_THROW((void)read_vcd("$var wire 8 ! bus $end"), ContractViolation);
+  EXPECT_THROW((void)read_vcd("$timescale 1s $end"), ContractViolation);
+  EXPECT_THROW(
+      (void)read_vcd("$timescale 1ps $end\n$var wire 1 ! a $end\n$enddefinitions "
+                     "$end\n#0\nx!\n"),
+      ContractViolation);
+}
+
+TEST(AsciiPlot, RendersDigitalRows) {
+  DigitalWaveform wave(false);
+  wave.append(5.0, Edge::kRise);
+  AsciiPlot plot(0.0, 10.0, 40);
+  plot.add_caption("demo caption");
+  plot.add_digital("sig", wave);
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("demo caption"), std::string::npos);
+  EXPECT_NE(out.find("sig"), std::string::npos);
+  EXPECT_NE(out.find('_'), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);
+  EXPECT_NE(out.find("t (ns)"), std::string::npos);
+  EXPECT_NE(out.find('/'), std::string::npos);  // the rise mark
+}
+
+TEST(AsciiPlot, RendersAnalogSparkline) {
+  const AnalogTrace trace = make_pulse_trace(3.0);
+  AsciiPlot plot(0.0, 10.0, 60);
+  plot.add_analog("v(out)", trace, 5.0);
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("v(out)"), std::string::npos);
+  EXPECT_NE(out.find('~'), std::string::npos);  // top level
+  EXPECT_NE(out.find('_'), std::string::npos);  // bottom level
+}
+
+TEST(AsciiPlot, RejectsBadWindow) {
+  EXPECT_THROW(AsciiPlot(5.0, 5.0, 40), ContractViolation);
+  EXPECT_THROW(AsciiPlot(0.0, 10.0, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace halotis
