@@ -1,0 +1,62 @@
+# End-to-end smoke test for the build harness: run the installed `halotis`
+# CLI on a tiny AND2 netlist and verify exit status, stdout contents, and
+# that a VCD dump is produced.
+#
+# Invoked by CTest as:
+#   cmake -DHALOTIS_BIN=... -DSMOKE_DIR=... -DWORK_DIR=... -P run_smoke.cmake
+
+foreach(var HALOTIS_BIN SMOKE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "smoke: missing -D${var}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(vcd_path "${WORK_DIR}/and2.vcd")
+file(REMOVE "${vcd_path}")
+
+execute_process(
+  COMMAND "${HALOTIS_BIN}" sim
+    --netlist "${SMOKE_DIR}/and2.bench"
+    --stim "${SMOKE_DIR}/and2.stim"
+    --model ddm
+    --vcd "${vcd_path}"
+  OUTPUT_VARIABLE sim_out
+  ERROR_VARIABLE sim_err
+  RESULT_VARIABLE sim_status)
+
+if(NOT sim_status EQUAL 0)
+  message(FATAL_ERROR "smoke: `halotis sim` exited with ${sim_status}\n"
+    "stdout:\n${sim_out}\nstderr:\n${sim_err}")
+endif()
+
+foreach(needle "HALOTIS-DDM" "events: processed" "y = 0")
+  string(FIND "${sim_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "smoke: stdout missing '${needle}'\nstdout:\n${sim_out}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${vcd_path}")
+  message(FATAL_ERROR "smoke: VCD file was not written to ${vcd_path}")
+endif()
+file(READ "${vcd_path}" vcd_text)
+string(FIND "${vcd_text}" "$enddefinitions" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "smoke: VCD file has no $enddefinitions header:\n${vcd_text}")
+endif()
+
+# `halotis help` must succeed and print usage.
+execute_process(
+  COMMAND "${HALOTIS_BIN}" help
+  OUTPUT_VARIABLE help_out
+  RESULT_VARIABLE help_status)
+if(NOT help_status EQUAL 0)
+  message(FATAL_ERROR "smoke: `halotis help` exited with ${help_status}")
+endif()
+string(FIND "${help_out}" "usage" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "smoke: help output missing 'usage':\n${help_out}")
+endif()
+
+message(STATUS "smoke: halotis CLI end-to-end OK")
