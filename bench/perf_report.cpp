@@ -1,0 +1,296 @@
+// Kernel perf report: deterministic hot-path workloads -> BENCH_kernel.json.
+//
+// Runs the Table-2 multiplier sequences plus larger scaling workloads (the
+// 8x8 multiplier under a pseudo-random word stream and a random DAG) under
+// both delay models, and emits one JSON run-record containing, per workload:
+// events/sec, best-of-N wall time, the full SimStats counters and a 64-bit
+// FNV-1a hash of every surviving transition (signal, edge, t_start, tau).
+// The hash makes kernel regressions visible: any change to event ordering,
+// filtering decisions or float arithmetic changes it, so two kernels that
+// report the same hash on all workloads produced bit-identical waveforms.
+//
+// Usage: perf_report [--quick] [--label NAME] [--out FILE] [--append]
+//   --quick    shorter sequences / fewer repetitions (CI smoke tier)
+//   --label    run label recorded in the JSON (default "dev")
+//   --out      output path (default BENCH_kernel.json in the CWD)
+//   --append   append this run to an existing JSON array instead of
+//              overwriting (the perf-trajectory mode: one entry per PR)
+//
+// The committed /BENCH_kernel.json is the perf trajectory: every PR that
+// touches the kernel appends a labelled entry (see docs/BENCHMARKS.md).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/base/rng.hpp"
+#include "src/circuits/generators.hpp"
+#include "src/core/delay_model.hpp"
+#include "src/core/simulator.hpp"
+
+using namespace halotis;
+using namespace halotis::bench;
+
+namespace {
+
+struct WorkloadResult {
+  std::string name;
+  std::string model;
+  std::size_t gates = 0;
+  double wall_s = 0.0;  // minimum over repetitions (noise-robust)
+  double events_per_sec = 0.0;
+  SimStats stats;
+  std::uint64_t history_hash = 0;
+  std::uint64_t transitions_total = 0;   // transition-arena length after run
+  std::uint64_t peak_live_transitions = 0;  // peak live tracking records
+  std::uint64_t arena_bytes = 0;            // transition arena + pools footprint
+};
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Order- and bit-sensitive hash of all surviving transitions.
+std::uint64_t hash_history(const Simulator& sim) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  const Netlist& nl = sim.netlist();
+  for (std::size_t s = 0; s < nl.num_signals(); ++s) {
+    const SignalId id{static_cast<SignalId::underlying_type>(s)};
+    const std::uint32_t sv = id.value();
+    hash = fnv1a(hash, &sv, sizeof sv);
+    for (const Transition& tr : sim.history(id)) {
+      const std::uint8_t edge = tr.edge == Edge::kRise ? 1 : 0;
+      hash = fnv1a(hash, &edge, sizeof edge);
+      hash = fnv1a(hash, &tr.t_start, sizeof tr.t_start);
+      hash = fnv1a(hash, &tr.tau, sizeof tr.tau);
+    }
+  }
+  return hash;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+template <class MakeStimulus>
+WorkloadResult run_workload(const std::string& name, const Netlist& netlist,
+                            const DelayModel& model, MakeStimulus&& make_stimulus,
+                            int reps) {
+  WorkloadResult result;
+  result.name = name;
+  result.model = std::string(model.name());
+  result.gates = netlist.num_gates();
+
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    Simulator sim(netlist, model);
+    sim.apply_stimulus(make_stimulus());
+    (void)sim.run();
+    times.push_back(seconds_since(start));
+    if (r == 0) {
+      result.stats = sim.stats();
+      result.history_hash = hash_history(sim);
+      result.transitions_total = sim.stats().transitions_created;
+      result.peak_live_transitions = sim.peak_live_transitions();
+      result.arena_bytes = sim.transition_arena_bytes() + sim.event_arena_bytes();
+    }
+  }
+  // Minimum, not median: on a shared machine scheduling noise only ever
+  // adds time, so the fastest repetition is the best estimate of the
+  // kernel's intrinsic cost.
+  result.wall_s = *std::min_element(times.begin(), times.end());
+  result.events_per_sec =
+      result.wall_s > 0.0 ? static_cast<double>(result.stats.events_processed) / result.wall_s
+                          : 0.0;
+  return result;
+}
+
+void print_json_workload(std::FILE* f, const WorkloadResult& w, bool last) {
+  const SimStats& s = w.stats;
+  std::fprintf(f,
+               "    {\"workload\": \"%s\", \"model\": \"%s\", \"gates\": %zu,\n"
+               "     \"wall_s\": %.6f, \"events_per_sec\": %.1f,\n"
+               "     \"events_processed\": %llu, \"events_created\": %llu,"
+               " \"events_cancelled\": %llu, \"events_suppressed\": %llu,"
+               " \"events_resurrected\": %llu,\n"
+               "     \"transitions_created\": %llu, \"transitions_annihilated\": %llu,"
+               " \"gate_evaluations\": %llu, \"filtered_events\": %llu,\n"
+               "     \"peak_live_transitions\": %llu, \"arena_bytes\": %llu,\n"
+               "     \"history_hash\": \"%016llx\"}%s\n",
+               w.name.c_str(), w.model.c_str(), w.gates, w.wall_s, w.events_per_sec,
+               static_cast<unsigned long long>(s.events_processed),
+               static_cast<unsigned long long>(s.events_created),
+               static_cast<unsigned long long>(s.events_cancelled),
+               static_cast<unsigned long long>(s.events_suppressed),
+               static_cast<unsigned long long>(s.events_resurrected),
+               static_cast<unsigned long long>(s.transitions_created),
+               static_cast<unsigned long long>(s.transitions_annihilated),
+               static_cast<unsigned long long>(s.gate_evaluations),
+               static_cast<unsigned long long>(s.filtered_events()),
+               static_cast<unsigned long long>(w.peak_live_transitions),
+               static_cast<unsigned long long>(w.arena_bytes),
+               static_cast<unsigned long long>(w.history_hash), last ? "" : ",");
+}
+
+/// Appends `entry` (a complete JSON object, no trailing newline) to the JSON
+/// array in `path`; creates the file as a one-element array when absent or
+/// not an array.
+bool write_report(const std::string& path, const std::string& entry, bool append) {
+  std::string existing;
+  if (append) {
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) existing.append(buf, n);
+      std::fclose(f);
+    }
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' ' || existing.back() == '\r')) {
+      existing.pop_back();
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_report: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  if (!existing.empty() && existing.back() == ']') {
+    existing.pop_back();
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' ')) {
+      existing.pop_back();
+    }
+    const bool empty_array = !existing.empty() && existing.back() == '[';
+    std::fprintf(f, "%s%s\n%s\n]\n", existing.c_str(), empty_array ? "" : ",",
+                 entry.c_str());
+  } else {
+    std::fprintf(f, "[\n%s\n]\n", entry.c_str());
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool append = false;
+  std::string label = "dev";
+  std::string out = "BENCH_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--append") {
+      append = true;
+    } else if (arg == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_report [--quick] [--label NAME] [--out FILE] [--append]\n");
+      return 2;
+    }
+  }
+
+  const Library lib = Library::default_u6();
+  const DdmDelayModel ddm;
+  const CdmDelayModel cdm;
+  const int reps = quick ? 3 : 15;
+  const std::size_t mult8_words = quick ? 12 : 48;
+  const std::size_t dag_words = quick ? 16 : 64;
+
+  std::vector<WorkloadResult> results;
+
+  // Table-2 workloads: the paper's 4x4 multiplier sequences.
+  for (const bool fig7 : {false, true}) {
+    MultiplierCircuit mult = make_multiplier(lib, 4);
+    const auto words = fig7 ? fig7_sequence() : fig6_sequence();
+    const std::string base = fig7 ? "mult4_fig7" : "mult4_fig6";
+    for (const DelayModel* model : {static_cast<const DelayModel*>(&ddm),
+                                    static_cast<const DelayModel*>(&cdm)}) {
+      results.push_back(run_workload(
+          base, mult.netlist, *model,
+          [&] { return multiplier_stimulus(mult, words); }, reps));
+    }
+  }
+
+  // Scaling workload 1: 8x8 multiplier under a pseudo-random word stream
+  // (the acceptance workload: "mult8_rand" + HALOTIS-DDM).
+  {
+    MultiplierCircuit mult = make_multiplier(lib, 8);
+    const auto words = random_word_stream(16, mult8_words, 0x9E3779B97F4A7C15ULL);
+    for (const DelayModel* model : {static_cast<const DelayModel*>(&ddm),
+                                    static_cast<const DelayModel*>(&cdm)}) {
+      results.push_back(run_workload(
+          "mult8_rand", mult.netlist, *model,
+          [&] { return multiplier_stimulus(mult, words); }, reps));
+    }
+  }
+
+  // Scaling workload 2: random combinational DAG.
+  {
+    RandomCircuit dag = make_random_circuit(lib, 24, 1500, 12345);
+    const auto words = random_word_stream(24, dag_words, 0xD1B54A32D192ED03ULL);
+    results.push_back(run_workload(
+        "random_dag_1500", dag.netlist, ddm,
+        [&] {
+          Stimulus stim(0.5);
+          stim.apply_sequence(dag.inputs, words, 5.0, 5.0);
+          return stim;
+        },
+        reps));
+  }
+
+  // Human-readable summary.
+  std::printf("== perf_report (%s) ==\n\n", quick ? "quick" : "full");
+  std::printf("%-18s %-12s %8s %12s %14s %12s\n", "workload", "model", "gates",
+              "wall (s)", "events/sec", "hash");
+  for (const WorkloadResult& w : results) {
+    std::printf("%-18s %-12s %8zu %12.6f %14.1f %012llx\n", w.name.c_str(),
+                w.model.c_str(), w.gates, w.wall_s, w.events_per_sec,
+                static_cast<unsigned long long>(w.history_hash & 0xFFFFFFFFFFFFULL));
+  }
+
+  // JSON entry.
+  std::string entry;
+  {
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "  {\"label\": \"%s\", \"quick\": %s, \"unix_time\": %lld,\n"
+                  "   \"workloads\": [\n",
+                  label.c_str(), quick ? "true" : "false",
+                  static_cast<long long>(std::time(nullptr)));
+    entry = head;
+    std::FILE* mem = std::tmpfile();
+    if (mem == nullptr) {
+      std::fprintf(stderr, "perf_report: tmpfile() failed\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      print_json_workload(mem, results[i], i + 1 == results.size());
+    }
+    std::rewind(mem);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, mem)) > 0) entry.append(buf, n);
+    std::fclose(mem);
+    entry += "  ]}";
+  }
+  if (!write_report(out, entry, append)) return 1;
+  std::printf("\nwrote %s (label \"%s\"%s)\n", out.c_str(), label.c_str(),
+              append ? ", appended" : "");
+  return 0;
+}

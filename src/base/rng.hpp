@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/check.hpp"
 
@@ -50,5 +51,20 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// Deterministic stream of `count` uniform words of `bits` bits each --
+/// the shared stimulus-word generator for benchmarks and tests (perf_report
+/// workloads and the determinism suite must draw identical streams).
+inline std::vector<std::uint64_t> random_word_stream(int bits, std::size_t count,
+                                                     std::uint64_t seed) {
+  require(bits > 0 && bits <= 64, "random_word_stream(): bits must be in [1, 64]");
+  SplitMix64 rng(seed);
+  std::vector<std::uint64_t> words;
+  words.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    words.push_back(bits >= 64 ? rng.next() : rng.next_below(std::uint64_t{1} << bits));
+  }
+  return words;
+}
 
 }  // namespace halotis

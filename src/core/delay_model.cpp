@@ -9,9 +9,18 @@ namespace halotis {
 namespace {
 
 /// Shared conventional part: tp0 macro-model and output slope.
-DelayResult conventional_part(const DelayRequest& request) {
+/// Bounds-checked once here; the per-edge lookups below index directly
+/// (the engine calls compute() millions of times per run).
+const PinTiming& request_pin(const DelayRequest& request) {
   require(request.cell != nullptr, "DelayModel: request.cell must not be null");
-  const EdgeTiming& edge = request.cell->pin(request.pin).edge(request.out_edge);
+  require(request.pin >= 0 &&
+              request.pin < static_cast<int>(request.cell->pins.size()),
+          "DelayModel: request.pin out of range");
+  return request.cell->pins[static_cast<std::size_t>(request.pin)];
+}
+
+DelayResult conventional_part(const DelayRequest& request) {
+  const EdgeTiming& edge = request_pin(request).edge(request.out_edge);
   DelayResult result;
   result.tp = edge.tp0(request.cl, request.tau_in);
   result.tau_out = request.cell->drive.tau_out(request.out_edge, request.cl);
@@ -24,7 +33,8 @@ DelayResult DdmDelayModel::compute(const DelayRequest& request) const {
   DelayResult result = conventional_part(request);
   if (!request.t_prev_out50.has_value()) return result;  // fully settled gate
 
-  const EdgeTiming& edge = request.cell->pin(request.pin).edge(request.out_edge);
+  const EdgeTiming& edge =
+      request.cell->pins[static_cast<std::size_t>(request.pin)].edge(request.out_edge);
   // The paper's T, referenced to the triggering event (threshold crossing).
   const TimeNs t_elapsed = request.t_event - *request.t_prev_out50;
   const TimeNs t0 = edge.deg_t0(request.tau_in, request.vdd);

@@ -6,110 +6,118 @@ namespace {
 constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
 }
 
-EventId EventQueue::push(TimeNs time, TransitionId transition, PinRef target) {
-  const EventId id{static_cast<EventId::underlying_type>(events_.size())};
+template <unsigned kArity>
+EventId BasicEventQueue<kArity>::push(TimeNs time, TransitionId transition, PinRef target) {
+  const auto raw = static_cast<EventId::underlying_type>(events_.size());
+  const EventId id{raw};
   Event ev;
   ev.time = time;
   ev.seq = events_.size();
   ev.transition = transition;
   ev.target = target;
   events_.push_back(ev);
-  states_.push_back(EventState::kPending);
-  heap_pos_.push_back(kNoPos);
+  meta_.push_back(Meta{kNoPos, EventState::kPending});
 
-  heap_.push_back(id);
-  place(heap_.size() - 1, id);
+  heap_.push_back(HeapSlot{time, raw});
+  meta_[raw].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
   sift_up(heap_.size() - 1);
   return id;
 }
 
-EventId EventQueue::peek() const {
-  require(!heap_.empty(), "EventQueue::peek(): queue is empty");
-  return heap_.front();
+template <unsigned kArity>
+void BasicEventQueue<kArity>::reserve(std::size_t expected_events) {
+  events_.reserve(expected_events);
+  meta_.reserve(expected_events);
+  heap_.reserve(expected_events);
 }
 
-EventId EventQueue::pop() {
+template <unsigned kArity>
+EventId BasicEventQueue<kArity>::peek() const {
+  require(!heap_.empty(), "EventQueue::peek(): queue is empty");
+  return EventId{heap_.front().id};
+}
+
+template <unsigned kArity>
+EventId BasicEventQueue<kArity>::pop() {
   require(!heap_.empty(), "EventQueue::pop(): queue is empty");
-  const EventId id = heap_.front();
-  const EventId last = heap_.back();
+  const std::uint32_t raw = heap_.front().id;
+  const HeapSlot last = heap_.back();
   heap_.pop_back();
-  heap_pos_[id.value()] = kNoPos;
+  meta_[raw].heap_pos = kNoPos;
   if (!heap_.empty()) {
     place(0, last);
     sift_down(0);
   }
-  states_[id.value()] = EventState::kFired;
+  meta_[raw].state = EventState::kFired;
   ++fired_;
-  return id;
+  return EventId{raw};
 }
 
-void EventQueue::cancel(EventId id) {
+template <unsigned kArity>
+void BasicEventQueue<kArity>::cancel(EventId id) {
   require(id.valid() && id.value() < events_.size(), "EventQueue::cancel(): invalid id");
-  require(states_[id.value()] == EventState::kPending,
+  require(meta_[id.value()].state == EventState::kPending,
           "EventQueue::cancel(): event is not pending");
-  const std::uint32_t pos = heap_pos_[id.value()];
-  ensure(pos != kNoPos && pos < heap_.size() && heap_[pos] == id,
+  const std::uint32_t pos = meta_[id.value()].heap_pos;
+  ensure(pos != kNoPos && pos < heap_.size() && heap_[pos].id == id.value(),
          "EventQueue::cancel(): heap position corrupt");
-  const EventId last = heap_.back();
+  const HeapSlot last = heap_.back();
   heap_.pop_back();
-  heap_pos_[id.value()] = kNoPos;
+  meta_[id.value()].heap_pos = kNoPos;
   if (pos < heap_.size()) {
     place(pos, last);
     // The replacement may need to move either direction.
     sift_down(pos);
-    sift_up(heap_pos_[last.value()]);
+    sift_up(meta_[last.id].heap_pos);
   }
-  states_[id.value()] = EventState::kCancelled;
+  meta_[id.value()].state = EventState::kCancelled;
   ++cancelled_;
 }
 
-const Event& EventQueue::event(EventId id) const {
+template <unsigned kArity>
+const Event& BasicEventQueue<kArity>::event(EventId id) const {
   require(id.valid() && id.value() < events_.size(), "EventQueue::event(): invalid id");
   return events_[id.value()];
 }
 
-EventState EventQueue::state(EventId id) const {
+template <unsigned kArity>
+EventState BasicEventQueue<kArity>::state(EventId id) const {
   require(id.valid() && id.value() < events_.size(), "EventQueue::state(): invalid id");
-  return states_[id.value()];
+  return meta_[id.value()].state;
 }
 
-bool EventQueue::before(EventId a, EventId b) const {
-  const Event& ea = events_[a.value()];
-  const Event& eb = events_[b.value()];
-  if (ea.time != eb.time) return ea.time < eb.time;
-  return ea.seq < eb.seq;
-}
-
-void EventQueue::place(std::size_t index, EventId id) {
-  heap_[index] = id;
-  heap_pos_[id.value()] = static_cast<std::uint32_t>(index);
-}
-
-void EventQueue::sift_up(std::size_t index) {
+template <unsigned kArity>
+void BasicEventQueue<kArity>::sift_up(std::size_t index) {
+  const HeapSlot moving = heap_[index];
   while (index > 0) {
-    const std::size_t parent = (index - 1) / 2;
-    if (!before(heap_[index], heap_[parent])) break;
-    const EventId child_id = heap_[index];
+    const std::size_t parent = (index - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
     place(index, heap_[parent]);
-    place(parent, child_id);
     index = parent;
   }
+  place(index, moving);
 }
 
-void EventQueue::sift_down(std::size_t index) {
+template <unsigned kArity>
+void BasicEventQueue<kArity>::sift_down(std::size_t index) {
   const std::size_t n = heap_.size();
+  const HeapSlot moving = heap_[index];
   while (true) {
-    const std::size_t left = 2 * index + 1;
-    const std::size_t right = left + 1;
-    std::size_t smallest = index;
-    if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
-    if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
-    if (smallest == index) return;
-    const EventId id = heap_[index];
+    const std::size_t first_child = kArity * index + 1;
+    if (first_child >= n) break;
+    const std::size_t end = first_child + kArity < n ? first_child + kArity : n;
+    std::size_t smallest = first_child;
+    for (std::size_t child = first_child + 1; child < end; ++child) {
+      if (before(heap_[child], heap_[smallest])) smallest = child;
+    }
+    if (!before(heap_[smallest], moving)) break;
     place(index, heap_[smallest]);
-    place(smallest, id);
     index = smallest;
   }
+  place(index, moving);
 }
+
+template class BasicEventQueue<2>;
+template class BasicEventQueue<4>;
 
 }  // namespace halotis

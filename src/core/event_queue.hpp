@@ -4,9 +4,23 @@
 // The queue must support, besides the usual push / pop-earliest, *erasure*
 // of pending events: the inertial treatment cancels a pending event Ej-1
 // whenever the following transition's crossing Ej on the same input does
-// not come after it (paper Fig. 4).  The implementation is a binary
+// not come after it (paper Fig. 4).  The implementation is a d-ary
 // min-heap over an event arena with position tracking, giving O(log n)
 // push / pop / erase and stable FIFO ordering of simultaneous events.
+//
+// Hot-path layout: the heap stores its sort keys (time, id) inline, so
+// sift operations compare contiguous 16-byte slots instead of chasing the
+// event arena (the seed kernel's dominant cost -- 43 % of run time was
+// sift_down cache misses).  The id doubles as the FIFO tie-break: ids are
+// assigned in creation order, so (time, id) ordering is identical to the
+// paper's (time, seq) ordering.
+//
+// The arity is a compile-time parameter: `EventQueue` is the 4-ary
+// instantiation used by the simulator (shallower tree; the four children
+// of a node share one cache line); the binary instantiation is kept alive
+// for the ablation benchmark (`bench/ablation_event_queue.cpp`).  Pop
+// order is a deterministic total order on (time, id), so every arity pops
+// the same sequence; only the constant factors differ.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +43,16 @@ struct Event {
 
 enum class EventState : std::uint8_t { kPending, kFired, kCancelled };
 
-class EventQueue {
+template <unsigned kArity>
+class BasicEventQueue {
+  static_assert(kArity >= 2, "a heap needs at least two children per node");
+
  public:
   /// Creates and enqueues an event.  Returns its id.
   EventId push(TimeNs time, TransitionId transition, PinRef target);
+
+  /// Pre-sizes the event arena and heap for `expected_events` pushes.
+  void reserve(std::size_t expected_events);
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
@@ -50,22 +70,60 @@ class EventQueue {
   [[nodiscard]] const Event& event(EventId id) const;
   [[nodiscard]] EventState state(EventId id) const;
 
+  /// Unchecked accessors for the simulation engine's inner loop, where the
+  /// id provably came from this queue.  The checked variants above are the
+  /// public face.
+  [[nodiscard]] const Event& event_unchecked(EventId id) const {
+    return events_[id.value()];
+  }
+  [[nodiscard]] EventState state_unchecked(EventId id) const {
+    return meta_[id.value()].state;
+  }
+
   [[nodiscard]] std::uint64_t created_count() const { return events_.size(); }
   [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
 
+  /// Approximate byte footprint of the event arena and heap.
+  [[nodiscard]] std::uint64_t arena_bytes() const {
+    return events_.capacity() * sizeof(Event) + meta_.capacity() * sizeof(Meta) +
+           heap_.capacity() * sizeof(HeapSlot);
+  }
+
  private:
-  [[nodiscard]] bool before(EventId a, EventId b) const;
+  /// Heap node: the sort key, stored inline so comparisons stay in-cache.
+  struct HeapSlot {
+    TimeNs time;
+    std::uint32_t id;
+  };
+  /// Per-event heap bookkeeping, packed to one 8-byte record.
+  struct Meta {
+    std::uint32_t heap_pos;
+    EventState state;
+  };
+
+  [[nodiscard]] static bool before(const HeapSlot& a, const HeapSlot& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.id < b.id;  // creation order: identical to seq ordering
+  }
   void sift_up(std::size_t index);
   void sift_down(std::size_t index);
-  void place(std::size_t index, EventId id);
+  void place(std::size_t index, HeapSlot slot) {
+    heap_[index] = slot;
+    meta_[slot.id].heap_pos = static_cast<std::uint32_t>(index);
+  }
 
-  std::vector<Event> events_;        // arena, indexed by EventId
-  std::vector<EventState> states_;   // parallel to events_
-  std::vector<EventId> heap_;        // binary min-heap of pending events
-  std::vector<std::uint32_t> heap_pos_;  // EventId -> index in heap_
+  std::vector<Event> events_;    // arena, indexed by EventId
+  std::vector<Meta> meta_;       // parallel to events_
+  std::vector<HeapSlot> heap_;   // d-ary min-heap of pending events
   std::uint64_t cancelled_ = 0;
   std::uint64_t fired_ = 0;
 };
+
+extern template class BasicEventQueue<2>;
+extern template class BasicEventQueue<4>;
+
+/// The simulator's queue: 4-ary (see the header comment).
+using EventQueue = BasicEventQueue<4>;
 
 }  // namespace halotis

@@ -16,30 +16,54 @@ Simulator::Simulator(const Netlist& netlist, const DelayModel& model, SimConfig 
   const std::size_t num_gates = netlist_->num_gates();
   signal_history_.resize(num_signals);
   initial_values_.assign(num_signals, false);
-  gates_.resize(num_gates);
-  input_base_.resize(num_gates, 0);
-  load_.resize(num_signals, 0.0);
+  gates_.assign(num_gates, GateState{});
+  gate_info_.resize(num_gates);
 
   std::size_t total_pins = 0;
   for (std::size_t g = 0; g < num_gates; ++g) {
     const GateId gid{static_cast<GateId::underlying_type>(g)};
-    input_base_[g] = total_pins;
-    const std::size_t n = netlist_->gate(gid).inputs.size();
-    gates_[g].input_value.assign(n, false);
-    total_pins += n;
+    const Gate& gate = netlist_->gate(gid);
+    GateInfo& gi = gate_info_[g];
+    gi.cell = &netlist_->cell_of(gid);
+    gi.kind = gi.cell->kind;
+    gi.output = gate.output;
+    gi.out_load = netlist_->load_of(gate.output);
+    gi.input_base = static_cast<std::uint32_t>(total_pins);
+    gi.num_inputs = static_cast<std::uint16_t>(gate.inputs.size());
+    total_pins += gate.inputs.size();
   }
-  inputs_.resize(total_pins);
+  inputs_.assign(total_pins, InputState{});
+  input_values_.assign(total_pins, 0);
 
+  // Flattened fanout table: resolve, once, everything spawn_events() needs
+  // per (signal, receiving pin) -- including the model's event threshold,
+  // which the seed kernel re-resolved with a virtual call per fanout pin of
+  // every transition.
+  std::size_t total_fanout = 0;
   for (std::size_t s = 0; s < num_signals; ++s) {
-    load_[s] = netlist_->load_of(SignalId{static_cast<SignalId::underlying_type>(s)});
+    total_fanout +=
+        netlist_->signal(SignalId{static_cast<SignalId::underlying_type>(s)}).fanout.size();
   }
+  fanout_.reserve(total_fanout);
+  fanout_base_.resize(num_signals + 1);
+  for (std::size_t s = 0; s < num_signals; ++s) {
+    fanout_base_[s] = static_cast<std::uint32_t>(fanout_.size());
+    const Signal& sig = netlist_->signal(SignalId{static_cast<SignalId::underlying_type>(s)});
+    for (const PinRef& target : sig.fanout) {
+      const Cell& cell = netlist_->cell_of(target.gate);
+      const Volt vt = model_->event_threshold(cell, target.pin, vdd_);
+      require(vt > 0.0 && vt < vdd_,
+              "Simulator: event threshold must lie inside the logic swing");
+      FanoutEntry entry;
+      entry.target = target;
+      entry.input = static_cast<std::uint32_t>(input_index(target));
+      entry.rise_frac = vt / vdd_;
+      entry.fall_frac = 1.0 - vt / vdd_;
+      fanout_.push_back(entry);
+    }
+  }
+  fanout_base_[num_signals] = static_cast<std::uint32_t>(fanout_.size());
 }
-
-std::size_t Simulator::input_index(const PinRef& pin) const {
-  return input_base_[pin.gate.value()] + static_cast<std::size_t>(pin.pin);
-}
-
-const Cell& Simulator::cell_of(GateId gate) const { return netlist_->cell_of(gate); }
 
 void Simulator::apply_stimulus(const Stimulus& stimulus) {
   require(!stimulus_applied_, "Simulator::apply_stimulus(): stimulus already applied");
@@ -54,13 +78,34 @@ void Simulator::apply_stimulus(const Stimulus& stimulus) {
 
   for (std::size_t g = 0; g < gates_.size(); ++g) {
     const Gate& gate = netlist_->gate(GateId{static_cast<GateId::underlying_type>(g)});
+    const GateInfo& gi = gate_info_[g];
     for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
-      gates_[g].input_value[pin] = initial_values_[gate.inputs[pin].value()];
+      input_values_[gi.input_base + pin] = initial_values_[gate.inputs[pin].value()] ? 1 : 0;
     }
     gates_[g].output_value = initial_values_[gate.output.value()];
   }
 
-  // 2. Schedule every stimulus edge as a transition on its primary input.
+  // 2. Pre-size the arenas from the stimulus and netlist so the run does
+  // not pay growth reallocations mid-flight.  The estimate is a heuristic
+  // (edges ripple through at most `depth` gate levels), capped so a huge
+  // stimulus cannot demand a huge up-front allocation.
+  std::size_t num_edges = 0;
+  for (SignalId pi : pis) num_edges += stimulus.edges(pi).size();
+  {
+    constexpr std::size_t kReserveCap = std::size_t{1} << 21;
+    const auto depth = static_cast<std::size_t>(std::max(netlist_->depth(), 1));
+    const std::size_t est_transitions = std::min(64 + num_edges * (depth + 1), kReserveCap);
+    transitions_.reserve(est_transitions);
+    tracks_.reserve(std::min<std::size_t>(est_transitions / 8 + 64, 1u << 16));
+    const std::size_t est_events = std::min(2 * est_transitions, kReserveCap);
+    queue_.reserve(est_events);
+    links_.reserve(est_events);
+    for (SignalId pi : pis) {
+      signal_history_[pi.value()].reserve(stimulus.edges(pi).size());
+    }
+  }
+
+  // 3. Schedule every stimulus edge as a transition on its primary input.
   for (SignalId pi : pis) {
     bool value = stimulus.initial_value(pi);
     TransitionId prev;
@@ -87,52 +132,74 @@ TransitionId Simulator::create_transition(SignalId signal, Edge edge, TimeNs t_s
   rec.tr.t_start = t_start;
   rec.tr.tau = tau;
   rec.tr.prev = prev;
-  transitions_.push_back(std::move(rec));
+  rec.track = alloc_track();
+  transitions_.push_back(rec);
   signal_history_[signal.value()].push_back(id);
   ++stats_.transitions_created;
   return id;
 }
 
 void Simulator::spawn_events(TransitionId tr_id) {
-  // Copy the POD part: transitions_ may reallocate while we record
-  // suppressed partners below.
+  // Copy the POD part: pool appends below must not read through a stale
+  // reference.
   const Transition tr = transitions_[tr_id.value()].tr;
-  const Signal& sig = netlist_->signal(tr.signal);
-  for (const PinRef& target : sig.fanout) {
-    const Cell& cell = cell_of(target.gate);
-    const Volt vt = model_->event_threshold(cell, target.pin, vdd_);
-    TimeNs ej = tr.crossing_time(vt, vdd_);
-    InputState& in = inputs_[input_index(target)];
+  const std::uint32_t sig = tr.signal.value();
+  const std::uint32_t begin = fanout_base_[sig];
+  const std::uint32_t end = fanout_base_[sig + 1];
+  const bool rising = tr.edge == Edge::kRise;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const FanoutEntry& fo = fanout_[i];
+    TimeNs ej = tr.t_start + tr.tau * (rising ? fo.rise_frac : fo.fall_frac);
+    InputState& in = inputs_[fo.input];
 
-    if (!in.pending.empty()) {
-      const EventId prev_id = in.pending.back();
-      const Event& prev_ev = queue_.event(prev_id);
+    if (in.tail != kNil) {
+      const EventId prev_id{in.tail};
+      const Event& prev_ev = queue_.event_unchecked(prev_id);
       if (ej <= prev_ev.time) {
         // Paper Fig. 4: the pulse never crosses this input's threshold.
         // Delete Ej-1, do not insert Ej.
         SuppressedPair pair;
-        pair.target = target;
+        pair.target = fo.target;
         pair.partner_cause = prev_ev.transition;
         pair.partner_time = prev_ev.time;
-        transitions_[tr_id.value()].suppressed.push_back(pair);
+        track_append_pair(transitions_[tr_id.value()].track, pair);
+        // The pair keeps the partner's bookkeeping alive until consumed.
+        ++transitions_[pair.partner_cause.value()].partner_refs;
+        list_remove(in, prev_id);
         cancel_pending_event(prev_id);
-        in.pending.pop_back();
         ++stats_.pair_cancellations;
         ++stats_.events_suppressed;
         continue;
       }
     }
     if (ej < now_) ej = now_;  // causality clamp for extreme slope ratios
-    const EventId id = queue_.push(ej, tr_id, target);
+    const EventId id = push_event(ej, tr_id, fo.target);
     ++stats_.events_created;
-    in.pending.push_back(id);
-    transitions_[tr_id.value()].spawned.push_back(id);
+    list_push_back(in, id);
+    track_append_spawned(transitions_[tr_id.value()].track, id);
+    ++transitions_[tr_id.value()].pending;
+  }
+
+  // A transition that generated no events and recorded no pairs (e.g. on a
+  // fanout-free output line) needs no bookkeeping: annihilating it later
+  // touches nothing, so the slot frees immediately.
+  TransitionRec& rec = transitions_[tr_id.value()];
+  if (rec.track < kTrackSentinelMin) {
+    const TrackRec& track = tracks_[rec.track];
+    if (track.spawned_count == 0 && track.sup_head == kNil) {
+      reclaim_track(rec, kNoTrackFree);
+    }
   }
 }
 
 void Simulator::cancel_pending_event(EventId id) {
+  const TransitionId cause = queue_.event_unchecked(id).transition;
   queue_.cancel(id);
   ++stats_.events_cancelled;
+  TransitionRec& rec = transitions_[cause.value()];
+  ensure(rec.pending > 0, "Simulator: pending-event accounting out of sync");
+  --rec.pending;
+  maybe_reclaim(cause);
 }
 
 RunResult Simulator::run() {
@@ -140,7 +207,7 @@ RunResult Simulator::run() {
   RunResult result;
   while (!queue_.empty()) {
     const EventId eid = queue_.peek();
-    const Event ev = queue_.event(eid);  // copy: queue mutates below
+    const Event ev = queue_.event_unchecked(eid);  // copy: queue mutates below
     if (ev.time > config_.t_end) {
       result.reason = StopReason::kHorizonReached;
       result.end_time = now_;
@@ -156,9 +223,17 @@ RunResult Simulator::run() {
     ++stats_.events_processed;
 
     InputState& in = inputs_[input_index(ev.target)];
-    ensure(!in.pending.empty() && in.pending.front() == eid,
+    ensure(in.head == eid.value(),
            "Simulator: fired event is not the input's earliest pending event");
-    in.pending.erase(in.pending.begin());
+    list_remove(in, eid);
+
+    // Once any spawned event fires the causing transition can never be
+    // annihilated; its bookkeeping frees as soon as nothing else needs it.
+    TransitionRec& cause = transitions_[ev.transition.value()];
+    ensure(cause.pending > 0, "Simulator: pending-event accounting out of sync");
+    cause.fired_any = 1;
+    --cause.pending;
+    maybe_reclaim(ev.transition);
 
     handle_event(ev);
   }
@@ -171,38 +246,38 @@ void Simulator::handle_event(const Event& ev) {
   const TransitionRec& cause = transitions_[ev.transition.value()];
   ensure(!cause.tr.cancelled, "Simulator: fired event belongs to a cancelled transition");
 
-  GateState& gs = gates_[ev.target.gate.value()];
+  const std::size_t g = ev.target.gate.value();
+  const GateInfo& gi = gate_info_[g];
   const auto pin = static_cast<std::size_t>(ev.target.pin);
+  std::uint8_t* values = &input_values_[gi.input_base];
   const bool new_value = cause.tr.final_value();
-  if ((gs.input_value[pin] != 0) == new_value) {
+  if ((values[pin] != 0) == new_value) {
     // Can only happen after a resurrected event re-delivered a level the
     // input already holds; harmless.
     return;
   }
-  gs.input_value[pin] = new_value ? 1 : 0;
+  values[pin] = new_value ? 1 : 0;
 
   ++stats_.gate_evaluations;
-  const Cell& cell = cell_of(ev.target.gate);
   bool ins[8] = {};
-  ensure(gs.input_value.size() <= std::size(ins), "Simulator: fan-in too large");
-  for (std::size_t i = 0; i < gs.input_value.size(); ++i) ins[i] = gs.input_value[i] != 0;
-  const bool out = eval_cell(cell.kind, std::span<const bool>(ins, gs.input_value.size()));
-  if (out == gs.output_value) return;
+  ensure(gi.num_inputs <= std::size(ins), "Simulator: fan-in too large");
+  for (std::size_t i = 0; i < gi.num_inputs; ++i) ins[i] = values[i] != 0;
+  const bool out = eval_cell(gi.kind, std::span<const bool>(ins, gi.num_inputs));
+  if (out == gates_[g].output_value) return;
   schedule_output(ev.target.gate, ev.target.pin, ev, out);
 }
 
 void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool new_output) {
   GateState& gs = gates_[gate_id.value()];
-  const Gate& gate = netlist_->gate(gate_id);
-  const Cell& cell = cell_of(gate_id);
+  const GateInfo& gi = gate_info_[gate_id.value()];
   const Transition cause = transitions_[ev.transition.value()].tr;
 
   DelayRequest request;
-  request.cell = &cell;
+  request.cell = gi.cell;
   request.gate = gate_id;
   request.pin = pin;
   request.out_edge = new_output ? Edge::kRise : Edge::kFall;
-  request.cl = load_[gate.output.value()];
+  request.cl = gi.out_load;
   request.tau_in = cause.tau;
   request.t_in50 = cause.t50();
   request.t_event = ev.time;
@@ -247,7 +322,7 @@ void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool n
 
   const Edge out_edge = request.out_edge;
   const TimeNs tau_out = std::max(delay.tau_out, config_.min_pulse_width);
-  const TransitionId id = create_transition(gate.output, out_edge,
+  const TransitionId id = create_transition(gi.output, out_edge,
                                             t_out50 - 0.5 * tau_out, tau_out, prev_id);
   gs.last_out = id;
   gs.output_value = new_output;
@@ -256,48 +331,47 @@ void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool n
 
 bool Simulator::can_annihilate(TransitionId tr_id) const {
   const TransitionRec& rec = transitions_[tr_id.value()];
-  for (EventId ev : rec.spawned) {
-    if (queue_.state(ev) == EventState::kFired) return false;
-  }
-  return true;
+  if (rec.track == kNoTrackFree) return true;   // nothing ever spawned
+  if (rec.track == kNoTrackDead) return false;  // an event fired long ago
+  return rec.fired_any == 0;
 }
 
 void Simulator::annihilate(GateId gate_id, TransitionId tr_id) {
   TransitionRec& rec = transitions_[tr_id.value()];
   ensure(!rec.tr.cancelled, "Simulator::annihilate(): transition already cancelled");
 
-  // Remove the transition's still-pending fanout events.
-  for (EventId ev_id : rec.spawned) {
-    if (queue_.state(ev_id) != EventState::kPending) continue;
-    const Event ev = queue_.event(ev_id);
-    InputState& in = inputs_[input_index(ev.target)];
-    const auto it = std::find(in.pending.rbegin(), in.pending.rend(), ev_id);
-    ensure(it != in.pending.rend(), "Simulator::annihilate(): pending list out of sync");
-    in.pending.erase(std::next(it).base());
-    cancel_pending_event(ev_id);
-  }
+  if (rec.track < kTrackSentinelMin) {
+    const std::uint32_t t = rec.track;
 
-  // The annihilated pulse never existed at the output, so pair
-  // cancellations it performed at spawn time were premature: the partner
-  // events (from the still-live preceding transition) must be restored.
-  for (const SuppressedPair& pair : rec.suppressed) {
-    const TransitionRec& partner_cause = transitions_[pair.partner_cause.value()];
-    if (partner_cause.tr.cancelled) continue;
-    const TimeNs when = std::max(pair.partner_time, now_);
-    const EventId id = queue_.push(when, pair.partner_cause, pair.target);
-    ++stats_.events_created;
-    ++stats_.events_resurrected;
-    InputState& in = inputs_[input_index(pair.target)];
-    in.pending.push_back(id);
-    // Keep the per-input pending list time-ordered.
-    std::sort(in.pending.begin(), in.pending.end(), [this](EventId a, EventId b) {
-      const Event& ea = queue_.event(a);
-      const Event& eb = queue_.event(b);
-      return ea.time != eb.time ? ea.time < eb.time : ea.seq < eb.seq;
-    });
-    transitions_[pair.partner_cause.value()].spawned.push_back(id);
+    // Remove the transition's still-pending fanout events, in spawn order.
+    const auto cancel_if_pending = [this](EventId ev_id) {
+      if (queue_.state_unchecked(ev_id) != EventState::kPending) return;
+      const Event ev = queue_.event_unchecked(ev_id);
+      list_remove(inputs_[input_index(ev.target)], ev_id);
+      cancel_pending_event(ev_id);
+    };
+    {
+      const TrackRec& track = tracks_[t];
+      const std::uint32_t inline_n =
+          std::min(track.spawned_count, TrackRec::kInlineSpawned);
+      for (std::uint32_t i = 0; i < inline_n; ++i) cancel_if_pending(track.spawned[i]);
+    }
+    for (std::uint32_t n = tracks_[t].overflow_head; n != kNil;
+         n = spawn_pool_[n].next) {
+      cancel_if_pending(spawn_pool_[n].id);
+    }
+
+    // The annihilated pulse never existed at the output, so pair
+    // cancellations it performed at spawn time were premature: the partner
+    // events (from the still-live preceding transition) must be restored.
+    const std::uint32_t sup_head = tracks_[t].sup_head;
+    tracks_[t].sup_head = tracks_[t].sup_tail = kNil;
+    consume_pair_chain(sup_head, /*resurrect=*/true);
+
+    reclaim_track(rec, kNoTrackDead);
+  } else {
+    rec.track = kNoTrackDead;  // annihilated: never resurrectable again
   }
-  rec.suppressed.clear();
 
   rec.tr.cancelled = true;
   auto& history = signal_history_[rec.tr.signal.value()];
@@ -308,6 +382,198 @@ void Simulator::annihilate(GateId gate_id, TransitionId tr_id) {
   ++stats_.transitions_annihilated;
   ++stats_.annihilations;
 }
+
+// ---- track pool -------------------------------------------------------------
+
+std::uint32_t Simulator::alloc_track() {
+  std::uint32_t t;
+  if (track_free_ != kNil) {
+    t = track_free_;
+    track_free_ = tracks_[t].next_free;
+    tracks_[t] = TrackRec{};
+  } else {
+    t = static_cast<std::uint32_t>(tracks_.size());
+    tracks_.emplace_back();
+  }
+  ++live_tracks_;
+  peak_live_tracks_ = std::max(peak_live_tracks_, live_tracks_);
+  return t;
+}
+
+void Simulator::track_append_spawned(std::uint32_t track_index, EventId id) {
+  TrackRec& track = tracks_[track_index];
+  if (track.spawned_count < TrackRec::kInlineSpawned) {
+    track.spawned[track.spawned_count++] = id;
+    return;
+  }
+  std::uint32_t n;
+  if (spawn_free_ != kNil) {
+    n = spawn_free_;
+    spawn_free_ = spawn_pool_[n].next;
+    spawn_pool_[n] = SpawnNode{id, kNil};
+  } else {
+    n = static_cast<std::uint32_t>(spawn_pool_.size());
+    spawn_pool_.push_back(SpawnNode{id, kNil});
+  }
+  if (track.overflow_tail == kNil) {
+    track.overflow_head = n;
+  } else {
+    spawn_pool_[track.overflow_tail].next = n;
+  }
+  track.overflow_tail = n;
+  ++track.spawned_count;
+}
+
+void Simulator::track_append_pair(std::uint32_t track_index, const SuppressedPair& pair) {
+  std::uint32_t n;
+  if (pair_free_ != kNil) {
+    n = pair_free_;
+    pair_free_ = pair_pool_[n].next;
+    pair_pool_[n] = PairNode{pair, kNil};
+  } else {
+    n = static_cast<std::uint32_t>(pair_pool_.size());
+    pair_pool_.push_back(PairNode{pair, kNil});
+  }
+  TrackRec& track = tracks_[track_index];
+  if (track.sup_tail == kNil) {
+    track.sup_head = n;
+  } else {
+    pair_pool_[track.sup_tail].next = n;
+  }
+  track.sup_tail = n;
+}
+
+void Simulator::consume_pair_chain(std::uint32_t head, bool resurrect) {
+  std::uint32_t n = head;
+  while (n != kNil) {
+    const PairNode node = pair_pool_[n];  // copy before recycling the slot
+    pair_pool_[n].next = pair_free_;
+    pair_free_ = n;
+    n = node.next;
+
+    const TransitionId partner = node.pair.partner_cause;
+    if (resurrect && !transitions_[partner.value()].tr.cancelled) {
+      const TimeNs when = std::max(node.pair.partner_time, now_);
+      const EventId id = push_event(when, partner, node.pair.target);
+      ++stats_.events_created;
+      ++stats_.events_resurrected;
+      // Keep the per-input pending list time-ordered: O(k) insert from
+      // the tail instead of the seed kernel's full re-sort.
+      list_insert_sorted(inputs_[input_index(node.pair.target)], id);
+      TransitionRec& pc = transitions_[partner.value()];
+      ensure(pc.track < kTrackSentinelMin,
+             "Simulator: partner bookkeeping already reclaimed");
+      track_append_spawned(pc.track, id);
+      ++pc.pending;
+    }
+    TransitionRec& pc = transitions_[partner.value()];
+    ensure(pc.partner_refs > 0, "Simulator: suppressed-pair refcount out of sync");
+    --pc.partner_refs;
+    maybe_reclaim(partner);
+  }
+}
+
+void Simulator::reclaim_track(TransitionRec& rec, std::uint32_t sentinel) {
+  const std::uint32_t t = rec.track;
+  ensure(t < kTrackSentinelMin, "Simulator::reclaim_track(): no live track");
+  rec.track = sentinel;  // before any cascade: breaks reclamation cycles
+
+  // Recycle the spawned-overflow chain.
+  std::uint32_t n = tracks_[t].overflow_head;
+  while (n != kNil) {
+    const std::uint32_t next = spawn_pool_[n].next;
+    spawn_pool_[n].next = spawn_free_;
+    spawn_free_ = n;
+    n = next;
+  }
+
+  // Unconsumed suppressed pairs will never resurrect anything (this
+  // transition can no longer be annihilated): release the partner
+  // references, cascading reclamation into partners that were only kept
+  // alive by them.
+  consume_pair_chain(tracks_[t].sup_head, /*resurrect=*/false);
+
+  tracks_[t] = TrackRec{};
+  tracks_[t].next_free = track_free_;
+  track_free_ = t;
+  ensure(live_tracks_ > 0, "Simulator: live-track accounting out of sync");
+  --live_tracks_;
+}
+
+void Simulator::maybe_reclaim(TransitionId id) {
+  TransitionRec& rec = transitions_[id.value()];
+  if (rec.track >= kTrackSentinelMin) return;  // already reclaimed
+  if (rec.pending != 0 || rec.partner_refs != 0 || rec.fired_any == 0) return;
+  reclaim_track(rec, kNoTrackDead);
+}
+
+// ---- pending lists ----------------------------------------------------------
+
+EventId Simulator::push_event(TimeNs time, TransitionId transition, PinRef target) {
+  const EventId id = queue_.push(time, transition, target);
+  links_.push_back(EvLink{});
+  return id;
+}
+
+void Simulator::list_push_back(InputState& in, EventId id) {
+  const std::uint32_t v = id.value();
+  links_[v] = EvLink{in.tail, kNil};
+  if (in.tail == kNil) {
+    in.head = v;
+  } else {
+    links_[in.tail].next = v;
+  }
+  in.tail = v;
+}
+
+void Simulator::list_remove(InputState& in, EventId id) {
+  const std::uint32_t v = id.value();
+  const EvLink link = links_[v];
+  if (link.prev == kNil) {
+    ensure(in.head == v, "Simulator: pending list out of sync");
+    in.head = link.next;
+  } else {
+    links_[link.prev].next = link.next;
+  }
+  if (link.next == kNil) {
+    ensure(in.tail == v, "Simulator: pending list out of sync");
+    in.tail = link.prev;
+  } else {
+    links_[link.next].prev = link.prev;
+  }
+  links_[v] = EvLink{};
+}
+
+void Simulator::list_insert_sorted(InputState& in, EventId id) {
+  const Event& nev = queue_.event_unchecked(id);
+  std::uint32_t after = in.tail;
+  while (after != kNil) {
+    const Event& cev = queue_.event_unchecked(EventId{after});
+    if (cev.time < nev.time || (cev.time == nev.time && cev.seq < nev.seq)) break;
+    after = links_[after].prev;
+  }
+  const std::uint32_t v = id.value();
+  if (after == kNil) {  // new head
+    links_[v] = EvLink{kNil, in.head};
+    if (in.head == kNil) {
+      in.tail = v;
+    } else {
+      links_[in.head].prev = v;
+    }
+    in.head = v;
+  } else {
+    const std::uint32_t next = links_[after].next;
+    links_[v] = EvLink{after, next};
+    links_[after].next = v;
+    if (next == kNil) {
+      in.tail = v;
+    } else {
+      links_[next].prev = v;
+    }
+  }
+}
+
+// ---- results ----------------------------------------------------------------
 
 bool Simulator::initial_value(SignalId signal) const {
   return initial_values_.at(signal.value());
@@ -339,7 +605,20 @@ std::uint64_t Simulator::total_activity() const {
 }
 
 bool Simulator::perceived_value(const PinRef& pin) const {
-  return gates_.at(pin.gate.value()).input_value.at(static_cast<std::size_t>(pin.pin));
+  require(pin.gate.valid() && pin.gate.value() < gate_info_.size(),
+          "Simulator::perceived_value(): gate out of range");
+  const GateInfo& gi = gate_info_[pin.gate.value()];
+  require(pin.pin >= 0 && pin.pin < static_cast<int>(gi.num_inputs),
+          "Simulator::perceived_value(): pin out of range");
+  return input_values_[gi.input_base + static_cast<std::size_t>(pin.pin)] != 0;
+}
+
+std::uint64_t Simulator::transition_arena_bytes() const {
+  return transitions_.capacity() * sizeof(TransitionRec) +
+         tracks_.capacity() * sizeof(TrackRec) +
+         spawn_pool_.capacity() * sizeof(SpawnNode) +
+         pair_pool_.capacity() * sizeof(PairNode) +
+         links_.capacity() * sizeof(EvLink);
 }
 
 std::vector<SignalId> Simulator::most_active_signals(std::size_t n) const {

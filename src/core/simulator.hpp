@@ -14,8 +14,27 @@
 // transition's fanout already consumed it, the engine instead emits a
 // minimum-width pulse and lets the receiving inputs filter it (the paper's
 // philosophy: filtering belongs to the inputs).
+//
+// Hot-path layout (PR 2): the per-event cost is allocation-free and mostly
+// sequential reads.
+//   * A flattened fanout table built at construction stores, per
+//     (signal, fanout pin): the receiving pin, its flattened input index
+//     and the precomputed threshold crossing fractions VT/VDD -- so
+//     spawn_events() walks one contiguous array with no virtual
+//     `event_threshold` calls and no cell lookups.
+//   * Transition bookkeeping (spawned events, suppressed pairs) lives in
+//     pooled, reclaimable `TrackRec` slots with inline small-buffer storage
+//     spilling to shared pools; a record is reclaimed -- and its pool nodes
+//     recycled -- as soon as the transition can neither be annihilated nor
+//     resurrect a partner, so live bookkeeping is bounded by circuit
+//     activity, not by stimulus length.  Only the 48-byte POD per
+//     transition survives (it is the waveform history).
+//   * Per-input pending events form intrusive doubly-linked lists threaded
+//     through the event arena: O(1) pop-front in run(), O(1) unlink on
+//     cancellation, O(k) ordered insert on resurrection.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -88,31 +107,114 @@ class Simulator {
   /// (combinational feedback loops show up at the top of this list).
   [[nodiscard]] std::vector<SignalId> most_active_signals(std::size_t n) const;
 
+  /// Peak number of simultaneously-live transition bookkeeping records
+  /// (perf_report's bounded-memory metric): how large the reclaimable part
+  /// of the transition arena ever got.
+  [[nodiscard]] std::uint64_t peak_live_transitions() const { return peak_live_tracks_; }
+  /// Transition bookkeeping records live right now (pending or still
+  /// annihilatable / resurrectable transitions).
+  [[nodiscard]] std::uint64_t live_transitions() const { return live_tracks_; }
+  /// Approximate byte footprint of the transition arena and its pools.
+  [[nodiscard]] std::uint64_t transition_arena_bytes() const;
+  /// Approximate byte footprint of the event arena and heap.
+  [[nodiscard]] std::uint64_t event_arena_bytes() const { return queue_.arena_bytes(); }
+
  private:
+  // ---- static tables (built once in the constructor) ----------------------
+
+  /// One receiving pin of a signal, with everything spawn_events() needs
+  /// resolved: the flattened input index and the precomputed crossing
+  /// fractions (VT/VDD for rising ramps, 1 - VT/VDD for falling ones; the
+  /// model's virtual `event_threshold` is consulted once, here).
+  struct FanoutEntry {
+    PinRef target;
+    std::uint32_t input = 0;   ///< index into inputs_ / input_values_
+    double rise_frac = 0.5;    ///< crossing = t_start + tau * rise_frac
+    double fall_frac = 0.5;    ///< crossing = t_start + tau * fall_frac
+  };
+
+  /// Per-gate constants: cell, output line, load and flattened-pin range.
+  struct GateInfo {
+    const Cell* cell = nullptr;
+    SignalId output;
+    Farad out_load = 0.0;          ///< load on the output line (request.cl)
+    std::uint32_t input_base = 0;  ///< first flattened input index
+    std::uint16_t num_inputs = 0;
+    CellKind kind = CellKind::kInv;
+  };
+
+  // ---- dynamic state -------------------------------------------------------
+
   struct GateState {
-    // std::uint8_t rather than bool: contiguous storage convertible to a
-    // span for eval_cell (std::vector<bool> is bit-packed).
-    std::vector<std::uint8_t> input_value;
     bool output_value = false;
     TransitionId last_out;  ///< last surviving output transition
   };
+
   /// Snapshot allowing resurrection of a pair-cancelled event.
   struct SuppressedPair {
     PinRef target;
     TransitionId partner_cause;  ///< transition whose event was deleted
     TimeNs partner_time = 0.0;
   };
+
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  /// Track sentinel: bookkeeping reclaimed, transition can never be
+  /// annihilated (an event fired, or it was itself annihilated).
+  static constexpr std::uint32_t kNoTrackDead = 0xFFFFFFFFu;
+  /// Track sentinel: bookkeeping reclaimed trivially (no fanout events, no
+  /// suppressed pairs); the transition is still annihilatable, which needs
+  /// no data.
+  static constexpr std::uint32_t kNoTrackFree = 0xFFFFFFFEu;
+  static constexpr std::uint32_t kTrackSentinelMin = kNoTrackFree;
+
+  /// Per-transition record: the waveform POD plus compact lifetime
+  /// counters.  Grows with the history (that is the waveform output); the
+  /// variable-size bookkeeping lives in reclaimable TrackRec slots.
   struct TransitionRec {
     Transition tr;
-    std::vector<EventId> spawned;
-    std::vector<SuppressedPair> suppressed;
-  };
-  struct InputState {
-    std::vector<EventId> pending;  ///< time-ordered queue per gate input
+    std::uint32_t track = kNoTrackFree;  ///< live slot in tracks_, or sentinel
+    std::uint32_t partner_refs = 0;  ///< live suppressed pairs naming me partner
+    std::uint32_t pending = 0;       ///< my spawned events still pending
+    std::uint8_t fired_any = 0;      ///< any spawned event fired => never annihilatable
   };
 
-  [[nodiscard]] std::size_t input_index(const PinRef& pin) const;
-  [[nodiscard]] const Cell& cell_of(GateId gate) const;
+  /// Reclaimable bookkeeping slot: spawned events (inline, spilling to
+  /// spawn_pool_) and suppressed pairs (chained in pair_pool_).
+  struct TrackRec {
+    static constexpr std::uint32_t kInlineSpawned = 6;
+    std::array<EventId, kInlineSpawned> spawned;
+    std::uint32_t spawned_count = 0;     ///< total, inline + overflow
+    std::uint32_t overflow_head = kNil;  ///< chain in spawn_pool_, append order
+    std::uint32_t overflow_tail = kNil;
+    std::uint32_t sup_head = kNil;  ///< chain in pair_pool_, append order
+    std::uint32_t sup_tail = kNil;
+    std::uint32_t next_free = kNil;  ///< tracks_ free list link
+  };
+  struct SpawnNode {
+    EventId id;
+    std::uint32_t next = kNil;
+  };
+  struct PairNode {
+    SuppressedPair pair;
+    std::uint32_t next = kNil;
+  };
+
+  /// Intrusive doubly-linked, time-ordered pending list per gate input,
+  /// threaded through the event arena via links_.
+  struct InputState {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+  /// Pending-list links of one event (one record per created event).
+  struct EvLink {
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  [[nodiscard]] std::size_t input_index(const PinRef& pin) const {
+    return gate_info_[pin.gate.value()].input_base + static_cast<std::size_t>(pin.pin);
+  }
+
   TransitionId create_transition(SignalId signal, Edge edge, TimeNs t_start, TimeNs tau,
                                  TransitionId prev);
   /// Generates fanout events for a fresh transition, applying the pair rule.
@@ -121,21 +223,60 @@ class Simulator {
   void schedule_output(GateId gate_id, int pin, const Event& ev, bool new_output);
   [[nodiscard]] bool can_annihilate(TransitionId tr_id) const;
   void annihilate(GateId gate_id, TransitionId tr_id);
+  /// Cancels a pending event and updates its causing transition's counters.
   void cancel_pending_event(EventId id);
+
+  // -- track pool -------------------------------------------------------------
+  std::uint32_t alloc_track();
+  void track_append_spawned(std::uint32_t track, EventId id);
+  void track_append_pair(std::uint32_t track, const SuppressedPair& pair);
+  /// Walks and recycles a suppressed-pair chain, releasing each partner
+  /// reference (cascading reclamation).  With `resurrect` set, a
+  /// non-cancelled partner's deleted event is restored first (the
+  /// output-pulse annihilation path).
+  void consume_pair_chain(std::uint32_t head, bool resurrect);
+  /// Frees `rec`'s track slot and pool nodes; unconsumed suppressed pairs
+  /// release their partner references (cascading reclamation).
+  void reclaim_track(TransitionRec& rec, std::uint32_t sentinel);
+  /// Reclaims the transition's bookkeeping when it can no longer be
+  /// annihilated (an event fired) nor referenced by a live suppressed pair.
+  void maybe_reclaim(TransitionId id);
+
+  // -- pending lists ----------------------------------------------------------
+  /// Wraps queue_.push and grows the intrusive link arrays.
+  EventId push_event(TimeNs time, TransitionId transition, PinRef target);
+  void list_push_back(InputState& in, EventId id);
+  void list_remove(InputState& in, EventId id);
+  /// Ordered insert by (time, seq), scanning from the tail (resurrection).
+  void list_insert_sorted(InputState& in, EventId id);
 
   const Netlist* netlist_;
   const DelayModel* model_;
   SimConfig config_;
   Volt vdd_;
 
+  // static tables
+  std::vector<GateInfo> gate_info_;
+  std::vector<FanoutEntry> fanout_;          // flattened over signals
+  std::vector<std::uint32_t> fanout_base_;   // signal -> first index; size+1
+
+  // dynamic state
   EventQueue queue_;
+  std::vector<EvLink> links_;  // per-event pending-list links
   std::vector<TransitionRec> transitions_;
+  std::vector<TrackRec> tracks_;
+  std::uint32_t track_free_ = kNil;
+  std::vector<SpawnNode> spawn_pool_;
+  std::uint32_t spawn_free_ = kNil;
+  std::vector<PairNode> pair_pool_;
+  std::uint32_t pair_free_ = kNil;
+  std::uint64_t live_tracks_ = 0;
+  std::uint64_t peak_live_tracks_ = 0;
   std::vector<std::vector<TransitionId>> signal_history_;
   std::vector<bool> initial_values_;
   std::vector<GateState> gates_;
-  std::vector<InputState> inputs_;        // flattened (gate, pin)
-  std::vector<std::size_t> input_base_;   // gate -> first index in inputs_
-  std::vector<Farad> load_;               // per-signal load cache
+  std::vector<std::uint8_t> input_values_;  // flattened perceived values
+  std::vector<InputState> inputs_;          // flattened (gate, pin)
   TimeNs now_ = 0.0;
   bool stimulus_applied_ = false;
   SimStats stats_;

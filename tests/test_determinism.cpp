@@ -1,0 +1,166 @@
+// Kernel determinism and bounded-memory guarantees (PR 2 acceptance).
+//
+// The hot-path rework (flattened fanout table, pooled transition
+// bookkeeping with reclamation, intrusive pending lists, 4-ary queue) must
+// be invisible in the results: two runs of the same workload -- and the
+// same run under any delay model -- produce bit-identical SimStats and
+// bit-identical signal histories.  These tests lock that in, plus the
+// memory bound: live transition bookkeeping stays far below the total
+// transition count on long stimuli.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.hpp"
+#include "src/circuits/generators.hpp"
+#include "src/core/simulator.hpp"
+
+namespace halotis {
+namespace {
+
+Stimulus multiplier_words(const MultiplierCircuit& mult,
+                          const std::vector<std::uint64_t>& words) {
+  Stimulus stim(0.5);
+  std::vector<SignalId> ab;
+  for (SignalId s : mult.a) ab.push_back(s);
+  for (SignalId s : mult.b) ab.push_back(s);
+  stim.apply_sequence(ab, words, 5.0, 5.0);
+  stim.set_initial(mult.tie0, false);
+  return stim;
+}
+
+void expect_stats_identical(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.events_created, b.events_created);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.events_cancelled, b.events_cancelled);
+  EXPECT_EQ(a.events_suppressed, b.events_suppressed);
+  EXPECT_EQ(a.events_resurrected, b.events_resurrected);
+  EXPECT_EQ(a.pair_cancellations, b.pair_cancellations);
+  EXPECT_EQ(a.annihilations, b.annihilations);
+  EXPECT_EQ(a.ddm_collapses, b.ddm_collapses);
+  EXPECT_EQ(a.cdm_inertial_filtered, b.cdm_inertial_filtered);
+  EXPECT_EQ(a.clamped_pulses, b.clamped_pulses);
+  EXPECT_EQ(a.transitions_created, b.transitions_created);
+  EXPECT_EQ(a.transitions_annihilated, b.transitions_annihilated);
+  EXPECT_EQ(a.gate_evaluations, b.gate_evaluations);
+}
+
+/// Bit-exact comparison of every signal's surviving history.
+void expect_histories_identical(const Simulator& a, const Simulator& b) {
+  ASSERT_EQ(a.netlist().num_signals(), b.netlist().num_signals());
+  for (std::size_t s = 0; s < a.netlist().num_signals(); ++s) {
+    const SignalId id{static_cast<SignalId::underlying_type>(s)};
+    const auto ha = a.history(id);
+    const auto hb = b.history(id);
+    ASSERT_EQ(ha.size(), hb.size()) << "signal " << s;
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+      EXPECT_EQ(ha[i].edge, hb[i].edge) << "signal " << s << " transition " << i;
+      // Bit-identical, not approximately equal: the kernel promises the
+      // exact same float arithmetic regardless of internal layout.
+      EXPECT_EQ(ha[i].t_start, hb[i].t_start) << "signal " << s << " transition " << i;
+      EXPECT_EQ(ha[i].tau, hb[i].tau) << "signal " << s << " transition " << i;
+    }
+  }
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+};
+
+TEST_F(DeterminismTest, RepeatedRunsIdenticalAcrossDelayModels) {
+  const DdmDelayModel ddm;
+  const CdmDelayModel cdm;
+  const CdmDelayModel cdm_strict(CdmDelayModel::InertialWindow::kGateDelay);
+  const VariationDelayModel varied(ddm, 0.08, 1234);
+  const auto words = random_word_stream(8, 24, 99);
+
+  for (const DelayModel* model :
+       {static_cast<const DelayModel*>(&ddm), static_cast<const DelayModel*>(&cdm),
+        static_cast<const DelayModel*>(&cdm_strict),
+        static_cast<const DelayModel*>(&varied)}) {
+    MultiplierCircuit mult = make_multiplier(lib_, 4);
+    Simulator first(mult.netlist, *model);
+    first.apply_stimulus(multiplier_words(mult, words));
+    const RunResult r1 = first.run();
+
+    Simulator second(mult.netlist, *model);
+    second.apply_stimulus(multiplier_words(mult, words));
+    const RunResult r2 = second.run();
+
+    SCOPED_TRACE(std::string(model->name()));
+    EXPECT_EQ(r1.reason, r2.reason);
+    EXPECT_EQ(r1.end_time, r2.end_time);
+    expect_stats_identical(first.stats(), second.stats());
+    expect_histories_identical(first, second);
+  }
+}
+
+TEST_F(DeterminismTest, EventLimitInterruptionIsDeterministic) {
+  const DdmDelayModel ddm;
+  const auto words = random_word_stream(8, 16, 7);
+  SimConfig config;
+  config.max_events = 500;  // stop mid-storm
+
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  Simulator first(mult.netlist, ddm, config);
+  first.apply_stimulus(multiplier_words(mult, words));
+  EXPECT_EQ(first.run().reason, StopReason::kEventLimit);
+
+  Simulator second(mult.netlist, ddm, config);
+  second.apply_stimulus(multiplier_words(mult, words));
+  EXPECT_EQ(second.run().reason, StopReason::kEventLimit);
+
+  expect_stats_identical(first.stats(), second.stats());
+  expect_histories_identical(first, second);
+}
+
+/// The reclamation guarantee: bookkeeping for settled transitions is
+/// recycled, so live records stay bounded by circuit activity instead of
+/// growing with stimulus length.
+TEST_F(DeterminismTest, TransitionBookkeepingIsReclaimed) {
+  const DdmDelayModel ddm;
+  const auto words = random_word_stream(8, 200, 3);  // long-running stimulus
+
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  Simulator sim(mult.netlist, ddm);
+  sim.apply_stimulus(multiplier_words(mult, words));
+  (void)sim.run();
+
+  const std::uint64_t created = sim.stats().transitions_created;
+  ASSERT_GT(created, 1000u) << "workload too small to exercise reclamation";
+  // Peak live bookkeeping must be a small fraction of the total: with the
+  // seed kernel (no reclamation) peak == created.
+  EXPECT_LT(sim.peak_live_transitions() * 4, created);
+  // After the run everything has fired or been cancelled; only
+  // all-events-cancelled stragglers may stay live, and those scale with
+  // circuit size, not stimulus length (this workload measures ~4).
+  EXPECT_LT(sim.live_transitions() * 100, created);
+}
+
+/// Results must also be invariant to unrelated heap churn between runs
+/// (catches accidental dependence on allocator layout / pointer values).
+TEST_F(DeterminismTest, IndependentOfHeapLayout) {
+  const DdmDelayModel ddm;
+  const auto words = random_word_stream(8, 12, 11);
+
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  Simulator first(mult.netlist, ddm);
+  first.apply_stimulus(multiplier_words(mult, words));
+  (void)first.run();
+
+  // Churn the heap.
+  std::vector<std::vector<int>> junk;
+  for (int i = 0; i < 100; ++i) junk.emplace_back(997, i);
+  junk.clear();
+
+  Simulator second(mult.netlist, ddm);
+  second.apply_stimulus(multiplier_words(mult, words));
+  (void)second.run();
+
+  expect_stats_identical(first.stats(), second.stats());
+  expect_histories_identical(first, second);
+}
+
+}  // namespace
+}  // namespace halotis

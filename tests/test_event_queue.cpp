@@ -84,10 +84,12 @@ TEST(EventQueue, PeekDoesNotRemove) {
 }
 
 /// Randomized differential test: heap behaviour must match a multiset-based
-/// oracle under a mixed push / pop / cancel workload.
-TEST(EventQueue, RandomizedMatchesMultisetOracle) {
-  SplitMix64 rng(2024);
-  EventQueue q;
+/// oracle under a mixed push / pop / cancel workload.  Run for both heap
+/// arities -- the simulator's 4-ary queue and the binary ablation variant.
+template <class Queue>
+void randomized_oracle_stress(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Queue q;
   // Oracle: set of (time, seq) for pending events, plus id lookup.
   using Key = std::tuple<double, std::uint64_t, std::uint32_t>;  // time, seq, id
   std::set<Key> oracle;
@@ -124,6 +126,43 @@ TEST(EventQueue, RandomizedMatchesMultisetOracle) {
     EXPECT_EQ(q.pop().value(), std::get<2>(expected));
   }
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedMatchesMultisetOracle4Ary) {
+  randomized_oracle_stress<BasicEventQueue<4>>(2024);
+}
+
+TEST(EventQueue, RandomizedMatchesMultisetOracleBinary) {
+  randomized_oracle_stress<BasicEventQueue<2>>(2024);
+}
+
+/// Both arities must pop the exact same sequence: pop order is the total
+/// order on (time, seq), independent of heap shape.
+TEST(EventQueue, AritiesPopIdenticalSequences) {
+  SplitMix64 rng(77);
+  BasicEventQueue<2> q2;
+  BasicEventQueue<4> q4;
+  std::vector<EventId> live;
+  for (int step = 0; step < 5000; ++step) {
+    const double action = rng.next_double();
+    if (action < 0.5 || q2.empty()) {
+      const double t = rng.next_double_in(0.0, 100.0);
+      const EventId a = q2.push(t, TransitionId{0}, pin(0));
+      const EventId b = q4.push(t, TransitionId{0}, pin(0));
+      ASSERT_EQ(a, b);
+      live.push_back(a);
+    } else if (action < 0.7 && !live.empty()) {
+      const EventId victim = live[rng.next_below(live.size())];
+      if (q2.state(victim) == EventState::kPending) {
+        q2.cancel(victim);
+        q4.cancel(victim);
+      }
+    } else {
+      ASSERT_EQ(q2.pop(), q4.pop());
+    }
+  }
+  while (!q2.empty()) ASSERT_EQ(q2.pop(), q4.pop());
+  EXPECT_TRUE(q4.empty());
 }
 
 TEST(EventQueue, CountersConsistent) {
