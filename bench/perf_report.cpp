@@ -32,6 +32,8 @@
 #include "src/circuits/generators.hpp"
 #include "src/core/delay_model.hpp"
 #include "src/core/simulator.hpp"
+#include "src/fault/campaign.hpp"
+#include "src/fault/fault.hpp"
 
 using namespace halotis;
 using namespace halotis::bench;
@@ -80,6 +82,75 @@ std::uint64_t hash_history(const Simulator& sim) {
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// ---- fault-campaign workload ------------------------------------------------
+
+/// Full stuck-at campaign on the 8x8 multiplier (4x4 in quick mode):
+/// the legacy serial engine vs the parallel campaign at 1 and 4 threads.
+struct FaultCampaignResult {
+  std::string name;
+  std::size_t gates = 0;
+  std::size_t faults = 0;
+  std::size_t vectors = 0;
+  std::size_t detected = 0;
+  double serial_wall_s = 0.0;       // legacy run_fault_simulation
+  double campaign_1t_wall_s = 0.0;
+  double campaign_4t_wall_s = 0.0;
+  double faults_per_sec_4t = 0.0;
+  double speedup_1t = 0.0;          // serial / campaign_1t
+  double speedup_4t = 0.0;          // serial / campaign_4t
+  bool verdicts_identical = false;  // serial vs 1t vs 4t detected sets
+};
+
+FaultCampaignResult run_fault_campaign_workload(const Library& lib, bool quick) {
+  const DdmDelayModel ddm;
+  const int bits = quick ? 4 : 8;
+  MultiplierCircuit mult = make_multiplier(lib, bits);
+  const std::size_t num_vectors = quick ? 6 : 10;
+  const auto words = random_word_stream(2 * bits, num_vectors, 0x5851F42D4C957F2DULL);
+  const Stimulus stim = multiplier_stimulus(mult, words);
+
+  FaultCampaignResult result;
+  result.name = bits == 8 ? "mult8_stuckat" : "mult4_stuckat";
+  result.gates = mult.netlist.num_gates();
+  result.vectors = num_vectors;
+
+  const auto faults = enumerate_faults(mult.netlist);
+  result.faults = faults.size();
+
+  auto start = std::chrono::steady_clock::now();
+  const FaultSimResult serial = run_fault_simulation(mult.netlist, stim, ddm, faults);
+  result.serial_wall_s = seconds_since(start);
+
+  CampaignOptions options;
+  options.threads = 1;
+  start = std::chrono::steady_clock::now();
+  const CampaignResult one = run_fault_campaign(mult.netlist, stim, ddm, faults, options);
+  result.campaign_1t_wall_s = seconds_since(start);
+
+  options.threads = 4;
+  start = std::chrono::steady_clock::now();
+  const CampaignResult four = run_fault_campaign(mult.netlist, stim, ddm, faults, options);
+  result.campaign_4t_wall_s = seconds_since(start);
+
+  result.detected = four.detected;
+  result.verdicts_identical = one.detected == serial.detected &&
+                              one.undetected == serial.undetected &&
+                              four.detected == one.detected &&
+                              four.verdicts == one.verdicts &&
+                              four.undetected == one.undetected;
+  result.speedup_1t = result.campaign_1t_wall_s > 0.0
+                          ? result.serial_wall_s / result.campaign_1t_wall_s
+                          : 0.0;
+  result.speedup_4t = result.campaign_4t_wall_s > 0.0
+                          ? result.serial_wall_s / result.campaign_4t_wall_s
+                          : 0.0;
+  result.faults_per_sec_4t =
+      result.campaign_4t_wall_s > 0.0
+          ? static_cast<double>(result.faults) / result.campaign_4t_wall_s
+          : 0.0;
+  return result;
 }
 
 template <class MakeStimulus>
@@ -254,6 +325,9 @@ int main(int argc, char** argv) {
         reps));
   }
 
+  // Fault-campaign workload: serial engine vs parallel campaign.
+  const FaultCampaignResult fault = run_fault_campaign_workload(lib, quick);
+
   // Human-readable summary.
   std::printf("== perf_report (%s) ==\n\n", quick ? "quick" : "full");
   std::printf("%-18s %-12s %8s %12s %14s %12s\n", "workload", "model", "gates",
@@ -263,6 +337,13 @@ int main(int argc, char** argv) {
                 w.model.c_str(), w.gates, w.wall_s, w.events_per_sec,
                 static_cast<unsigned long long>(w.history_hash & 0xFFFFFFFFFFFFULL));
   }
+  std::printf(
+      "\n%s: %zu faults x %zu vectors (%zu gates), detected %zu, verdicts %s\n"
+      "  serial %.3f s | campaign 1t %.3f s (%.2fx) | 4t %.3f s (%.2fx, %.0f faults/sec)\n",
+      fault.name.c_str(), fault.faults, fault.vectors, fault.gates, fault.detected,
+      fault.verdicts_identical ? "identical" : "DIVERGED", fault.serial_wall_s,
+      fault.campaign_1t_wall_s, fault.speedup_1t, fault.campaign_4t_wall_s,
+      fault.speedup_4t, fault.faults_per_sec_4t);
 
   // JSON entry.
   std::string entry;
@@ -287,7 +368,20 @@ int main(int argc, char** argv) {
     std::size_t n = 0;
     while ((n = std::fread(buf, 1, sizeof buf, mem)) > 0) entry.append(buf, n);
     std::fclose(mem);
-    entry += "  ]}";
+    entry += "  ],\n";
+    char fc[640];
+    std::snprintf(fc, sizeof fc,
+                  "   \"fault_campaign\": {\"workload\": \"%s\", \"gates\": %zu,"
+                  " \"faults\": %zu, \"vectors\": %zu, \"detected\": %zu,\n"
+                  "    \"serial_wall_s\": %.6f, \"campaign_1t_wall_s\": %.6f,"
+                  " \"campaign_4t_wall_s\": %.6f,\n"
+                  "    \"speedup_1t_vs_serial\": %.3f, \"speedup_4t_vs_serial\": %.3f,"
+                  " \"faults_per_sec_4t\": %.1f, \"verdicts_identical\": %s}}",
+                  fault.name.c_str(), fault.gates, fault.faults, fault.vectors,
+                  fault.detected, fault.serial_wall_s, fault.campaign_1t_wall_s,
+                  fault.campaign_4t_wall_s, fault.speedup_1t, fault.speedup_4t,
+                  fault.faults_per_sec_4t, fault.verdicts_identical ? "true" : "false");
+    entry += fc;
   }
   if (!write_report(out, entry, append)) return 1;
   std::printf("\nwrote %s (label \"%s\"%s)\n", out.c_str(), label.c_str(),

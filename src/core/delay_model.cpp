@@ -38,14 +38,23 @@ DelayResult DdmDelayModel::compute(const DelayRequest& request) const {
   // The paper's T, referenced to the triggering event (threshold crossing).
   const TimeNs t_elapsed = request.t_event - *request.t_prev_out50;
   const TimeNs t0 = edge.deg_t0(request.tau_in, request.vdd);
-  const TimeNs tau = edge.deg_tau(request.cl, request.vdd);
-  ensure(tau > 0.0, "DdmDelayModel: degradation tau must be positive");
+  // Characterized (A, B) fits can cross zero at extreme loads (eq. 2 is a
+  // linear extrapolation); a non-positive tau means "instant recovery", so
+  // clamp to a tiny positive constant instead of aborting the run -- the
+  // exponential then evaluates to ~1 (no degradation) past T0 and the
+  // T <= T0 collapse below still applies.
+  constexpr TimeNs kMinDegradationTau = 1e-6;  // 1 femtosecond, in ns
+  const TimeNs tau = std::max(edge.deg_tau(request.cl, request.vdd), kMinDegradationTau);
 
   if (t_elapsed <= t0) {
     // The gate's internal state never recovered enough to produce an
-    // output pulse at all: annihilate (eq. 1 would give tp <= 0).
+    // output pulse at all: annihilate (eq. 1 would give tp <= 0).  A
+    // filtered pulse has no output ramp either -- clear tau_out so callers
+    // never consume the stale conventional slope (the engine's clamped
+    // minimum-width fallback pulse must be minimum-width in tau too).
     result.filtered = true;
     result.tp = 0.0;
+    result.tau_out = 0.0;
     return result;
   }
   result.tp *= 1.0 - std::exp(-(t_elapsed - t0) / tau);

@@ -54,6 +54,17 @@ class BasicEventQueue {
   /// Pre-sizes the event arena and heap for `expected_events` pushes.
   void reserve(std::size_t expected_events);
 
+  /// Drops every event and resets the counters while keeping the arena and
+  /// heap capacity -- the Simulator::reset() re-arm path recycles the queue
+  /// instead of reallocating it.
+  void clear() {
+    events_.clear();
+    meta_.clear();
+    heap_.clear();
+    cancelled_ = 0;
+    fired_ = 0;
+  }
+
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 

@@ -1,7 +1,6 @@
 #include "src/core/simulator.hpp"
 
 #include <algorithm>
-#include <memory>
 
 #include "src/base/check.hpp"
 
@@ -63,18 +62,63 @@ Simulator::Simulator(const Netlist& netlist, const DelayModel& model, SimConfig 
     }
   }
   fanout_base_[num_signals] = static_cast<std::uint32_t>(fanout_.size());
+
+  // Cached once for the reset()/re-arm path: apply_stimulus runs once per
+  // fault in a campaign, and these are all O(gates + signals) walks with
+  // allocations.
+  topo_order_ = netlist_->topological_order();
+  depth_ = netlist_->depth();
+  has_cycles_ = netlist_->has_combinational_cycles();
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  links_.clear();
+  transitions_.clear();
+  tracks_.clear();
+  track_free_ = kNil;
+  spawn_pool_.clear();
+  spawn_free_ = kNil;
+  pair_pool_.clear();
+  pair_free_ = kNil;
+  live_tracks_ = 0;
+  peak_live_tracks_ = 0;
+  for (auto& history : signal_history_) history.clear();
+  initial_values_.assign(initial_values_.size(), false);
+  gates_.assign(gates_.size(), GateState{});
+  input_values_.assign(input_values_.size(), 0);
+  inputs_.assign(inputs_.size(), InputState{});
+  now_ = 0.0;
+  stimulus_applied_ = false;
+  fault_signal_ = SignalId{};
+  fault_value_ = false;
+  stats_ = SimStats{};
+}
+
+void Simulator::inject_stuck_at(SignalId signal, bool value) {
+  require(!stimulus_applied_,
+          "Simulator::inject_stuck_at(): must be called before apply_stimulus()");
+  require(signal.valid() && signal.value() < netlist_->num_signals(),
+          "Simulator::inject_stuck_at(): signal out of range");
+  fault_signal_ = signal;
+  fault_value_ = value;
 }
 
 void Simulator::apply_stimulus(const Stimulus& stimulus) {
   require(!stimulus_applied_, "Simulator::apply_stimulus(): stimulus already applied");
   stimulus_applied_ = true;
 
-  // 1. Steady-state initialization from the stimulus initial word.
+  // 1. Steady-state initialization from the stimulus initial word, with the
+  // injected fault (if any) pinned so downstream logic settles around it.
+  // Netlist::settle() over the cached topological order: the same fixpoint
+  // as Netlist::steady_state(), but the campaign's per-fault re-arm pays no
+  // graph walk.
   const auto pis = netlist_->primary_inputs();
-  std::unique_ptr<bool[]> pi_values(new bool[pis.size() > 0 ? pis.size() : 1]);
-  for (std::size_t i = 0; i < pis.size(); ++i) pi_values[i] = stimulus.initial_value(pis[i]);
-  initial_values_ =
-      netlist_->steady_state(std::span<const bool>(pi_values.get(), pis.size()));
+  initial_values_.assign(netlist_->num_signals(), false);
+  for (const SignalId pi : pis) initial_values_[pi.value()] = stimulus.initial_value(pi);
+  if (fault_signal_.valid()) initial_values_[fault_signal_.value()] = fault_value_;
+  const int max_sweeps = has_cycles_ ? depth_ + static_cast<int>(gates_.size()) + 2 : 1;
+  (void)netlist_->settle(topo_order_, max_sweeps, fault_signal_, initial_values_);
 
   for (std::size_t g = 0; g < gates_.size(); ++g) {
     const Gate& gate = netlist_->gate(GateId{static_cast<GateId::underlying_type>(g)});
@@ -93,7 +137,7 @@ void Simulator::apply_stimulus(const Stimulus& stimulus) {
   for (SignalId pi : pis) num_edges += stimulus.edges(pi).size();
   {
     constexpr std::size_t kReserveCap = std::size_t{1} << 21;
-    const auto depth = static_cast<std::size_t>(std::max(netlist_->depth(), 1));
+    const auto depth = static_cast<std::size_t>(std::max(depth_, 1));
     const std::size_t est_transitions = std::min(64 + num_edges * (depth + 1), kReserveCap);
     transitions_.reserve(est_transitions);
     tracks_.reserve(std::min<std::size_t>(est_transitions / 8 + 64, 1u << 16));
@@ -145,7 +189,11 @@ void Simulator::spawn_events(TransitionId tr_id) {
   const Transition tr = transitions_[tr_id.value()].tr;
   const std::uint32_t sig = tr.signal.value();
   const std::uint32_t begin = fanout_base_[sig];
-  const std::uint32_t end = fanout_base_[sig + 1];
+  // A transition on the stuck-at site is gagged: receivers perceive the
+  // injected constant, so the line's ramps generate no events (the
+  // apply_fault() rewiring, without the netlist copy).
+  const std::uint32_t end =
+      tr.signal == fault_signal_ ? begin : fanout_base_[sig + 1];
   const bool rising = tr.edge == Edge::kRise;
   for (std::uint32_t i = begin; i < end; ++i) {
     const FanoutEntry& fo = fanout_[i];
@@ -202,13 +250,19 @@ void Simulator::cancel_pending_event(EventId id) {
   maybe_reclaim(cause);
 }
 
-RunResult Simulator::run() {
+RunResult Simulator::run() { return run_impl(config_.t_end); }
+
+RunResult Simulator::run_until(TimeNs t_end) {
+  return run_impl(std::min(t_end, config_.t_end));
+}
+
+RunResult Simulator::run_impl(TimeNs horizon) {
   require(stimulus_applied_, "Simulator::run(): apply_stimulus() first");
   RunResult result;
   while (!queue_.empty()) {
     const EventId eid = queue_.peek();
     const Event ev = queue_.event_unchecked(eid);  // copy: queue mutates below
-    if (ev.time > config_.t_end) {
+    if (ev.time > horizon) {
       result.reason = StopReason::kHorizonReached;
       result.end_time = now_;
       return result;
@@ -592,6 +646,16 @@ std::vector<Transition> Simulator::history(SignalId signal) const {
     if (!rec.tr.cancelled) out.push_back(rec.tr);
   }
   return out;
+}
+
+bool Simulator::value_at(SignalId signal, TimeNs t) const {
+  const auto& history = signal_history_.at(signal.value());
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    const TransitionRec& rec = transitions_[it->value()];
+    if (rec.tr.cancelled) continue;
+    if (rec.tr.t50() <= t) return rec.tr.final_value();
+  }
+  return initial_values_[signal.value()];
 }
 
 std::size_t Simulator::toggle_count(SignalId signal) const {

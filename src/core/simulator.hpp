@@ -75,13 +75,39 @@ class Simulator {
   Simulator(const Netlist& netlist, const DelayModel& model, SimConfig config = {});
 
   /// Sets initial values (steady state from the stimulus initial word) and
-  /// schedules every stimulus edge.  Must be called exactly once, before
-  /// run().
+  /// schedules every stimulus edge.  Must be called exactly once per re-arm
+  /// cycle (construction or reset()), before run().
   void apply_stimulus(const Stimulus& stimulus);
+
+  /// Re-arms the simulator for another stimulus on the same netlist: clears
+  /// every piece of dynamic state (queue, transitions, tracks, histories,
+  /// pending lists, stats, any injected fault) while keeping the static
+  /// tables and the arenas' capacity, so a reset + apply_stimulus + run
+  /// cycle is bit-identical to a freshly constructed Simulator but performs
+  /// no per-cycle reallocation.  The fault-campaign engine's workers rely on
+  /// this to recycle one Simulator across thousands of faulty runs.
+  void reset();
+
+  /// Injects a single stuck-at fault before the next apply_stimulus():
+  /// every receiver of `signal` perceives the constant `value` for the whole
+  /// run (steady-state initialization included) and transitions on `signal`
+  /// generate no events -- exactly the observable behaviour of rewiring the
+  /// line's receivers to a constant net (apply_fault()), without copying the
+  /// netlist or rebuilding the static tables.  The signal's own history
+  /// still records its driver, which feeds nothing; a faulted primary
+  /// *output* must be observed as the constant by the caller.  Cleared by
+  /// reset().
+  void inject_stuck_at(SignalId signal, bool value);
 
   /// Runs until the queue empties, the horizon passes or the event limit
   /// trips.
   RunResult run();
+
+  /// Runs until every event with time <= t_end has been processed (bounded
+  /// by the config horizon and event limit).  Repeated calls with growing
+  /// horizons advance the same run in segments -- the campaign engine's
+  /// early-exit observation hook samples primary outputs between segments.
+  RunResult run_until(TimeNs t_end);
 
   // ---- results --------------------------------------------------------------
 
@@ -96,6 +122,11 @@ class Simulator {
   [[nodiscard]] bool final_value(SignalId signal) const;
   /// Surviving transitions on `signal`, time-ordered.
   [[nodiscard]] std::vector<Transition> history(SignalId signal) const;
+  /// Logic value of `signal` at time `t`, midswing-referenced -- identical
+  /// to DigitalWaveform::value_at over the surviving history, but
+  /// allocation-free (backward scan).  Valid for any `t` not later than the
+  /// horizon already simulated.
+  [[nodiscard]] bool value_at(SignalId signal, TimeNs t) const;
   /// Number of surviving transitions (toggle count) on `signal`.
   [[nodiscard]] std::size_t toggle_count(SignalId signal) const;
   /// Total surviving transitions across all signals (switching activity).
@@ -215,6 +246,7 @@ class Simulator {
     return gate_info_[pin.gate.value()].input_base + static_cast<std::size_t>(pin.pin);
   }
 
+  RunResult run_impl(TimeNs horizon);
   TransitionId create_transition(SignalId signal, Edge edge, TimeNs t_start, TimeNs tau,
                                  TransitionId prev);
   /// Generates fanout events for a fresh transition, applying the pair rule.
@@ -259,6 +291,9 @@ class Simulator {
   std::vector<GateInfo> gate_info_;
   std::vector<FanoutEntry> fanout_;          // flattened over signals
   std::vector<std::uint32_t> fanout_base_;   // signal -> first index; size+1
+  std::vector<GateId> topo_order_;           // cached: steady-state sweep order
+  int depth_ = 0;                            // cached: arena reserve estimate
+  bool has_cycles_ = false;                  // cached: steady-state sweep bound
 
   // dynamic state
   EventQueue queue_;
@@ -279,6 +314,8 @@ class Simulator {
   std::vector<InputState> inputs_;          // flattened (gate, pin)
   TimeNs now_ = 0.0;
   bool stimulus_applied_ = false;
+  SignalId fault_signal_;        ///< injected stuck-at site (invalid: none)
+  bool fault_value_ = false;
   SimStats stats_;
 };
 

@@ -61,6 +61,16 @@ std::span<const StimulusEdge> Stimulus::edges(SignalId input) const {
   return it->second;
 }
 
+std::vector<TimeNs> Stimulus::edge_times() const {
+  std::vector<TimeNs> times;
+  for (const auto& [signal, list] : edges_) {
+    for (const StimulusEdge& edge : list) times.push_back(edge.time);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
 TimeNs Stimulus::last_edge_time() const {
   TimeNs last = 0.0;
   for (const auto& [signal, list] : edges_) {

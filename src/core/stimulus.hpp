@@ -45,6 +45,10 @@ class Stimulus {
   [[nodiscard]] TimeNs default_slew() const { return default_slew_; }
   /// Time of the last scheduled edge across all inputs (0 when empty).
   [[nodiscard]] TimeNs last_edge_time() const;
+  /// Sorted, de-duplicated times at which at least one input edges -- the
+  /// vector application instants the fault simulator aligns its output
+  /// samples to.
+  [[nodiscard]] std::vector<TimeNs> edge_times() const;
 
  private:
   TimeNs default_slew_;

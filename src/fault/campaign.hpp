@@ -1,0 +1,103 @@
+// Parallel stuck-at fault-campaign engine.
+//
+// The legacy run_fault_simulation() rebuilds a full netlist copy and a
+// fresh Simulator per fault and replays the complete stimulus even when the
+// fault is observable at the first sample.  The campaign engine removes all
+// three costs:
+//
+//   * each worker owns ONE reusable Simulator on the *good* netlist
+//     (static tables built once); per fault it reset()s the dynamic state
+//     and injects the stuck-at site (Simulator::inject_stuck_at), so no
+//     netlist copy and no table rebuild ever happens;
+//   * the fault list is sharded across a WorkerPool by an atomic ticket,
+//     one fault per ticket;
+//   * each faulty run executes in segments between output-sample instants
+//     (Simulator::run_until) and stops at the first sampled primary-output
+//     divergence -- the early-exit observation hook.
+//
+// Determinism: every fault's verdict depends only on its own single-fault
+// run, and verdicts are aggregated in fault-index order after the sweep, so
+// the detected set, the coverage and every derived number are bit-identical
+// for any thread count (and identical to the legacy serial engine's
+// verdicts).
+//
+// Early-exit exactness: a sample is evaluated only after the run has
+// advanced to the *next* sample instant (one-segment lag) or finished, so
+// every annihilation that could retroactively erase a pulse near the sample
+// has already been applied -- the inertial/degradation windows (sub-ns) are
+// orders of magnitude shorter than a vector period.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/worker_pool.hpp"
+#include "src/core/delay_model.hpp"
+#include "src/core/simulator.hpp"
+#include "src/core/stimulus.hpp"
+#include "src/fault/fault.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace halotis {
+
+struct CampaignOptions {
+  FaultSimOptions sampling;  ///< sample alignment shared with the legacy engine
+  int threads = 0;           ///< worker count; 0 = one per hardware thread
+  bool early_exit = true;    ///< stop a faulty run at the first divergence
+};
+
+struct CampaignResult {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::vector<Fault> undetected;        ///< in fault-index order
+  std::vector<std::uint8_t> verdicts;   ///< per input fault index; 1 = detected
+  int threads_used = 1;
+  /// Events processed across all faulty runs plus the good-machine run.
+  /// Deterministic (each per-fault count is), so it doubles as a work
+  /// metric for the bench trajectory.
+  std::uint64_t events_processed = 0;
+
+  [[nodiscard]] double coverage() const {
+    return total > 0 ? static_cast<double>(detected) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// The reusable heavy state of a campaign: the worker pool (threads stay
+/// alive across runs) and one Simulator per worker plus the good-machine
+/// Simulator (static tables built once, dynamic state recycled per run).
+/// ATPG constructs one engine and evaluates every candidate vector through
+/// it; one-shot callers can use the run_fault_campaign() convenience
+/// wrapper.  `netlist` and `model` must outlive the engine.  Not
+/// thread-safe: one run() at a time.
+class CampaignEngine {
+ public:
+  CampaignEngine(const Netlist& netlist, const DelayModel& model, int threads = 0);
+
+  [[nodiscard]] int threads() const { return pool_.size(); }
+
+  /// Simulates every fault in `faults` (or all 2N enumerated faults when
+  /// empty) against `stimulus`.  Verdict semantics match
+  /// run_fault_simulation(): a fault is detected iff some primary output
+  /// differs from the good machine at some aligned sample instant, with a
+  /// faulted primary output observed as the stuck constant itself.
+  [[nodiscard]] CampaignResult run(const Stimulus& stimulus,
+                                   std::vector<Fault> faults = {},
+                                   const FaultSimOptions& sampling = {},
+                                   bool early_exit = true);
+
+ private:
+  const Netlist* netlist_;
+  WorkerPool pool_;
+  Simulator good_;
+  std::vector<std::unique_ptr<Simulator>> sims_;  ///< one per worker
+};
+
+/// One-shot convenience wrapper: builds a CampaignEngine for this call.
+[[nodiscard]] CampaignResult run_fault_campaign(const Netlist& netlist,
+                                                const Stimulus& stimulus,
+                                                const DelayModel& model,
+                                                std::vector<Fault> faults = {},
+                                                CampaignOptions options = {});
+
+}  // namespace halotis

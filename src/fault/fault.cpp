@@ -5,7 +5,7 @@
 
 #include "src/base/check.hpp"
 #include "src/base/rng.hpp"
-#include "src/waveform/digital_waveform.hpp"
+#include "src/fault/campaign.hpp"
 
 namespace halotis {
 
@@ -56,36 +56,48 @@ FaultyMachine apply_fault(const Netlist& netlist, const Fault& fault) {
   return machine;
 }
 
-namespace {
-
-bool value_at(const Simulator& sim, SignalId signal, TimeNs t) {
-  const DigitalWaveform wave =
-      DigitalWaveform::from_transitions(sim.initial_value(signal), sim.history(signal));
-  return wave.value_at(t);
-}
-
-std::vector<TimeNs> sample_times(const Stimulus& stimulus, const FaultSimOptions& options) {
-  const int samples =
-      options.num_samples > 0
-          ? options.num_samples
-          : static_cast<int>(stimulus.last_edge_time() / options.sample_period) + 2;
-  // Sample just before each new vector would be applied (outputs settled).
+std::vector<TimeNs> fault_sample_times(const Stimulus& stimulus,
+                                       const FaultSimOptions& options) {
+  require(options.sample_period > 0.0, "fault_sample_times(): period must be positive");
+  require(options.sample_epsilon > 0.0 && options.sample_epsilon < options.sample_period,
+          "fault_sample_times(): epsilon must lie inside the period");
+  const std::vector<TimeNs> applied = stimulus.edge_times();
   std::vector<TimeNs> times;
-  for (int k = 1; k <= samples; ++k) {
-    times.push_back(options.sample_period * static_cast<double>(k) -
-                    options.sample_epsilon);
+  if (applied.empty()) {
+    // No vectors at all: a single settled observation of the initial state.
+    times.push_back(options.sample_period - options.sample_epsilon);
+    return times;
+  }
+  // Initial-state observation, just before the first vector lands.  (A
+  // vector applied at t = 0 leaves no initial window to observe.)
+  if (applied.front() > options.sample_epsilon) {
+    times.push_back(applied.front() - options.sample_epsilon);
+  }
+  // One observation per applied vector, taken when its response has settled:
+  // just before the next vector lands, or after one period of hold for the
+  // last vector.  The old k*period grid observed the pre-vector initial
+  // state as sample 1 and drifted off any stimulus whose application
+  // instants were not multiples of the sample period, silently skipping
+  // vectors -- including the last one under an explicit num_samples budget.
+  const std::size_t limit =
+      options.num_samples > 0
+          ? std::min(applied.size(), static_cast<std::size_t>(options.num_samples))
+          : applied.size();
+  for (std::size_t j = 0; j < limit; ++j) {
+    const TimeNs settled_until = j + 1 < applied.size()
+                                     ? applied[j + 1]
+                                     : applied[j] + options.sample_period;
+    times.push_back(settled_until - options.sample_epsilon);
   }
   return times;
 }
-
-}  // namespace
 
 FaultSimResult run_fault_simulation(const Netlist& netlist, const Stimulus& stimulus,
                                     const DelayModel& model, std::vector<Fault> faults,
                                     FaultSimOptions options) {
   require(options.sample_period > 0.0, "run_fault_simulation(): period must be positive");
   if (faults.empty()) faults = enumerate_faults(netlist);
-  const std::vector<TimeNs> times = sample_times(stimulus, options);
+  const std::vector<TimeNs> times = fault_sample_times(stimulus, options);
 
   // Good machine reference samples.
   Simulator good(netlist, model);
@@ -94,7 +106,7 @@ FaultSimResult run_fault_simulation(const Netlist& netlist, const Stimulus& stim
   std::vector<std::vector<bool>> good_samples;
   for (const SignalId po : netlist.primary_outputs()) {
     std::vector<bool> row;
-    for (const TimeNs t : times) row.push_back(value_at(good, po, t));
+    for (const TimeNs t : times) row.push_back(good.value_at(po, t));
     good_samples.push_back(std::move(row));
   }
 
@@ -115,7 +127,7 @@ FaultSimResult run_fault_simulation(const Netlist& netlist, const Stimulus& stim
     const auto pos = machine.netlist.primary_outputs();
     for (std::size_t o = 0; o < pos.size() && !detected; ++o) {
       for (std::size_t k = 0; k < times.size(); ++k) {
-        if (value_at(sim, pos[o], times[k]) != good_samples[o][k]) {
+        if (sim.value_at(pos[o], times[k]) != good_samples[o][k]) {
           detected = true;
           break;
         }
@@ -156,23 +168,34 @@ AtpgResult generate_tests(const Netlist& netlist, const DelayModel& model,
       num_inputs >= 64 ? ~0ull : ((1ull << num_inputs) - 1);
 
   result.words.push_back(0);  // initial state
-  FaultSimOptions fs_options;
-  fs_options.sample_period = options.period;
+  FaultSimOptions sampling;
+  sampling.sample_period = options.period;
+  // One engine for the whole search: the worker pool's threads and every
+  // worker's Simulator survive across candidate evaluations.
+  CampaignEngine engine(netlist, model, options.threads);
 
+  // Incremental evaluation: detection compares *settled* primary-output
+  // samples, and the settled response of a combinational circuit depends
+  // only on the vector being held -- so a candidate only needs to be
+  // simulated as the two-word stimulus {last accepted word, candidate}
+  // against the surviving fault set.  The old engine replayed the entire
+  // accepted prefix for every candidate (quadratic in test-set length)
+  // without ever detecting anything new on it: the surviving faults already
+  // survived every prefix vector.
+  std::uint64_t settled_word = 0;
   for (int candidate = 0;
        candidate < options.max_candidates && !remaining.empty(); ++candidate) {
     const std::uint64_t word = rng.next() & mask;
-    std::vector<std::uint64_t> trial = result.words;
-    trial.push_back(word);
+    const std::uint64_t trial[2] = {settled_word, word};
     const Stimulus stim =
         make_vector_stimulus(netlist, trial, options.period, options.slew);
-    const FaultSimResult sim_result =
-        run_fault_simulation(netlist, stim, model, remaining, fs_options);
+    const CampaignResult sim_result = engine.run(stim, remaining, sampling);
     if (sim_result.detected == 0) continue;  // useless vector, discard
 
     result.words.push_back(word);
     result.detected += sim_result.detected;
     remaining = sim_result.undetected;
+    settled_word = word;
   }
   result.undetected = std::move(remaining);
   return result;

@@ -47,10 +47,26 @@ struct FaultyMachine {
 [[nodiscard]] FaultyMachine apply_fault(const Netlist& netlist, const Fault& fault);
 
 struct FaultSimOptions {
-  TimeNs sample_period = 5.0;  ///< POs sampled at k * period - epsilon
+  /// Hold time granted to the LAST vector: the final sample is taken at
+  /// last_application + period - epsilon.  (Earlier samples align to the
+  /// stimulus's own application instants, not to a k*period grid.)
+  TimeNs sample_period = 5.0;
   TimeNs sample_epsilon = 0.1;
-  int num_samples = 0;         ///< 0: derived from the stimulus span
+  /// Number of vector observations; 0 observes every applied vector.  An
+  /// initial-state observation is included on top whenever the first
+  /// vector lands after t = epsilon (a vector at t = 0 leaves no initial
+  /// window to observe).
+  int num_samples = 0;
 };
+
+/// The instants the fault simulator samples primary outputs at, aligned to
+/// the stimulus's vector application times: the settled response of each
+/// applied vector is observed just before the next vector lands (epsilon
+/// early), the last one after `sample_period` of hold.  An initial-state
+/// observation precedes the first vector.  Shared by the legacy serial
+/// engine and the parallel campaign so verdicts agree.
+[[nodiscard]] std::vector<TimeNs> fault_sample_times(const Stimulus& stimulus,
+                                                     const FaultSimOptions& options);
 
 struct FaultSimResult {
   std::size_t total = 0;
@@ -88,6 +104,10 @@ struct AtpgOptions {
   TimeNs period = 5.0;
   TimeNs slew = 0.5;
   std::uint64_t seed = 1;
+  /// Worker threads for evaluating each candidate against the surviving
+  /// fault set (0 = one per hardware thread).  The generated test set is
+  /// thread-count-invariant.
+  int threads = 1;
 };
 
 struct AtpgResult {
@@ -107,6 +127,13 @@ struct AtpgResult {
 /// detects at least one still-undetected stuck-at fault (evaluated with the
 /// timing simulator under `model`), and stops at full coverage or after
 /// `max_candidates` proposals.  Returns the compact test set.
+///
+/// Evaluation is incremental: each candidate is simulated as the two-word
+/// stimulus {last accepted word, candidate} against the surviving fault set
+/// only -- equivalent to replaying the whole accepted prefix, because
+/// detection compares settled samples and the survivors already survived
+/// every prefix vector.  Replaying the returned `words` with
+/// run_fault_simulation() reproduces `detected` exactly.
 [[nodiscard]] AtpgResult generate_tests(const Netlist& netlist, const DelayModel& model,
                                         AtpgOptions options = {});
 

@@ -185,6 +185,35 @@ int Netlist::depth() const {
   return max_level;
 }
 
+bool Netlist::eval_gate(const Gate& gate_ref, const std::vector<bool>& value) const {
+  bool ins[8] = {};
+  ensure(gate_ref.inputs.size() <= std::size(ins), "eval_gate(): fan-in too large");
+  for (std::size_t i = 0; i < gate_ref.inputs.size(); ++i) {
+    ins[i] = value[gate_ref.inputs[i].value()];
+  }
+  return eval_cell(library_->cell(gate_ref.cell).kind,
+                   std::span<const bool>(ins, gate_ref.inputs.size()));
+}
+
+bool Netlist::settle(std::span<const GateId> order, int max_sweeps, SignalId pinned,
+                     std::vector<bool>& value) const {
+  require(value.size() == signals_.size(), "Netlist::settle(): value size mismatch");
+  bool changed = true;
+  for (int sweep = 0; sweep < max_sweeps && changed; ++sweep) {
+    changed = false;
+    for (GateId g : order) {
+      const Gate& gate_ref = gates_[g.value()];
+      if (gate_ref.output == pinned) continue;  // stuck-at injection
+      const bool out = eval_gate(gate_ref, value);
+      if (out != value[gate_ref.output.value()]) {
+        value[gate_ref.output.value()] = out;
+        changed = true;
+      }
+    }
+  }
+  return !changed;
+}
+
 std::vector<bool> Netlist::steady_state(std::span<const bool> pi_values,
                                         std::vector<SignalId>* unsettled) const {
   require(pi_values.size() == primary_inputs_.size(),
@@ -194,37 +223,17 @@ std::vector<bool> Netlist::steady_state(std::span<const bool> pi_values,
     value[primary_inputs_[i].value()] = pi_values[i];
   }
   const std::vector<GateId> order = topological_order();
-  const auto eval_gate = [&](const Gate& gate_ref) {
-    bool ins[8] = {};
-    ensure(gate_ref.inputs.size() <= std::size(ins), "steady_state(): fan-in too large");
-    for (std::size_t i = 0; i < gate_ref.inputs.size(); ++i) {
-      ins[i] = value[gate_ref.inputs[i].value()];
-    }
-    return eval_cell(library_->cell(gate_ref.cell).kind,
-                     std::span<const bool>(ins, gate_ref.inputs.size()));
-  };
   // One pass settles acyclic logic; feedback loops need iteration.  The
   // bound of depth+2 extra sweeps settles any non-oscillating loop.
   const int max_sweeps = has_combinational_cycles() ? depth() + static_cast<int>(gates_.size()) + 2 : 1;
-  bool changed = true;
-  for (int sweep = 0; sweep < max_sweeps && changed; ++sweep) {
-    changed = false;
-    for (GateId g : order) {
-      const Gate& gate_ref = gates_[g.value()];
-      const bool out = eval_gate(gate_ref);
-      if (out != value[gate_ref.output.value()]) {
-        value[gate_ref.output.value()] = out;
-        changed = true;
-      }
-    }
-  }
+  const bool settled = settle(order, max_sweeps, SignalId{}, value);
   if (unsettled != nullptr) {
     unsettled->clear();
-    if (changed) {
+    if (!settled) {
       // One more sweep to identify which outputs are still moving.
       for (GateId g : order) {
         const Gate& gate_ref = gates_[g.value()];
-        if (eval_gate(gate_ref) != value[gate_ref.output.value()]) {
+        if (eval_gate(gate_ref, value) != value[gate_ref.output.value()]) {
           unsettled->push_back(gate_ref.output);
         }
       }

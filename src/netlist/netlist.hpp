@@ -110,6 +110,17 @@ class Netlist {
   [[nodiscard]] std::vector<bool> steady_state(
       std::span<const bool> pi_values, std::vector<SignalId>* unsettled = nullptr) const;
 
+  /// The fixpoint core shared by steady_state() and the simulator's
+  /// reset()/re-arm path (which supplies its cached topological order so a
+  /// fault campaign pays no per-fault graph walk): sweeps `order` up to
+  /// `max_sweeps` times, evaluating every gate into `value` (pre-seeded
+  /// with the primary-input assignment and any pinned constant).  A gate
+  /// driving `pinned` is skipped, so that signal holds its seeded value --
+  /// stuck-at injection.  Returns false when the last sweep still changed
+  /// something (an oscillating feedback loop).
+  bool settle(std::span<const GateId> order, int max_sweeps, SignalId pinned,
+              std::vector<bool>& value) const;
+
   /// Structural design-rule check: every non-PI signal driven, pin counts
   /// consistent, fanout links well-formed.  Throws ContractViolation with a
   /// precise message on the first violation.
@@ -117,6 +128,8 @@ class Netlist {
 
  private:
   SignalId add_signal_impl(std::string name, bool primary_input);
+  /// Evaluates one gate against the signal assignment in `value`.
+  [[nodiscard]] bool eval_gate(const Gate& gate_ref, const std::vector<bool>& value) const;
 
   const Library* library_;
   std::vector<Gate> gates_;

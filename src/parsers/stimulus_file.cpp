@@ -1,5 +1,6 @@
 #include "src/parsers/stimulus_file.hpp"
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -13,6 +14,7 @@ namespace {
 std::uint64_t parse_word(const std::string& token, int line) {
   const std::string context = "stimulus line " + std::to_string(line);
   if (starts_with(token, "0x") || starts_with(token, "0X")) {
+    require(token.size() > 2, "empty hex literal '" + token + "' in " + context);
     std::uint64_t value = 0;
     for (std::size_t i = 2; i < token.size(); ++i) {
       const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(token[i])));
@@ -23,6 +25,9 @@ std::uint64_t parse_word(const std::string& token, int line) {
         digit = static_cast<std::uint64_t>(c - 'a' + 10);
       } else {
         require(false, "bad hex digit in " + context);
+      }
+      if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 16) {
+        require(false, "hex literal '" + token + "' overflows 64 bits in " + context);
       }
       value = value * 16 + digit;
     }

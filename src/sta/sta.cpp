@@ -42,13 +42,17 @@ TimingReport StaticTimingAnalyzer::analyze() const {
       for (const Edge out_edge : {Edge::kRise, Edge::kFall}) {
         const EdgeTiming& timing = cell.pin(pin).edge(out_edge);
         const TimeNs tp = timing.tp0(cl, win.slew);
-        const TimeNs tau_out = cell.drive.tau_out(out_edge, cl);
         out.earliest = std::min(out.earliest, win.earliest + tp);
         if (win.latest + tp > out.latest) {
           out.latest = win.latest + tp;
+          // Propagate the slew of the CAUSING transition: the output ramp
+          // of the edge that sets the latest arrival.  Taking the max
+          // tau_out over both edges and every input pin (the old rule)
+          // pairs the worst arrival with a slope it cannot have, inflating
+          // every downstream tp0 and distorting the critical path.
+          out.slew = cell.drive.tau_out(out_edge, cl);
           cause = PathStep{gid, in, gate.output, tp};
         }
-        out.slew = std::max(out.slew, tau_out);
       }
     }
     if (out.earliest == kNeverNs) continue;  // gate fed only by tie-offs

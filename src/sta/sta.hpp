@@ -22,7 +22,8 @@ namespace halotis {
 struct ArrivalWindow {
   TimeNs earliest = 0.0;
   TimeNs latest = 0.0;
-  /// Slowest input slope reaching this signal (used for downstream delays).
+  /// Output ramp duration of the transition that sets `latest` (the causing
+  /// edge's slew, used for downstream delays).
   TimeNs slew = 0.0;
 };
 

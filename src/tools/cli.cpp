@@ -1,5 +1,6 @@
 #include "src/tools/cli.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "src/base/check.hpp"
 #include "src/base/strings.hpp"
 #include "src/core/simulator.hpp"
+#include "src/fault/campaign.hpp"
 #include "src/fault/fault.hpp"
 #include "src/netlist/library.hpp"
 #include "src/parsers/bench_format.hpp"
@@ -234,12 +236,14 @@ int cmd_fault(const Options& options, std::ostream& out) {
   const Library lib = Library::default_u6();
   const Netlist netlist = load_netlist(options, lib);
   const std::unique_ptr<DelayModel> model = make_model(options);
+  const int threads = static_cast<int>(options.number("threads", 0));
 
   if (options.get("atpg")) {
     AtpgOptions atpg;
     atpg.period = options.number("period", 5.0);
     atpg.max_candidates = static_cast<int>(options.number("candidates", 200));
     atpg.seed = static_cast<std::uint64_t>(options.number("seed", 1));
+    atpg.threads = threads;
     const AtpgResult result = generate_tests(netlist, *model, atpg);
     out << "ATPG: " << result.words.size() << " vectors, coverage " << result.detected
         << " / " << result.total_faults << " ("
@@ -266,13 +270,43 @@ int cmd_fault(const Options& options, std::ostream& out) {
   const Stimulus stimulus = load_stimulus(options, netlist);
   require(stimulus.last_edge_time() > 0.0, "fault simulation needs a --stim file");
 
-  FaultSimOptions fs_options;
-  fs_options.sample_period = options.number("period", 5.0);
-  const FaultSimResult result =
-      run_fault_simulation(netlist, stimulus, *model, {}, fs_options);
+  if (options.get("serial")) {
+    // Legacy engine: per-fault netlist rewiring, full-stimulus replay.
+    FaultSimOptions fs_options;
+    fs_options.sample_period = options.number("period", 5.0);
+    const FaultSimResult result =
+        run_fault_simulation(netlist, stimulus, *model, {}, fs_options);
+    out << "stuck-at coverage: " << result.detected << " / " << result.total << " ("
+        << format_double(100.0 * result.coverage(), 4) << "%) under " << model->name()
+        << " [serial engine]\n";
+    if (!result.undetected.empty()) {
+      out << "undetected:";
+      for (const Fault& fault : result.undetected) {
+        out << ' ' << fault_name(netlist, fault);
+      }
+      out << "\n";
+    }
+    return 0;
+  }
+
+  CampaignOptions campaign;
+  campaign.sampling.sample_period = options.number("period", 5.0);
+  campaign.threads = threads;
+  campaign.early_exit = !options.get("no-early-exit");
+  const auto start = std::chrono::steady_clock::now();
+  const CampaignResult result =
+      run_fault_campaign(netlist, stimulus, *model, {}, campaign);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   out << "stuck-at coverage: " << result.detected << " / " << result.total << " ("
       << format_double(100.0 * result.coverage(), 4) << "%) under " << model->name()
       << "\n";
+  out << "campaign: " << result.threads_used << " thread"
+      << (result.threads_used == 1 ? "" : "s") << ", "
+      << result.events_processed << " events, "
+      << format_double(wall_s, 4) << " s ("
+      << format_double(wall_s > 0.0 ? static_cast<double>(result.total) / wall_s : 0.0, 5)
+      << " faults/sec)\n";
   if (!result.undetected.empty()) {
     out << "undetected:";
     for (const Fault& fault : result.undetected) {
@@ -326,9 +360,10 @@ commands:
            --netlist F [--stim F] [--t-end NS] [--csv F]
   sta      static timing analysis (conventional worst case)
            --netlist F [--slew NS]
-  fault    serial stuck-at fault simulation / test generation
+  fault    parallel stuck-at fault campaign / test generation
            --netlist F --stim F [--model M] [--period NS]
-           --netlist F --atpg [--candidates N] [--seed N]
+           [--threads N] [--serial] [--no-early-exit]
+           --netlist F --atpg [--candidates N] [--seed N] [--threads N]
   convert  netlist format conversion / delay annotation export
            --netlist F --to bench|verilog|native|sdf [--slew NS] [--out F]
 )";

@@ -108,6 +108,23 @@ TEST_F(CliTest, FaultReportsCoverage) {
   EXPECT_NE(out_.str().find("stuck-at coverage"), std::string::npos);
 }
 
+TEST_F(CliTest, FaultCampaignMatchesSerialEngine) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+
+  EXPECT_EQ(run({"fault", "--netlist", netlist, "--stim", stim, "--threads", "2"}), 0);
+  const std::string campaign_out = out_.str();
+  EXPECT_NE(campaign_out.find("campaign: 2 threads"), std::string::npos);
+  const std::string coverage =
+      campaign_out.substr(0, campaign_out.find(") under") + 1);
+  EXPECT_NE(coverage.find("stuck-at coverage"), std::string::npos);
+
+  EXPECT_EQ(run({"fault", "--netlist", netlist, "--stim", stim, "--serial"}), 0);
+  EXPECT_NE(out_.str().find("[serial engine]"), std::string::npos);
+  // Same coverage line from both engines.
+  EXPECT_NE(out_.str().find(coverage), std::string::npos);
+}
+
 TEST_F(CliTest, FaultAtpgGeneratesVectors) {
   const std::string netlist = write("and2.bench", kBench);
   EXPECT_EQ(run({"fault", "--netlist", netlist, "--atpg", "--candidates", "40",

@@ -85,6 +85,47 @@ TEST_F(DelayModelTest, DdmFiltersWhenElapsedBelowT0) {
   EXPECT_TRUE(res.filtered);
 }
 
+TEST_F(DelayModelTest, DdmFilteredResultClearsTauOut) {
+  // Regression: a filtered result used to carry the conventional tau_out
+  // computed before the collapse decision; the engine's minimum-width
+  // fallback pulse then inherited a full-size ramp.
+  const DdmDelayModel ddm;
+  DelayRequest r = base_request();
+  const EdgeTiming& edge = cell_->pin(0).fall;
+  r.t_prev_out50 = r.t_in50 - 0.5 * edge.deg_t0(r.tau_in, r.vdd);  // T < T0
+  const DelayResult res = ddm.compute(r);
+  ASSERT_TRUE(res.filtered);
+  EXPECT_DOUBLE_EQ(res.tp, 0.0);
+  EXPECT_DOUBLE_EQ(res.tau_out, 0.0);
+}
+
+TEST_F(DelayModelTest, DdmClampsNonPositiveDegradationTau) {
+  // Regression: eq. 2's linear (A, B) fit can cross zero at extreme loads;
+  // compute() used to hard-abort via ensure(tau > 0).  The clamp treats a
+  // non-positive tau as instant recovery: full conventional delay past T0,
+  // collapse below it -- never a crash.
+  const DdmDelayModel ddm;
+  Cell extreme = *cell_;
+  extreme.pins[0].fall.deg_a = -1.0;  // tau = (A + B*CL)/VDD < 0 at any load
+  extreme.pins[0].fall.deg_b = 0.0;
+  DelayRequest r = base_request();
+  r.cell = &extreme;
+  const EdgeTiming& edge = extreme.pins[0].fall;
+  const TimeNs t0 = edge.deg_t0(r.tau_in, r.vdd);
+  ASSERT_LE(edge.deg_tau(r.cl, r.vdd), 0.0);
+
+  r.t_prev_out50 = r.t_in50 - (t0 + 0.2);  // T > T0: instant full recovery
+  DelayResult res;
+  ASSERT_NO_THROW(res = ddm.compute(r));
+  EXPECT_FALSE(res.filtered);
+  EXPECT_NEAR(res.tp, edge.tp0(r.cl, r.tau_in), 1e-12);
+
+  r.t_prev_out50 = r.t_in50 - 0.5 * t0;  // T <= T0 still collapses
+  ASSERT_NO_THROW(res = ddm.compute(r));
+  EXPECT_TRUE(res.filtered);
+  EXPECT_DOUBLE_EQ(res.tau_out, 0.0);
+}
+
 TEST_F(DelayModelTest, DdmMatchesEquationOne) {
   const DdmDelayModel ddm;
   DelayRequest r = base_request();

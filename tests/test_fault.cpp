@@ -1,6 +1,8 @@
 // Tests for the stuck-at fault simulator.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "src/circuits/generators.hpp"
 #include "src/fault/fault.hpp"
 
@@ -85,6 +87,69 @@ TEST_F(FaultTest, RicherSequenceImprovesCoverage) {
   const FaultSimResult strong_result = run_fault_simulation(c17.netlist, strong, ddm_);
   EXPECT_GT(strong_result.detected, weak_result.detected);
   EXPECT_GE(strong_result.coverage(), 0.9);
+}
+
+TEST_F(FaultTest, SampleTimesAlignToVectorApplicationInstants) {
+  // make_vector_stimulus applies word k at t = k * period; each vector's
+  // settled response must be observed just before the next vector lands,
+  // plus an initial-state observation and a final sample one period after
+  // the last application.
+  C17Circuit c17 = make_c17(lib_);
+  const std::vector<std::uint64_t> words{0x00, 0x1F, 0x0A};
+  const Stimulus stim = make_vector_stimulus(c17.netlist, words, 4.0, 0.3);
+  FaultSimOptions options;
+  options.sample_period = 4.0;
+  options.sample_epsilon = 0.1;
+  const std::vector<TimeNs> times = fault_sample_times(stim, options);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 3.9);   // initial word 0x00 settled
+  EXPECT_DOUBLE_EQ(times[1], 7.9);   // 0x1F (applied at 4) settled
+  EXPECT_DOUBLE_EQ(times[2], 11.9);  // 0x0A (applied at 8) + one period hold
+}
+
+TEST_F(FaultTest, LastVectorDetectionUnderExplicitSampleBudget) {
+  // y = AND(a, b); a/SA0 is detectable only by the vector a=1, b=1 -- the
+  // LAST vector below.  Regression: the old k*period sample grid spent its
+  // first sample on the pre-vector initial state, so an explicit
+  // num_samples budget of one-per-vector silently dropped the last vector
+  // and reported this fault undetected.
+  Netlist nl(lib_);
+  const SignalId a = nl.add_primary_input("a");
+  const SignalId b = nl.add_primary_input("b");
+  const SignalId y = nl.add_signal("y");
+  nl.mark_primary_output(y);
+  const std::array<SignalId, 2> ins{a, b};
+  (void)nl.add_gate("g", CellKind::kAnd2, ins, y);
+
+  const std::vector<std::uint64_t> words{0b00, 0b01, 0b11};
+  const Stimulus stim = make_vector_stimulus(nl, words);
+  FaultSimOptions options;
+  options.num_samples = static_cast<int>(words.size()) - 1;  // one per applied vector
+
+  const FaultSimResult result =
+      run_fault_simulation(nl, stim, ddm_, {Fault{a, false}}, options);
+  EXPECT_EQ(result.detected, 1u) << "a/SA0 is only visible at the last vector";
+  EXPECT_TRUE(result.undetected.empty());
+}
+
+TEST_F(FaultTest, OffGridStimulusStillObservesEveryVector) {
+  // A seq whose application instants sit on a 3 ns pitch must not be
+  // sampled on the default 5 ns grid: every vector gets exactly one settled
+  // observation regardless of the stimulus's own spacing.
+  C17Circuit c17 = make_c17(lib_);
+  std::vector<SignalId> inputs(c17.inputs.begin(), c17.inputs.end());
+  Stimulus stim(0.4);
+  const std::vector<std::uint64_t> words{0x00, 0x1F, 0x0A, 0x15};
+  stim.apply_sequence(inputs, words, 3.0, 3.0);
+
+  const FaultSimResult aligned = run_fault_simulation(c17.netlist, stim, ddm_);
+
+  Stimulus reference(0.4);
+  reference.apply_sequence(inputs, words, 5.0, 5.0);
+  const FaultSimResult on_grid = run_fault_simulation(c17.netlist, reference, ddm_);
+  // Same vectors, same settled responses: identical verdicts.
+  EXPECT_EQ(aligned.detected, on_grid.detected);
+  EXPECT_EQ(aligned.undetected.size(), on_grid.undetected.size());
 }
 
 TEST_F(FaultTest, FaultNames) {

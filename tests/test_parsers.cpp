@@ -245,5 +245,36 @@ TEST_F(ParsersTest, StimulusErrors) {
   EXPECT_THROW((void)read_stimulus("edge in abc 0\n", chain.netlist), ContractViolation);
 }
 
+TEST_F(ParsersTest, StimulusHexWordEdgeCases) {
+  MultiplierCircuit mult = make_multiplier(lib_, 2);
+  // Regression: a bare "0x" token used to parse silently as 0 and an
+  // over-long literal silently wrapped modulo 2^64; both must hit the
+  // line-numbered error path instead.
+  try {
+    (void)read_stimulus("\nseq a1 a0 b1 b0 start 5 period 5 words 0x 0xF\n",
+                        mult.netlist);
+    FAIL() << "bare 0x accepted";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("empty hex literal"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  try {
+    (void)read_stimulus(
+        "seq a1 a0 b1 b0 start 5 period 5 words 0x10000000000000000\n", mult.netlist);
+    FAIL() << "65-bit hex literal accepted";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("overflows 64 bits"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW(
+      (void)read_stimulus("seq a1 a0 b1 b0 start 5 period 5 words 0X\n", mult.netlist),
+      ContractViolation);
+  // The full 64-bit range itself still parses (low 4 input bits all set).
+  const Stimulus wide = read_stimulus(
+      "seq a1 a0 b1 b0 start 5 period 5 words 0x0 0xFFFFFFFFFFFFFFFF\n", mult.netlist);
+  EXPECT_EQ(wide.edges(mult.a[0]).size(), 1u);
+  EXPECT_TRUE(wide.edges(mult.a[0])[0].value);
+}
+
 }  // namespace
 }  // namespace halotis

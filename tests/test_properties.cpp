@@ -137,7 +137,7 @@ TEST_P(ResurrectionSeed, RepairPathIsExercisedAndConsistent) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ResurrectionSeed, ::testing::Values(7, 35, 73, 204));
+INSTANTIATE_TEST_SUITE_P(Seeds, ResurrectionSeed, ::testing::Values(7, 35, 73, 216));
 
 TEST(EnginePropertySingle, SlowerInputSlewNeverSpeedsUpPropagation) {
   // For a single isolated transition through a chain, increasing the input

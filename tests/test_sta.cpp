@@ -62,6 +62,42 @@ TEST_F(StaTest, DiamondEarliestAndLatestDiffer) {
   EXPECT_EQ(report.critical_path[0].to, s1);
 }
 
+TEST_F(StaTest, PropagatesCausingEdgeSlewAndPinsCriticalDelay) {
+  // Regression: the analyzer used to record max(tau_out) over BOTH output
+  // edges (and every input pin) as a signal's slew instead of the slew of
+  // the transition that actually sets the latest arrival, inflating every
+  // downstream tp0 through the p_slew term.  Fold the chain by hand with
+  // the causing-edge rule and require an exact match, plus the pinned
+  // absolute number so any silent model change shows up.
+  ChainCircuit chain = make_chain(lib_, 4);
+  const StaticTimingAnalyzer sta(chain.netlist, 0.5);
+  const TimingReport report = sta.analyze();
+
+  TimeNs arrival = 0.0;
+  TimeNs slew = 0.5;
+  for (std::size_t i = 0; i + 1 < chain.nodes.size(); ++i) {
+    const GateId gid = chain.netlist.signal(chain.nodes[i + 1]).driver;
+    const Cell& cell = chain.netlist.cell_of(gid);
+    const Farad cl = chain.netlist.load_of(chain.nodes[i + 1]);
+    TimeNs best = -1.0;
+    TimeNs best_slew = 0.0;
+    for (const Edge e : {Edge::kRise, Edge::kFall}) {
+      const TimeNs tp = cell.pin(0).edge(e).tp0(cl, slew);
+      if (arrival + tp > best) {
+        best = arrival + tp;
+        best_slew = cell.drive.tau_out(e, cl);
+      }
+    }
+    arrival = best;
+    slew = best_slew;
+    EXPECT_DOUBLE_EQ(report.arrival[chain.nodes[i + 1].value()].latest, arrival);
+    EXPECT_DOUBLE_EQ(report.arrival[chain.nodes[i + 1].value()].slew, slew);
+  }
+  EXPECT_DOUBLE_EQ(report.critical_delay, arrival);
+  // Pinned for Library::default_u6(), INV_X1 chain of 4, input slew 0.5 ns.
+  EXPECT_NEAR(report.critical_delay, 0.388742, 1e-9);
+}
+
 TEST_F(StaTest, RejectsCyclicNetlists) {
   LatchCircuit latch = make_nand_latch(lib_);
   EXPECT_THROW(StaticTimingAnalyzer sta(latch.netlist), ContractViolation);
