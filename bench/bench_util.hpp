@@ -1,5 +1,9 @@
-// Shared helpers for the benchmark harnesses: the paper's multiplication
-// sequences and stimulus construction.
+// Shared helpers for the benchmark harnesses.
+//
+// The paper's multiplication sequences and stimulus construction moved to
+// src/circuits/stimuli.hpp so the reproduction engine (src/repro/) drives
+// circuits with the identical edges; this header re-exports them under the
+// historical halotis::bench names.
 #pragma once
 
 #include <cstdint>
@@ -7,34 +11,14 @@
 #include <vector>
 
 #include "src/circuits/generators.hpp"
+#include "src/circuits/stimuli.hpp"
 #include "src/core/simulator.hpp"
 
 namespace halotis::bench {
 
-/// The paper's Fig. 6 sequence: AxB = 0x0, 7x7, 5xA, Ex6, FxF.
-/// Words pack a into the low nibble-group, b into the high one.
-inline std::vector<std::uint64_t> fig6_sequence() { return {0x00, 0x77, 0xA5, 0x6E, 0xFF}; }
-
-/// The paper's Fig. 7 sequence: 0x0, FxF, 0x0, FxF, 0x0.
-inline std::vector<std::uint64_t> fig7_sequence() { return {0x00, 0xFF, 0x00, 0xFF, 0x00}; }
-
-/// Applies `words` to the multiplier inputs, one word every `period` ns
-/// starting at `period` (the first word is the initial state), with the
-/// paper-scale 0.5 ns input slew.
-inline Stimulus multiplier_stimulus(const MultiplierCircuit& mult,
-                                    const std::vector<std::uint64_t>& words,
-                                    TimeNs period = 5.0, TimeNs slew = 0.5) {
-  Stimulus stim(slew);
-  std::vector<SignalId> ab;
-  for (SignalId s : mult.a) ab.push_back(s);
-  for (SignalId s : mult.b) ab.push_back(s);
-  stim.apply_sequence(ab, words, period, period);
-  stim.set_initial(mult.tie0, false);
-  return stim;
-}
-
-inline const char* sequence_name(bool fig7) {
-  return fig7 ? "0x0, FxF, 0x0, FxF, 0x0" : "0x0, 7x7, 5xA, Ex6, FxF";
-}
+using halotis::fig6_sequence;
+using halotis::fig7_sequence;
+using halotis::multiplier_stimulus;
+using halotis::sequence_name;
 
 }  // namespace halotis::bench

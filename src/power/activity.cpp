@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/base/check.hpp"
+
 namespace halotis {
 
 ActivityReport compute_activity(const Simulator& sim, TimeNs glitch_width) {
@@ -43,6 +45,31 @@ ActivityReport compute_activity(const Simulator& sim, TimeNs glitch_width) {
     report.per_signal.push_back(std::move(activity));
   }
   return report;
+}
+
+std::vector<std::uint64_t> pulse_width_histogram(const Simulator& sim,
+                                                 std::span<const TimeNs> bin_edges) {
+  require(!bin_edges.empty(), "pulse_width_histogram(): bin_edges must not be empty");
+  for (std::size_t i = 1; i < bin_edges.size(); ++i) {
+    require(bin_edges[i] > bin_edges[i - 1],
+            "pulse_width_histogram(): bin_edges must be strictly increasing");
+  }
+  std::vector<std::uint64_t> counts(bin_edges.size() + 1, 0);
+  const Netlist& netlist = sim.netlist();
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const auto history = sim.history(sid);
+    // A pulse is an excursion from the signal's resting value: edge 0
+    // leaves it, edge 1 returns, so pairs (0,1), (2,3), ... are pulses and
+    // the odd->even intervals are quiescent gaps (counting those would
+    // drown the wide bins in inter-vector idle time).
+    for (std::size_t i = 1; i < history.size(); i += 2) {
+      const TimeNs width = history[i].t50() - history[i - 1].t50();
+      const auto it = std::upper_bound(bin_edges.begin(), bin_edges.end(), width);
+      ++counts[static_cast<std::size_t>(it - bin_edges.begin())];
+    }
+  }
+  return counts;
 }
 
 std::string format_activity(const ActivityReport& report, std::size_t max_rows) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,5 +55,17 @@ struct ActivityReport {
 /// energy; 0 = all).
 [[nodiscard]] std::string format_activity(const ActivityReport& report,
                                           std::size_t max_rows = 0);
+
+/// Distribution of surviving pulse widths across all signals: counts[i] is
+/// the number of pulses whose width falls in [bin_edges[i-1], bin_edges[i]),
+/// with bin 0 covering [0, bin_edges[0]) and a final overflow bin for
+/// >= bin_edges.back().  A pulse is an excursion from the signal's resting
+/// value -- transition pairs (0,1), (2,3), ... of each history; the
+/// quiescent gaps between pulses are not counted.  `bin_edges` must be
+/// strictly increasing.  The glitch spectrum behind the paper's Table 1:
+/// the DDM shifts mass out of the narrow bins that the conventional model
+/// either keeps (transport) or over-filters (classical inertial).
+[[nodiscard]] std::vector<std::uint64_t> pulse_width_histogram(
+    const Simulator& sim, std::span<const TimeNs> bin_edges);
 
 }  // namespace halotis

@@ -1,0 +1,72 @@
+// Deterministic experiment artifacts: CSV construction, content hashing,
+// and the golden-hash file format.
+//
+// Every artifact a reproduction experiment emits is a plain byte string
+// built exclusively from simulation results and fixed-precision number
+// formatting -- no timestamps, wall times, paths, thread counts or other
+// environment leakage -- so rerunning an experiment on any machine, at any
+// worker-pool width, reproduces the identical bytes.  The 64-bit FNV-1a
+// hash of those bytes is what the committed goldens pin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace halotis::repro {
+
+/// One deterministic output file of an experiment.
+struct Artifact {
+  std::string name;     ///< file name inside the experiment's output dir
+  std::string content;  ///< exact bytes
+};
+
+/// 64-bit FNV-1a over `bytes`.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// 16 lower-case hex digits.
+[[nodiscard]] std::string hash_hex(std::uint64_t hash);
+
+/// Row-major CSV builder with fixed-precision numeric formatting (six
+/// significant digits via format_double, the repo-wide convention).  Cells
+/// must not contain commas or newlines -- artifacts are data series, not
+/// quoted prose -- and every row must match the header width.
+class CsvBuilder {
+ public:
+  explicit CsvBuilder(std::vector<std::string> header);
+
+  CsvBuilder& cell(std::string_view text);
+  CsvBuilder& cell(double value);
+  CsvBuilder& cell(std::uint64_t value);
+  CsvBuilder& cell(int value);
+  void end_row();
+
+  /// The finished CSV (header + rows, '\n' line endings).  Throws when a
+  /// row is still open.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::size_t columns_;
+  std::size_t open_cells_ = 0;
+  std::string out_;
+};
+
+/// One golden binding: experiment id + artifact name -> content hash.
+struct GoldenEntry {
+  std::string experiment;
+  std::string artifact;
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const GoldenEntry&, const GoldenEntry&) = default;
+};
+
+/// Serializes entries as "<experiment> <artifact> <hash16>" lines -- the
+/// HASHES.txt artifact and the committed golden file share this format.
+[[nodiscard]] std::string format_goldens(const std::vector<GoldenEntry>& entries);
+
+/// Parses the format above; '#' starts a comment, blank lines are skipped.
+/// Throws ContractViolation on malformed lines.
+[[nodiscard]] std::vector<GoldenEntry> parse_goldens(std::string_view text);
+
+}  // namespace halotis::repro

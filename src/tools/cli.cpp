@@ -1,6 +1,7 @@
 #include "src/tools/cli.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -22,6 +23,8 @@
 #include "src/parsers/stimulus_file.hpp"
 #include "src/parsers/verilog.hpp"
 #include "src/power/activity.hpp"
+#include "src/repro/experiment.hpp"
+#include "src/repro/runner.hpp"
 #include "src/sta/sta.hpp"
 #include "src/waveform/ascii_plot.hpp"
 #include "src/waveform/vcd.hpp"
@@ -171,13 +174,7 @@ int cmd_sim(const Options& options, std::ostream& out) {
     out << '\n' << plot.render();
   }
   if (const auto vcd_path = options.get("vcd")) {
-    VcdWriter vcd("halotis");
-    for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
-      const SignalId sid{static_cast<SignalId::underlying_type>(s)};
-      vcd.add_signal(netlist.signal(sid).name,
-                     DigitalWaveform::from_transitions(sim.initial_value(sid),
-                                                       sim.history(sid)));
-    }
+    const VcdWriter vcd = vcd_from_simulator(sim);
     std::ofstream file(*vcd_path);
     require(file.good(), "cannot write '" + *vcd_path + "'");
     vcd.write(file);
@@ -317,6 +314,96 @@ int cmd_fault(const Options& options, std::ostream& out) {
   return 0;
 }
 
+int cmd_repro(const Options& options, std::ostream& out) {
+  const repro::ExperimentRegistry registry = repro::ExperimentRegistry::builtin();
+
+  if (options.get("list")) {
+    out << "registered experiments:\n";
+    for (const repro::Experiment& experiment : registry.experiments()) {
+      char line[256];
+      std::snprintf(line, sizeof line, "  %-24s %-42s %s\n", experiment.id.c_str(),
+                    ("[paper " + experiment.paper_ref + "]").c_str(),
+                    experiment.description.c_str());
+      out << line;
+    }
+    return 0;
+  }
+
+  repro::RunOptions run_options;
+  run_options.quick = options.get("quick").has_value();
+  run_options.threads = static_cast<int>(options.number("threads", 0));
+  if (const auto only = options.get("only")) {
+    for (const std::string& id : split(*only, ',')) {
+      if (!id.empty()) run_options.only.push_back(id);
+    }
+    require(!run_options.only.empty(), "--only needs at least one experiment id");
+  }
+  if (const auto golden = options.get("golden")) {
+    run_options.golden_text = read_file(*golden);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const repro::RunReport report = repro::run_experiments(registry, run_options);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  // Write the artifact tree: <out>/<experiment>/<artifact>, plus the report
+  // and the flat hash listing (HASHES.txt is byte-compatible with the
+  // committed golden file).
+  const std::filesystem::path out_dir{options.get("out").value_or("repro-out")};
+  const auto write_file = [](const std::filesystem::path& path, const std::string& bytes) {
+    std::ofstream file(path, std::ios::binary);
+    require(file.good(), "cannot write '" + path.string() + "'");
+    file << bytes;
+  };
+  std::filesystem::create_directories(out_dir);
+  for (const repro::ExperimentOutcome& outcome : report.outcomes) {
+    std::filesystem::create_directories(out_dir / outcome.id);
+    for (const repro::Artifact& artifact : outcome.result.artifacts) {
+      write_file(out_dir / outcome.id / artifact.name, artifact.content);
+    }
+  }
+  write_file(out_dir / "REPORT.md", repro::format_report_markdown(report));
+  // The header makes HASHES.txt self-describing, so blessing new goldens is
+  // exactly `cp HASHES.txt tests/repro/golden_quick.txt` (comments survive
+  // the copy; parse_goldens skips them).
+  const std::string hashes_header =
+      std::string("# HALOTIS repro artifact hashes (") +
+      (run_options.quick ? "quick" : "full") +
+      " mode); format: <experiment> <artifact> <fnv1a64>.\n"
+      "# Bless as goldens (quick mode only): cp HASHES.txt "
+      "tests/repro/golden_quick.txt -- see docs/REPRODUCTION.md.\n";
+  write_file(out_dir / "HASHES.txt", hashes_header + repro::format_goldens(report.hashes()));
+
+  // Console summary (wall time and verdicts stay out of the artifacts).
+  for (const repro::ExperimentOutcome& outcome : report.outcomes) {
+    char line[256];
+    std::snprintf(line, sizeof line, "  %-24s %-38s %s\n", outcome.id.c_str(),
+                  ("[paper " + outcome.paper_ref + "]").c_str(),
+                  !outcome.error.empty() ? "ERROR"
+                  : outcome.failed()     ? "GOLDEN MISMATCH"
+                                         : "ok");
+    out << line;
+    if (!outcome.error.empty()) out << "    " << outcome.error << "\n";
+  }
+  out << "wrote " << (out_dir / "REPORT.md").string() << " ("
+      << report.outcomes.size() << " experiments, " << report.artifacts_total
+      << " artifacts, " << format_double(wall_s, 4) << " s)\n";
+  if (report.compared_goldens) {
+    out << "golden hashes: " << report.golden_matches << "/" << report.artifacts_total
+        << " match";
+    if (report.golden_mismatches > 0) {
+      out << ", " << report.golden_mismatches << " MISMATCH";
+    }
+    if (report.golden_missing > 0) out << ", " << report.golden_missing << " without golden";
+    if (!report.stale_goldens.empty()) {
+      out << ", " << report.stale_goldens.size() << " stale";
+    }
+    out << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_convert(const Options& options, std::ostream& out) {
   const Library lib = Library::default_u6();
   const Netlist netlist = load_netlist(options, lib);
@@ -364,6 +451,9 @@ commands:
            --netlist F --stim F [--model M] [--period NS]
            [--threads N] [--serial] [--no-early-exit]
            --netlist F --atpg [--candidates N] [--seed N] [--threads N]
+  repro    paper-reproduction experiment engine (docs/REPRODUCTION.md)
+           [--list] [--only ID[,ID...]] [--quick] [--out DIR]
+           [--threads N] [--golden F]
   convert  netlist format conversion / delay annotation export
            --netlist F --to bench|verilog|native|sdf [--slew NS] [--out F]
 )";
@@ -380,6 +470,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (options.command == "analog") return cmd_analog(options, out);
     if (options.command == "sta") return cmd_sta(options, out);
     if (options.command == "fault") return cmd_fault(options, out);
+    if (options.command == "repro") return cmd_repro(options, out);
     if (options.command == "convert") return cmd_convert(options, out);
     err << "unknown command '" << options.command << "'\n" << cli_usage();
     return 2;

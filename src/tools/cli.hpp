@@ -7,6 +7,8 @@
 //                                               transistor-level reference
 //   sta     --netlist F [--slew NS]             static timing analysis
 //   fault   --netlist F --stim F [--model M]    stuck-at fault simulation
+//   repro   [--list] [--only ID[,...]] [--quick] [--out DIR] [--golden F]
+//                                               paper-reproduction engine
 //   convert --netlist F --to bench|verilog|native [--out F]
 //
 // Netlist formats are detected from the file extension (.bench, .v,

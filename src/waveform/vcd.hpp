@@ -3,13 +3,17 @@
 #pragma once
 
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/base/ids.hpp"
 #include "src/base/units.hpp"
 #include "src/waveform/digital_waveform.hpp"
 
 namespace halotis {
+
+class Simulator;
 
 class VcdWriter {
  public:
@@ -37,5 +41,13 @@ class VcdWriter {
   int timescale_ps_;
   std::vector<Entry> entries_;
 };
+
+/// Builds a writer over the surviving histories of `signals` in a finished
+/// simulation (every signal of the netlist when `signals` is empty), in
+/// netlist order -- the shared export path of the CLI's `sim --vcd` and the
+/// reproduction engine's VCD artifacts.
+[[nodiscard]] VcdWriter vcd_from_simulator(const Simulator& sim,
+                                           std::span<const SignalId> signals = {},
+                                           std::string module_name = "halotis");
 
 }  // namespace halotis
