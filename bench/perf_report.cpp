@@ -279,7 +279,10 @@ int main(int argc, char** argv) {
   const Library lib = Library::default_u6();
   const DdmDelayModel ddm;
   const CdmDelayModel cdm;
-  const int reps = quick ? 3 : 15;
+  // Minimum over repetitions estimates the kernel's intrinsic cost (noise
+  // only ever adds time); more repetitions tighten the estimate on the
+  // shared-vCPU containers the trajectory is recorded on.
+  const int reps = quick ? 3 : 25;
   const std::size_t mult8_words = quick ? 12 : 48;
   const std::size_t dag_words = quick ? 16 : 64;
 

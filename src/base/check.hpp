@@ -44,4 +44,21 @@ inline void ensure(bool condition, std::string_view message,
   require(condition, message, loc);
 }
 
+/// `ensure` for the event kernel's per-event inner loop, where the checks
+/// sit between every pair of arena accesses: active in Debug builds (and
+/// under the sanitizer CI tiers, which build Debug), compiled out in
+/// Release.  Since the PR-5 hot-path rework the kernel processes an event
+/// in a few hundred nanoseconds, so these dependent-load comparisons are no
+/// longer noise there; every check still runs on the whole test suite in
+/// Debug.  Use plain `ensure`/`require` everywhere else -- public API
+/// contracts must throw in every build type.
+#ifdef NDEBUG
+inline void debug_ensure(bool, std::string_view) {}
+#else
+inline void debug_ensure(bool condition, std::string_view message,
+                         std::source_location loc = std::source_location::current()) {
+  require(condition, message, loc);
+}
+#endif
+
 }  // namespace halotis

@@ -1,106 +1,82 @@
 #include "src/core/delay_model.hpp"
 
-#include <cmath>
-
 #include "src/base/check.hpp"
 
 namespace halotis {
 
 namespace {
 
-/// Shared conventional part: tp0 macro-model and output slope.
-/// Bounds-checked once here; the per-edge lookups below index directly
-/// (the engine calls compute() millions of times per run).
-const PinTiming& request_pin(const DelayRequest& request) {
+/// Shared request validation; the graph-elaborated hot path never pays it.
+void check_request(const DelayRequest& request) {
   require(request.cell != nullptr, "DelayModel: request.cell must not be null");
   require(request.pin >= 0 &&
               request.pin < static_cast<int>(request.cell->pins.size()),
           "DelayModel: request.pin out of range");
-  return request.cell->pins[static_cast<std::size_t>(request.pin)];
 }
 
-DelayResult conventional_part(const DelayRequest& request) {
-  const EdgeTiming& edge = request_pin(request).edge(request.out_edge);
+/// Reference implementation shared by every model: elaborate the request's
+/// single arc on the fly and evaluate it -- the exact code path the
+/// TimingGraph kernel runs, so table and reference agree bit for bit.
+DelayResult compute_via_arc(const DelayRequest& request, const TimingPolicy& policy,
+                            double factor) {
+  check_request(request);
+  const TimingArc arc = elaborate_arc(*request.cell, request.pin, request.out_edge,
+                                      request.cl, request.vdd, policy, factor);
+  const ArcDelay delay = eval_arc(arc, request.tau_in, request.t_event,
+                                  request.t_prev_out50.has_value(),
+                                  request.t_prev_out50.value_or(0.0));
   DelayResult result;
-  result.tp = edge.tp0(request.cl, request.tau_in);
-  result.tau_out = request.cell->drive.tau_out(request.out_edge, request.cl);
+  result.tp = delay.tp;
+  result.tau_out = delay.tau_out;
+  result.filtered = delay.filtered;
+  result.inertial_window = delay.inertial_window;
   return result;
 }
 
 }  // namespace
 
 DelayResult DdmDelayModel::compute(const DelayRequest& request) const {
-  DelayResult result = conventional_part(request);
-  if (!request.t_prev_out50.has_value()) return result;  // fully settled gate
-
-  const EdgeTiming& edge =
-      request.cell->pins[static_cast<std::size_t>(request.pin)].edge(request.out_edge);
-  // The paper's T, referenced to the triggering event (threshold crossing).
-  const TimeNs t_elapsed = request.t_event - *request.t_prev_out50;
-  const TimeNs t0 = edge.deg_t0(request.tau_in, request.vdd);
-  // Characterized (A, B) fits can cross zero at extreme loads (eq. 2 is a
-  // linear extrapolation); a non-positive tau means "instant recovery", so
-  // clamp to a tiny positive constant instead of aborting the run -- the
-  // exponential then evaluates to ~1 (no degradation) past T0 and the
-  // T <= T0 collapse below still applies.
-  constexpr TimeNs kMinDegradationTau = 1e-6;  // 1 femtosecond, in ns
-  const TimeNs tau = std::max(edge.deg_tau(request.cl, request.vdd), kMinDegradationTau);
-
-  if (t_elapsed <= t0) {
-    // The gate's internal state never recovered enough to produce an
-    // output pulse at all: annihilate (eq. 1 would give tp <= 0).  A
-    // filtered pulse has no output ramp either -- clear tau_out so callers
-    // never consume the stale conventional slope (the engine's clamped
-    // minimum-width fallback pulse must be minimum-width in tau too).
-    result.filtered = true;
-    result.tp = 0.0;
-    result.tau_out = 0.0;
-    return result;
-  }
-  result.tp *= 1.0 - std::exp(-(t_elapsed - t0) / tau);
-  return result;
+  return compute_via_arc(request, timing_policy(), 1.0);
 }
 
 Volt DdmDelayModel::event_threshold(const Cell& cell, int pin, Volt /*vdd*/) const {
   return cell.pin(pin).vt;
 }
 
+TimingPolicy DdmDelayModel::timing_policy() const {
+  TimingPolicy policy;
+  policy.degradation = true;
+  policy.threshold = TimingPolicy::Threshold::kPerPinVt;
+  return policy;
+}
+
 DelayResult CdmDelayModel::compute(const DelayRequest& request) const {
-  DelayResult result = conventional_part(request);
-  switch (window_) {
-    case InertialWindow::kGateDelay:
-      result.inertial_window = result.tp;
-      break;
-    case InertialWindow::kFixed:
-      result.inertial_window = fixed_window_;
-      break;
-    case InertialWindow::kNone:
-      result.inertial_window = 0.0;
-      break;
-  }
-  return result;
+  return compute_via_arc(request, timing_policy(), 1.0);
 }
 
 Volt CdmDelayModel::event_threshold(const Cell& /*cell*/, int /*pin*/, Volt vdd) const {
   return 0.5 * vdd;
 }
 
+TimingPolicy CdmDelayModel::timing_policy() const {
+  TimingPolicy policy;
+  switch (window_) {
+    case InertialWindow::kNone:
+      policy.window = TimingPolicy::Window::kNone;
+      break;
+    case InertialWindow::kGateDelay:
+      policy.window = TimingPolicy::Window::kGateDelay;
+      break;
+    case InertialWindow::kFixed:
+      policy.window = TimingPolicy::Window::kFixed;
+      policy.fixed_window = fixed_window_;
+      break;
+  }
+  return policy;
+}
+
 double VariationDelayModel::factor(GateId gate) const {
-  // Two splitmix64 draws -> Box-Muller standard normal, deterministic per
-  // (seed, gate) pair.
-  auto mix = [](std::uint64_t x) {
-    x += 0x9E3779B97F4A7C15ULL;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    return x ^ (x >> 31);
-  };
-  const std::uint64_t h1 = mix(seed_ ^ (static_cast<std::uint64_t>(gate.value()) << 1));
-  const std::uint64_t h2 = mix(h1 ^ 0xD1B54A32D192ED03ULL);
-  const double u1 =
-      (static_cast<double>(h1 >> 11) + 0.5) * (1.0 / 9007199254740992.0);
-  const double u2 = static_cast<double>(h2 >> 11) * (1.0 / 9007199254740992.0);
-  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
-  return std::exp(sigma_ * z);
+  return variation_factor(seed_, sigma_, gate);
 }
 
 DelayResult VariationDelayModel::compute(const DelayRequest& request) const {
@@ -110,6 +86,15 @@ DelayResult VariationDelayModel::compute(const DelayRequest& request) const {
   result.tau_out *= k;
   result.inertial_window *= k;
   return result;
+}
+
+TimingPolicy VariationDelayModel::timing_policy() const {
+  TimingPolicy policy = base_->timing_policy();
+  require(!policy.has_variation(),
+          "VariationDelayModel: stacking variation models is not supported");
+  policy.variation_sigma = sigma_;
+  policy.variation_seed = seed_;
+  return policy;
 }
 
 }  // namespace halotis

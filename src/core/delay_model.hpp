@@ -21,6 +21,7 @@
 #include "src/base/ids.hpp"
 #include "src/base/units.hpp"
 #include "src/netlist/library.hpp"
+#include "src/timing/timing_arc.hpp"
 
 namespace halotis {
 
@@ -59,6 +60,14 @@ struct DelayResult {
   TimeNs inertial_window = 0.0;
 };
 
+/// The delay-model *policy*.  Since the TimingGraph refactor the hot path
+/// never calls through this interface: timing_policy() describes how
+/// TimingGraph::build() elaborates the per-instance arc table, and the
+/// kernel evaluates those arcs directly (timing/timing_arc.hpp).  compute()
+/// survives as the per-request reference implementation -- itself routed
+/// through elaborate_arc()/eval_arc(), so the table and the reference can
+/// never diverge -- used by tests, characterization checks and one-off
+/// consumers that have no graph at hand.
 class DelayModel {
  public:
   virtual ~DelayModel() = default;
@@ -68,6 +77,9 @@ class DelayModel {
   /// Threshold voltage at which a transition on the driving signal
   /// generates an event at `pin` of `cell`.
   [[nodiscard]] virtual Volt event_threshold(const Cell& cell, int pin, Volt vdd) const = 0;
+
+  /// Elaboration policy consumed by TimingGraph::build().
+  [[nodiscard]] virtual TimingPolicy timing_policy() const = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
@@ -84,6 +96,7 @@ class DdmDelayModel final : public DelayModel {
  public:
   [[nodiscard]] DelayResult compute(const DelayRequest& request) const override;
   [[nodiscard]] Volt event_threshold(const Cell& cell, int pin, Volt vdd) const override;
+  [[nodiscard]] TimingPolicy timing_policy() const override;
   [[nodiscard]] std::string_view name() const override { return "HALOTIS-DDM"; }
 };
 
@@ -113,6 +126,7 @@ class CdmDelayModel final : public DelayModel {
 
   [[nodiscard]] DelayResult compute(const DelayRequest& request) const override;
   [[nodiscard]] Volt event_threshold(const Cell& cell, int pin, Volt vdd) const override;
+  [[nodiscard]] TimingPolicy timing_policy() const override;
   [[nodiscard]] std::string_view name() const override { return "HALOTIS-CDM"; }
 
  private:
@@ -135,6 +149,8 @@ class VariationDelayModel final : public DelayModel {
   [[nodiscard]] Volt event_threshold(const Cell& cell, int pin, Volt vdd) const override {
     return base_->event_threshold(cell, pin, vdd);
   }
+  /// The base model's policy with the variation fields filled in.
+  [[nodiscard]] TimingPolicy timing_policy() const override;
   [[nodiscard]] std::string_view name() const override { return "variation"; }
 
   /// The multiplicative derating factor of one gate instance.

@@ -2,121 +2,8 @@
 
 namespace halotis {
 
-namespace {
-constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
-}
-
-template <unsigned kArity>
-EventId BasicEventQueue<kArity>::push(TimeNs time, TransitionId transition, PinRef target) {
-  const auto raw = static_cast<EventId::underlying_type>(events_.size());
-  const EventId id{raw};
-  Event ev;
-  ev.time = time;
-  ev.seq = events_.size();
-  ev.transition = transition;
-  ev.target = target;
-  events_.push_back(ev);
-  meta_.push_back(Meta{kNoPos, EventState::kPending});
-
-  heap_.push_back(HeapSlot{time, raw});
-  meta_[raw].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
-  sift_up(heap_.size() - 1);
-  return id;
-}
-
-template <unsigned kArity>
-void BasicEventQueue<kArity>::reserve(std::size_t expected_events) {
-  events_.reserve(expected_events);
-  meta_.reserve(expected_events);
-  heap_.reserve(expected_events);
-}
-
-template <unsigned kArity>
-EventId BasicEventQueue<kArity>::peek() const {
-  require(!heap_.empty(), "EventQueue::peek(): queue is empty");
-  return EventId{heap_.front().id};
-}
-
-template <unsigned kArity>
-EventId BasicEventQueue<kArity>::pop() {
-  require(!heap_.empty(), "EventQueue::pop(): queue is empty");
-  const std::uint32_t raw = heap_.front().id;
-  const HeapSlot last = heap_.back();
-  heap_.pop_back();
-  meta_[raw].heap_pos = kNoPos;
-  if (!heap_.empty()) {
-    place(0, last);
-    sift_down(0);
-  }
-  meta_[raw].state = EventState::kFired;
-  ++fired_;
-  return EventId{raw};
-}
-
-template <unsigned kArity>
-void BasicEventQueue<kArity>::cancel(EventId id) {
-  require(id.valid() && id.value() < events_.size(), "EventQueue::cancel(): invalid id");
-  require(meta_[id.value()].state == EventState::kPending,
-          "EventQueue::cancel(): event is not pending");
-  const std::uint32_t pos = meta_[id.value()].heap_pos;
-  ensure(pos != kNoPos && pos < heap_.size() && heap_[pos].id == id.value(),
-         "EventQueue::cancel(): heap position corrupt");
-  const HeapSlot last = heap_.back();
-  heap_.pop_back();
-  meta_[id.value()].heap_pos = kNoPos;
-  if (pos < heap_.size()) {
-    place(pos, last);
-    // The replacement may need to move either direction.
-    sift_down(pos);
-    sift_up(meta_[last.id].heap_pos);
-  }
-  meta_[id.value()].state = EventState::kCancelled;
-  ++cancelled_;
-}
-
-template <unsigned kArity>
-const Event& BasicEventQueue<kArity>::event(EventId id) const {
-  require(id.valid() && id.value() < events_.size(), "EventQueue::event(): invalid id");
-  return events_[id.value()];
-}
-
-template <unsigned kArity>
-EventState BasicEventQueue<kArity>::state(EventId id) const {
-  require(id.valid() && id.value() < events_.size(), "EventQueue::state(): invalid id");
-  return meta_[id.value()].state;
-}
-
-template <unsigned kArity>
-void BasicEventQueue<kArity>::sift_up(std::size_t index) {
-  const HeapSlot moving = heap_[index];
-  while (index > 0) {
-    const std::size_t parent = (index - 1) / kArity;
-    if (!before(moving, heap_[parent])) break;
-    place(index, heap_[parent]);
-    index = parent;
-  }
-  place(index, moving);
-}
-
-template <unsigned kArity>
-void BasicEventQueue<kArity>::sift_down(std::size_t index) {
-  const std::size_t n = heap_.size();
-  const HeapSlot moving = heap_[index];
-  while (true) {
-    const std::size_t first_child = kArity * index + 1;
-    if (first_child >= n) break;
-    const std::size_t end = first_child + kArity < n ? first_child + kArity : n;
-    std::size_t smallest = first_child;
-    for (std::size_t child = first_child + 1; child < end; ++child) {
-      if (before(heap_[child], heap_[smallest])) smallest = child;
-    }
-    if (!before(heap_[smallest], moving)) break;
-    place(index, heap_[smallest]);
-    index = smallest;
-  }
-  place(index, moving);
-}
-
+// Out-of-line instantiations for non-kernel users (tests, the event-queue
+// ablation bench); the simulator inlines the header definitions directly.
 template class BasicEventQueue<2>;
 template class BasicEventQueue<4>;
 

@@ -33,10 +33,11 @@
 
 namespace halotis {
 
-/// One threshold-crossing event at a gate input.
+/// One threshold-crossing event at a gate input.  Ids are assigned in
+/// creation order, so the id doubles as the FIFO tie-break for equal times
+/// (the paper's seq ordering) -- no separate sequence field needed.
 struct Event {
   TimeNs time = 0.0;
-  std::uint64_t seq = 0;     ///< creation sequence; tie-break for equal times
   TransitionId transition;   ///< the transition that produced the event
   PinRef target;             ///< receiving gate input
 };
@@ -51,6 +52,21 @@ class BasicEventQueue {
   /// Creates and enqueues an event.  Returns its id.
   EventId push(TimeNs time, TransitionId transition, PinRef target);
 
+  /// Creates an event in the arena *without* scheduling it (pending, not in
+  /// the heap).  The simulator's per-input pending lists are time-ordered,
+  /// so only each list's head competes in the heap; the rest of the list
+  /// never pays heap maintenance (enqueue()d when promoted to head).
+  EventId create(TimeNs time, TransitionId transition, PinRef target);
+
+  /// Schedules a created (or previously dequeue()d) pending event into the
+  /// heap.  Requires the event is pending and not already scheduled.
+  void enqueue(EventId id);
+
+  /// Removes a pending event from the heap without cancelling it -- the
+  /// event stopped being its input's earliest (a resurrection displaced it)
+  /// and may be enqueue()d again later.
+  void dequeue(EventId id);
+
   /// Pre-sizes the event arena and heap for `expected_events` pushes.
   void reserve(std::size_t expected_events);
 
@@ -58,8 +74,7 @@ class BasicEventQueue {
   /// heap capacity -- the Simulator::reset() re-arm path recycles the queue
   /// instead of reallocating it.
   void clear() {
-    events_.clear();
-    meta_.clear();
+    nodes_.clear();
     heap_.clear();
     cancelled_ = 0;
     fired_ = 0;
@@ -74,9 +89,30 @@ class BasicEventQueue {
   /// Removes and returns the earliest event; marks it fired.
   EventId pop();
 
-  /// Cancels a pending event, removing it from the heap.
+  /// Pops the earliest event and schedules `next` into the vacated root in
+  /// one sift -- the fired head's successor on the same pending list
+  /// (usually close to the minimum, so pop + enqueue would pay a full
+  /// sift_down plus a sift_up back toward the root).  Equivalent to
+  /// `pop(); enqueue(next);`: same heap membership, same pop order.
+  EventId pop_replacing(EventId next);
+
+  /// Cancels a pending event, removing it from the heap if scheduled.
   /// Requires state(id) == kPending.
   void cancel(EventId id);
+
+  /// Owner-managed intrusive list links stored alongside each event: the
+  /// simulator threads its per-input pending lists through these so the
+  /// event, its lifecycle state and its links share one ~40-byte record
+  /// (one cache line touch, one arena append) instead of three parallel
+  /// arrays.  The queue itself never reads or writes them after create().
+  struct EventLinks {
+    std::uint32_t prev = 0xFFFFFFFFu;
+    std::uint32_t next = 0xFFFFFFFFu;
+  };
+  [[nodiscard]] EventLinks& links(EventId id) { return nodes_[id.value()].links; }
+  [[nodiscard]] const EventLinks& links(EventId id) const {
+    return nodes_[id.value()].links;
+  }
 
   [[nodiscard]] const Event& event(EventId id) const;
   [[nodiscard]] EventState state(EventId id) const;
@@ -85,20 +121,19 @@ class BasicEventQueue {
   /// id provably came from this queue.  The checked variants above are the
   /// public face.
   [[nodiscard]] const Event& event_unchecked(EventId id) const {
-    return events_[id.value()];
+    return nodes_[id.value()].ev;
   }
   [[nodiscard]] EventState state_unchecked(EventId id) const {
-    return meta_[id.value()].state;
+    return nodes_[id.value()].state;
   }
 
-  [[nodiscard]] std::uint64_t created_count() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t created_count() const { return nodes_.size(); }
   [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
 
   /// Approximate byte footprint of the event arena and heap.
   [[nodiscard]] std::uint64_t arena_bytes() const {
-    return events_.capacity() * sizeof(Event) + meta_.capacity() * sizeof(Meta) +
-           heap_.capacity() * sizeof(HeapSlot);
+    return nodes_.capacity() * sizeof(Node) + heap_.capacity() * sizeof(HeapSlot);
   }
 
  private:
@@ -107,10 +142,12 @@ class BasicEventQueue {
     TimeNs time;
     std::uint32_t id;
   };
-  /// Per-event heap bookkeeping, packed to one 8-byte record.
-  struct Meta {
-    std::uint32_t heap_pos;
-    EventState state;
+  /// One event record: POD event + owner links + heap bookkeeping.
+  struct Node {
+    Event ev;
+    EventLinks links;
+    std::uint32_t heap_pos = 0xFFFFFFFFu;
+    EventState state = EventState::kPending;
   };
 
   [[nodiscard]] static bool before(const HeapSlot& a, const HeapSlot& b) {
@@ -119,17 +156,206 @@ class BasicEventQueue {
   }
   void sift_up(std::size_t index);
   void sift_down(std::size_t index);
+  /// Removes the heap entry at `pos` (event already known pending).
+  void remove_at(std::size_t pos);
   void place(std::size_t index, HeapSlot slot) {
     heap_[index] = slot;
-    meta_[slot.id].heap_pos = static_cast<std::uint32_t>(index);
+    nodes_[slot.id].heap_pos = static_cast<std::uint32_t>(index);
   }
 
-  std::vector<Event> events_;    // arena, indexed by EventId
-  std::vector<Meta> meta_;       // parallel to events_
-  std::vector<HeapSlot> heap_;   // d-ary min-heap of pending events
+  std::vector<Node> nodes_;      // arena, indexed by EventId
+  std::vector<HeapSlot> heap_;   // d-ary min-heap of scheduled pending events
   std::uint64_t cancelled_ = 0;
   std::uint64_t fired_ = 0;
 };
+
+// ---- implementation ---------------------------------------------------------
+// Defined in the header so the simulator's event loop can inline the queue
+// operations (they sit between every pair of kernel steps; an out-of-line
+// call per push/pop costs measurable throughput).
+
+namespace detail {
+constexpr std::uint32_t kNoHeapPos = 0xFFFFFFFFu;
+}
+
+template <unsigned kArity>
+EventId BasicEventQueue<kArity>::push(TimeNs time, TransitionId transition,
+                                      PinRef target) {
+  const EventId id = create(time, transition, target);
+  enqueue(id);
+  return id;
+}
+
+template <unsigned kArity>
+EventId BasicEventQueue<kArity>::create(TimeNs time, TransitionId transition,
+                                        PinRef target) {
+  const auto raw = static_cast<EventId::underlying_type>(nodes_.size());
+  Node node;
+  node.ev.time = time;
+  node.ev.transition = transition;
+  node.ev.target = target;
+  nodes_.push_back(node);
+  return EventId{raw};
+}
+
+template <unsigned kArity>
+void BasicEventQueue<kArity>::enqueue(EventId id) {
+  const std::uint32_t raw = id.value();
+  Node& node = nodes_[raw];
+  debug_ensure(node.state == EventState::kPending && node.heap_pos == detail::kNoHeapPos,
+               "EventQueue::enqueue(): event not pending or already scheduled");
+  heap_.push_back(HeapSlot{node.ev.time, raw});
+  node.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+}
+
+template <unsigned kArity>
+void BasicEventQueue<kArity>::dequeue(EventId id) {
+  const std::uint32_t raw = id.value();
+  Node& node = nodes_[raw];
+  debug_ensure(node.state == EventState::kPending, "EventQueue::dequeue(): not pending");
+  const std::uint32_t pos = node.heap_pos;
+  debug_ensure(pos != detail::kNoHeapPos && pos < heap_.size() && heap_[pos].id == raw,
+               "EventQueue::dequeue(): event not scheduled");
+  node.heap_pos = detail::kNoHeapPos;
+  remove_at(pos);
+}
+
+template <unsigned kArity>
+void BasicEventQueue<kArity>::reserve(std::size_t expected_events) {
+  nodes_.reserve(expected_events);
+  heap_.reserve(expected_events);
+}
+
+template <unsigned kArity>
+EventId BasicEventQueue<kArity>::peek() const {
+  require(!heap_.empty(), "EventQueue::peek(): queue is empty");
+  return EventId{heap_.front().id};
+}
+
+template <unsigned kArity>
+EventId BasicEventQueue<kArity>::pop() {
+  require(!heap_.empty(), "EventQueue::pop(): queue is empty");
+  const std::uint32_t raw = heap_.front().id;
+  const HeapSlot last = heap_.back();
+  heap_.pop_back();
+  nodes_[raw].heap_pos = detail::kNoHeapPos;
+  if (!heap_.empty()) {
+    place(0, last);
+    sift_down(0);
+  }
+  nodes_[raw].state = EventState::kFired;
+  ++fired_;
+  return EventId{raw};
+}
+
+template <unsigned kArity>
+EventId BasicEventQueue<kArity>::pop_replacing(EventId next) {
+  require(!heap_.empty(), "EventQueue::pop_replacing(): queue is empty");
+  const std::uint32_t raw = heap_.front().id;
+  nodes_[raw].heap_pos = detail::kNoHeapPos;
+  nodes_[raw].state = EventState::kFired;
+  ++fired_;
+  const std::uint32_t nraw = next.value();
+  Node& node = nodes_[nraw];
+  debug_ensure(node.state == EventState::kPending && node.heap_pos == detail::kNoHeapPos,
+               "EventQueue::pop_replacing(): replacement not pending or already scheduled");
+  place(0, HeapSlot{node.ev.time, nraw});
+  sift_down(0);
+  return EventId{raw};
+}
+
+template <unsigned kArity>
+void BasicEventQueue<kArity>::cancel(EventId id) {
+  require(id.valid() && id.value() < nodes_.size(), "EventQueue::cancel(): invalid id");
+  Node& node = nodes_[id.value()];
+  require(node.state == EventState::kPending,
+          "EventQueue::cancel(): event is not pending");
+  const std::uint32_t pos = node.heap_pos;
+  if (pos != detail::kNoHeapPos) {
+    // Scheduled (a pending-list head): remove the heap entry too.
+    ensure(pos < heap_.size() && heap_[pos].id == id.value(),
+           "EventQueue::cancel(): heap position corrupt");
+    node.heap_pos = detail::kNoHeapPos;
+    remove_at(pos);
+  }
+  node.state = EventState::kCancelled;
+  ++cancelled_;
+}
+
+template <unsigned kArity>
+void BasicEventQueue<kArity>::remove_at(std::size_t pos) {
+  const HeapSlot last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    place(pos, last);
+    // The replacement may need to move either direction.
+    sift_down(pos);
+    sift_up(nodes_[last.id].heap_pos);
+  }
+}
+
+template <unsigned kArity>
+const Event& BasicEventQueue<kArity>::event(EventId id) const {
+  require(id.valid() && id.value() < nodes_.size(), "EventQueue::event(): invalid id");
+  return nodes_[id.value()].ev;
+}
+
+template <unsigned kArity>
+EventState BasicEventQueue<kArity>::state(EventId id) const {
+  require(id.valid() && id.value() < nodes_.size(), "EventQueue::state(): invalid id");
+  return nodes_[id.value()].state;
+}
+
+template <unsigned kArity>
+void BasicEventQueue<kArity>::sift_up(std::size_t index) {
+  const HeapSlot moving = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
+    place(index, heap_[parent]);
+    index = parent;
+  }
+  place(index, moving);
+}
+
+template <unsigned kArity>
+void BasicEventQueue<kArity>::sift_down(std::size_t index) {
+  const std::size_t n = heap_.size();
+  const HeapSlot moving = heap_[index];
+  while (true) {
+    const std::size_t first_child = kArity * index + 1;
+    if (first_child >= n) break;
+    std::size_t smallest;
+    if (first_child + kArity <= n) {
+      if constexpr (kArity == 4) {
+        // Full node: pairwise min tree -- the first two comparisons are
+        // independent, halving the dependency chain of the sequential scan.
+        const std::size_t a =
+            before(heap_[first_child + 1], heap_[first_child]) ? first_child + 1
+                                                               : first_child;
+        const std::size_t b =
+            before(heap_[first_child + 3], heap_[first_child + 2]) ? first_child + 3
+                                                                   : first_child + 2;
+        smallest = before(heap_[b], heap_[a]) ? b : a;
+      } else {
+        smallest = first_child;
+        for (std::size_t child = first_child + 1; child < first_child + kArity; ++child) {
+          if (before(heap_[child], heap_[smallest])) smallest = child;
+        }
+      }
+    } else {
+      smallest = first_child;
+      for (std::size_t child = first_child + 1; child < n; ++child) {
+        if (before(heap_[child], heap_[smallest])) smallest = child;
+      }
+    }
+    if (!before(heap_[smallest], moving)) break;
+    place(index, heap_[smallest]);
+    index = smallest;
+  }
+  place(index, moving);
+}
 
 extern template class BasicEventQueue<2>;
 extern template class BasicEventQueue<4>;

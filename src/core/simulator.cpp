@@ -7,37 +7,62 @@
 namespace halotis {
 
 Simulator::Simulator(const Netlist& netlist, const DelayModel& model, SimConfig config)
-    : netlist_(&netlist), model_(&model), config_(config), vdd_(netlist.library().vdd()) {
+    : netlist_(&netlist), model_(&model), config_(config) {
+  owned_timing_ =
+      std::make_unique<TimingGraph>(TimingGraph::build(netlist, model.timing_policy()));
+  timing_ = owned_timing_.get();
+  build_static_tables();
+}
+
+Simulator::Simulator(const Netlist& netlist, const DelayModel& model,
+                     const TimingGraph& timing, SimConfig config)
+    : netlist_(&netlist), model_(&model), config_(config), timing_(&timing) {
+  require(&timing.netlist() == &netlist,
+          "Simulator: TimingGraph was elaborated over a different netlist");
+  build_static_tables();
+}
+
+void Simulator::build_static_tables() {
   require(config_.min_pulse_width > 0.0, "SimConfig::min_pulse_width must be positive");
   netlist_->check();
+  arcs_ = timing_->arcs().data();
 
   const std::size_t num_signals = netlist_->num_signals();
   const std::size_t num_gates = netlist_->num_gates();
   signal_history_.resize(num_signals);
   initial_values_.assign(num_signals, false);
-  gates_.assign(num_gates, GateState{});
-  gate_info_.resize(num_gates);
+  gates_.assign(num_gates, GateRec{});
 
   std::size_t total_pins = 0;
   for (std::size_t g = 0; g < num_gates; ++g) {
     const GateId gid{static_cast<GateId::underlying_type>(g)};
     const Gate& gate = netlist_->gate(gid);
-    GateInfo& gi = gate_info_[g];
-    gi.cell = &netlist_->cell_of(gid);
-    gi.kind = gi.cell->kind;
+    GateRec& gi = gates_[g];
     gi.output = gate.output;
-    gi.out_load = netlist_->load_of(gate.output);
     gi.input_base = static_cast<std::uint32_t>(total_pins);
-    gi.num_inputs = static_cast<std::uint16_t>(gate.inputs.size());
+    gi.arc_base = timing_->arc_base(gid);
+    gi.num_inputs = static_cast<std::uint8_t>(gate.inputs.size());
     total_pins += gate.inputs.size();
+
+    // Compile the gate's boolean function to a truth table indexed by the
+    // packed input word (bit p = perceived value of pin p).
+    require(gate.inputs.size() <= 4, "Simulator: fan-in too large for truth table");
+    bool ins[4] = {};
+    std::uint16_t truth = 0;
+    for (std::uint32_t word = 0; word < (1u << gate.inputs.size()); ++word) {
+      for (std::size_t p = 0; p < gate.inputs.size(); ++p) ins[p] = ((word >> p) & 1u) != 0;
+      if (eval_cell(netlist_->cell_of(gid).kind,
+                    std::span<const bool>(ins, gate.inputs.size()))) {
+        truth |= static_cast<std::uint16_t>(1u << word);
+      }
+    }
+    gi.truth = truth;
   }
   inputs_.assign(total_pins, InputState{});
-  input_values_.assign(total_pins, 0);
 
   // Flattened fanout table: resolve, once, everything spawn_events() needs
-  // per (signal, receiving pin) -- including the model's event threshold,
-  // which the seed kernel re-resolved with a virtual call per fanout pin of
-  // every transition.
+  // per (signal, receiving pin) -- the receiving pin's flattened input index
+  // and its TimingGraph threshold crossing fractions.
   std::size_t total_fanout = 0;
   for (std::size_t s = 0; s < num_signals; ++s) {
     total_fanout +=
@@ -49,15 +74,11 @@ Simulator::Simulator(const Netlist& netlist, const DelayModel& model, SimConfig 
     fanout_base_[s] = static_cast<std::uint32_t>(fanout_.size());
     const Signal& sig = netlist_->signal(SignalId{static_cast<SignalId::underlying_type>(s)});
     for (const PinRef& target : sig.fanout) {
-      const Cell& cell = netlist_->cell_of(target.gate);
-      const Volt vt = model_->event_threshold(cell, target.pin, vdd_);
-      require(vt > 0.0 && vt < vdd_,
-              "Simulator: event threshold must lie inside the logic swing");
       FanoutEntry entry;
-      entry.target = target;
+      entry.gate = target.gate;
+      entry.pin = static_cast<std::uint16_t>(target.pin);
       entry.input = static_cast<std::uint32_t>(input_index(target));
-      entry.rise_frac = vt / vdd_;
-      entry.fall_frac = 1.0 - vt / vdd_;
+      entry.vt_frac = timing_->threshold_fraction(target.gate, target.pin);
       fanout_.push_back(entry);
     }
   }
@@ -73,7 +94,6 @@ Simulator::Simulator(const Netlist& netlist, const DelayModel& model, SimConfig 
 
 void Simulator::reset() {
   queue_.clear();
-  links_.clear();
   transitions_.clear();
   tracks_.clear();
   track_free_ = kNil;
@@ -85,8 +105,11 @@ void Simulator::reset() {
   peak_live_tracks_ = 0;
   for (auto& history : signal_history_) history.clear();
   initial_values_.assign(initial_values_.size(), false);
-  gates_.assign(gates_.size(), GateState{});
-  input_values_.assign(input_values_.size(), 0);
+  for (GateRec& gate : gates_) {
+    gate.word = 0;
+    gate.output_value = false;
+    gate.last_out = TransitionId{};
+  }
   inputs_.assign(inputs_.size(), InputState{});
   now_ = 0.0;
   stimulus_applied_ = false;
@@ -122,10 +145,13 @@ void Simulator::apply_stimulus(const Stimulus& stimulus) {
 
   for (std::size_t g = 0; g < gates_.size(); ++g) {
     const Gate& gate = netlist_->gate(GateId{static_cast<GateId::underlying_type>(g)});
-    const GateInfo& gi = gate_info_[g];
+    std::uint8_t word = 0;
     for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
-      input_values_[gi.input_base + pin] = initial_values_[gate.inputs[pin].value()] ? 1 : 0;
+      if (initial_values_[gate.inputs[pin].value()]) {
+        word |= static_cast<std::uint8_t>(1u << pin);
+      }
     }
+    gates_[g].word = word;
     gates_[g].output_value = initial_values_[gate.output.value()];
   }
 
@@ -143,7 +169,6 @@ void Simulator::apply_stimulus(const Stimulus& stimulus) {
     tracks_.reserve(std::min<std::size_t>(est_transitions / 8 + 64, 1u << 16));
     const std::size_t est_events = std::min(2 * est_transitions, kReserveCap);
     queue_.reserve(est_events);
-    links_.reserve(est_events);
     for (SignalId pi : pis) {
       signal_history_[pi.value()].reserve(stimulus.edges(pi).size());
     }
@@ -176,7 +201,10 @@ TransitionId Simulator::create_transition(SignalId signal, Edge edge, TimeNs t_s
   rec.tr.t_start = t_start;
   rec.tr.tau = tau;
   rec.tr.prev = prev;
-  rec.track = alloc_track();
+  // rec.track stays kNoTrackFree: a bookkeeping slot is allocated lazily by
+  // spawn_events() only if the transition actually spawns events or records
+  // suppressed pairs -- fanout-free lines (primary outputs) never pay the
+  // alloc/reclaim round trip.
   transitions_.push_back(rec);
   signal_history_[signal.value()].push_back(id);
   ++stats_.transitions_created;
@@ -195,9 +223,19 @@ void Simulator::spawn_events(TransitionId tr_id) {
   const std::uint32_t end =
       tr.signal == fault_signal_ ? begin : fanout_base_[sig + 1];
   const bool rising = tr.edge == Edge::kRise;
+  // The loop never grows transitions_, so one lookup serves every fanout;
+  // the bookkeeping slot is allocated on the first append only (fanout-free
+  // transitions keep the kNoTrackFree sentinel and need no reclamation).
+  TransitionRec& rec = transitions_[tr_id.value()];
+  std::uint32_t track = rec.track;
+  const auto live_track = [&]() {
+    if (track >= kTrackSentinelMin) rec.track = track = alloc_track();
+    return track;
+  };
   for (std::uint32_t i = begin; i < end; ++i) {
     const FanoutEntry& fo = fanout_[i];
-    TimeNs ej = tr.t_start + tr.tau * (rising ? fo.rise_frac : fo.fall_frac);
+    const PinRef target{fo.gate, fo.pin};
+    TimeNs ej = tr.t_start + tr.tau * (rising ? fo.vt_frac : 1.0 - fo.vt_frac);
     InputState& in = inputs_[fo.input];
 
     if (in.tail != kNil) {
@@ -207,10 +245,10 @@ void Simulator::spawn_events(TransitionId tr_id) {
         // Paper Fig. 4: the pulse never crosses this input's threshold.
         // Delete Ej-1, do not insert Ej.
         SuppressedPair pair;
-        pair.target = fo.target;
+        pair.target = target;
         pair.partner_cause = prev_ev.transition;
         pair.partner_time = prev_ev.time;
-        track_append_pair(transitions_[tr_id.value()].track, pair);
+        track_append_pair(live_track(), pair);
         // The pair keeps the partner's bookkeeping alive until consumed.
         ++transitions_[pair.partner_cause.value()].partner_refs;
         list_remove(in, prev_id);
@@ -221,22 +259,15 @@ void Simulator::spawn_events(TransitionId tr_id) {
       }
     }
     if (ej < now_) ej = now_;  // causality clamp for extreme slope ratios
-    const EventId id = push_event(ej, tr_id, fo.target);
+    const EventId id = push_event(ej, tr_id, target);
     ++stats_.events_created;
+    const bool was_empty = in.head == kNil;
     list_push_back(in, id);
-    track_append_spawned(transitions_[tr_id.value()].track, id);
-    ++transitions_[tr_id.value()].pending;
-  }
-
-  // A transition that generated no events and recorded no pairs (e.g. on a
-  // fanout-free output line) needs no bookkeeping: annihilating it later
-  // touches nothing, so the slot frees immediately.
-  TransitionRec& rec = transitions_[tr_id.value()];
-  if (rec.track < kTrackSentinelMin) {
-    const TrackRec& track = tracks_[rec.track];
-    if (track.spawned_count == 0 && track.sup_head == kNil) {
-      reclaim_track(rec, kNoTrackFree);
-    }
+    // Only the head of a (time-ordered) pending list competes in the heap;
+    // later events are promoted when they reach the front.
+    if (was_empty) queue_.enqueue(id);
+    track_append_spawned(live_track(), id);
+    ++rec.pending;
   }
 }
 
@@ -245,7 +276,7 @@ void Simulator::cancel_pending_event(EventId id) {
   queue_.cancel(id);
   ++stats_.events_cancelled;
   TransitionRec& rec = transitions_[cause.value()];
-  ensure(rec.pending > 0, "Simulator: pending-event accounting out of sync");
+  debug_ensure(rec.pending > 0, "Simulator: pending-event accounting out of sync");
   --rec.pending;
   maybe_reclaim(cause);
 }
@@ -262,6 +293,10 @@ RunResult Simulator::run_impl(TimeNs horizon) {
   while (!queue_.empty()) {
     const EventId eid = queue_.peek();
     const Event ev = queue_.event_unchecked(eid);  // copy: queue mutates below
+    // The two random-access records this event will touch; issue the loads
+    // early so the pop/list maintenance below covers their latency.
+    __builtin_prefetch(&transitions_[ev.transition.value()], 0);
+    __builtin_prefetch(&gates_[ev.target.gate.value()], 1);
     if (ev.time > horizon) {
       result.reason = StopReason::kHorizonReached;
       result.end_time = now_;
@@ -272,19 +307,24 @@ RunResult Simulator::run_impl(TimeNs horizon) {
       result.end_time = now_;
       return result;
     }
-    queue_.pop();
+    InputState& in = inputs_[input_index(ev.target)];
+    debug_ensure(in.head == eid.value(),
+                 "Simulator: fired event is not the input's earliest pending event");
+    list_remove(in, eid);
+    // Pop, promoting the input's next pending event into the vacated root
+    // in the same sift when there is one.
+    if (in.head != kNil) {
+      (void)queue_.pop_replacing(EventId{in.head});
+    } else {
+      (void)queue_.pop();
+    }
     now_ = std::max(now_, ev.time);
     ++stats_.events_processed;
-
-    InputState& in = inputs_[input_index(ev.target)];
-    ensure(in.head == eid.value(),
-           "Simulator: fired event is not the input's earliest pending event");
-    list_remove(in, eid);
 
     // Once any spawned event fires the causing transition can never be
     // annihilated; its bookkeeping frees as soon as nothing else needs it.
     TransitionRec& cause = transitions_[ev.transition.value()];
-    ensure(cause.pending > 0, "Simulator: pending-event accounting out of sync");
+    debug_ensure(cause.pending > 0, "Simulator: pending-event accounting out of sync");
     cause.fired_any = 1;
     --cause.pending;
     maybe_reclaim(ev.transition);
@@ -298,59 +338,56 @@ RunResult Simulator::run_impl(TimeNs horizon) {
 
 void Simulator::handle_event(const Event& ev) {
   const TransitionRec& cause = transitions_[ev.transition.value()];
-  ensure(!cause.tr.cancelled, "Simulator: fired event belongs to a cancelled transition");
+  debug_ensure(!cause.tr.cancelled,
+               "Simulator: fired event belongs to a cancelled transition");
 
   const std::size_t g = ev.target.gate.value();
-  const GateInfo& gi = gate_info_[g];
-  const auto pin = static_cast<std::size_t>(ev.target.pin);
-  std::uint8_t* values = &input_values_[gi.input_base];
+  GateRec& gi = gates_[g];
+  const auto pin = static_cast<std::uint32_t>(ev.target.pin);
+  const std::uint8_t bit = static_cast<std::uint8_t>(1u << pin);
+  const std::uint8_t old_word = gi.word;
   const bool new_value = cause.tr.final_value();
-  if ((values[pin] != 0) == new_value) {
+  if (((old_word >> pin) & 1u) == static_cast<unsigned>(new_value)) {
     // Can only happen after a resurrected event re-delivered a level the
     // input already holds; harmless.
     return;
   }
-  values[pin] = new_value ? 1 : 0;
+  // The packed perceived-input word is the whole input state; the compiled
+  // truth table turns gate evaluation into one shift.
+  const std::uint8_t word = old_word ^ bit;
+  gi.word = word;
 
   ++stats_.gate_evaluations;
-  bool ins[8] = {};
-  ensure(gi.num_inputs <= std::size(ins), "Simulator: fan-in too large");
-  for (std::size_t i = 0; i < gi.num_inputs; ++i) ins[i] = values[i] != 0;
-  const bool out = eval_cell(gi.kind, std::span<const bool>(ins, gi.num_inputs));
-  if (out == gates_[g].output_value) return;
+  const bool out = ((gi.truth >> word) & 1u) != 0;
+  if (out == gi.output_value) return;
   schedule_output(ev.target.gate, ev.target.pin, ev, out);
 }
 
 void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool new_output) {
-  GateState& gs = gates_[gate_id.value()];
-  const GateInfo& gi = gate_info_[gate_id.value()];
-  const Transition cause = transitions_[ev.transition.value()].tr;
+  GateRec& gate = gates_[gate_id.value()];
+  // Only two fields of the causing transition matter here; read them before
+  // any arena mutation instead of copying the whole record.
+  const TimeNs tau_in = transitions_[ev.transition.value()].tr.tau;
+  const TimeNs in50 = transitions_[ev.transition.value()].tr.t50();
 
-  DelayRequest request;
-  request.cell = gi.cell;
-  request.gate = gate_id;
-  request.pin = pin;
-  request.out_edge = new_output ? Edge::kRise : Edge::kFall;
-  request.cl = gi.out_load;
-  request.tau_in = cause.tau;
-  request.t_in50 = cause.t50();
-  request.t_event = ev.time;
-  request.vdd = vdd_;
-  const TransitionId prev_id = gs.last_out;
-  if (prev_id.valid()) {
-    request.t_prev_out50 = transitions_[prev_id.value()].tr.t50();
-  }
+  const TransitionId prev_id = gate.last_out;
+  const bool has_prev = prev_id.valid();
+  const TimeNs prev50 = has_prev ? transitions_[prev_id.value()].tr.t50() : 0.0;
 
-  const DelayResult delay = model_->compute(request);
-  TimeNs t_out50 = request.t_in50 + delay.tp;
+  // Devirtualized delay computation: index the elaborated TimingArc of
+  // (gate, pin, out-edge) -- the load is already folded in -- and evaluate
+  // it inline.  This is the whole delay model on the hot path.
+  const TimingArc& arc =
+      arcs_[gate.arc_base + 2u * static_cast<std::uint32_t>(pin) + (new_output ? 0u : 1u)];
+  const ArcDelay delay = eval_arc(arc, tau_in, ev.time, has_prev, prev50);
+  TimeNs t_out50 = in50 + delay.tp;
 
   bool collapse = false;
   if (delay.filtered) {
     collapse = true;
     ++stats_.ddm_collapses;
   }
-  if (prev_id.valid()) {
-    const TimeNs prev50 = transitions_[prev_id.value()].tr.t50();
+  if (has_prev) {
     if (!collapse && t_out50 <= prev50 + config_.min_pulse_width) {
       collapse = true;  // ordering collapse: the pulse has no width
     }
@@ -362,24 +399,24 @@ void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool n
   }
 
   if (collapse) {
-    ensure(prev_id.valid(), "Simulator: collapse without a previous output transition");
+    ensure(has_prev, "Simulator: collapse without a previous output transition");
     if (can_annihilate(prev_id)) {
       annihilate(gate_id, prev_id);
-      gs.output_value = new_output;  // back to the pre-pulse value
+      gate.output_value = new_output;  // back to the pre-pulse value
       return;
     }
     // Part of the fanout already consumed the previous edge: emit a
     // minimum-width pulse instead and let the receiving inputs filter it.
-    t_out50 = transitions_[prev_id.value()].tr.t50() + config_.min_pulse_width;
+    t_out50 = prev50 + config_.min_pulse_width;
     ++stats_.clamped_pulses;
   }
 
-  const Edge out_edge = request.out_edge;
+  const Edge out_edge = new_output ? Edge::kRise : Edge::kFall;
   const TimeNs tau_out = std::max(delay.tau_out, config_.min_pulse_width);
-  const TransitionId id = create_transition(gi.output, out_edge,
+  const TransitionId id = create_transition(gate.output, out_edge,
                                             t_out50 - 0.5 * tau_out, tau_out, prev_id);
-  gs.last_out = id;
-  gs.output_value = new_output;
+  gate.last_out = id;
+  gate.output_value = new_output;
   spawn_events(id);
 }
 
@@ -398,11 +435,16 @@ void Simulator::annihilate(GateId gate_id, TransitionId tr_id) {
     const std::uint32_t t = rec.track;
 
     // Remove the transition's still-pending fanout events, in spawn order.
+    // A cancelled head hands its heap slot to the input's next pending
+    // event (heads-only heap discipline).
     const auto cancel_if_pending = [this](EventId ev_id) {
       if (queue_.state_unchecked(ev_id) != EventState::kPending) return;
       const Event ev = queue_.event_unchecked(ev_id);
-      list_remove(inputs_[input_index(ev.target)], ev_id);
+      InputState& in = inputs_[input_index(ev.target)];
+      const bool was_head = in.head == ev_id.value();
+      list_remove(in, ev_id);
       cancel_pending_event(ev_id);
+      if (was_head && in.head != kNil) queue_.enqueue(EventId{in.head});
     };
     {
       const TrackRec& track = tracks_[t];
@@ -444,7 +486,13 @@ std::uint32_t Simulator::alloc_track() {
   if (track_free_ != kNil) {
     t = track_free_;
     track_free_ = tracks_[t].next_free;
-    tracks_[t] = TrackRec{};
+    // Reset only the live fields; the inline spawned array is dead storage
+    // below spawned_count, so recycling never pays the full 48-byte clear.
+    TrackRec& track = tracks_[t];
+    track.spawned_count = 0;
+    track.overflow_head = track.overflow_tail = kNil;
+    track.sup_head = track.sup_tail = kNil;
+    track.next_free = kNil;
   } else {
     t = static_cast<std::uint32_t>(tracks_.size());
     tracks_.emplace_back();
@@ -512,8 +560,15 @@ void Simulator::consume_pair_chain(std::uint32_t head, bool resurrect) {
       ++stats_.events_created;
       ++stats_.events_resurrected;
       // Keep the per-input pending list time-ordered: O(k) insert from
-      // the tail instead of the seed kernel's full re-sort.
-      list_insert_sorted(inputs_[input_index(node.pair.target)], id);
+      // the tail instead of the seed kernel's full re-sort.  A resurrection
+      // that lands at the front displaces the old head's heap slot.
+      InputState& in = inputs_[input_index(node.pair.target)];
+      const std::uint32_t old_head = in.head;
+      list_insert_sorted(in, id);
+      if (in.head != old_head) {
+        if (old_head != kNil) queue_.dequeue(EventId{old_head});
+        queue_.enqueue(id);
+      }
       TransitionRec& pc = transitions_[partner.value()];
       ensure(pc.track < kTrackSentinelMin,
              "Simulator: partner bookkeeping already reclaimed");
@@ -521,7 +576,7 @@ void Simulator::consume_pair_chain(std::uint32_t head, bool resurrect) {
       ++pc.pending;
     }
     TransitionRec& pc = transitions_[partner.value()];
-    ensure(pc.partner_refs > 0, "Simulator: suppressed-pair refcount out of sync");
+    debug_ensure(pc.partner_refs > 0, "Simulator: suppressed-pair refcount out of sync");
     --pc.partner_refs;
     maybe_reclaim(partner);
   }
@@ -547,10 +602,11 @@ void Simulator::reclaim_track(TransitionRec& rec, std::uint32_t sentinel) {
   // alive by them.
   consume_pair_chain(tracks_[t].sup_head, /*resurrect=*/false);
 
-  tracks_[t] = TrackRec{};
+  // The stale contents stay in place; alloc_track() resets the live fields
+  // when the slot is reused.
   tracks_[t].next_free = track_free_;
   track_free_ = t;
-  ensure(live_tracks_ > 0, "Simulator: live-track accounting out of sync");
+  debug_ensure(live_tracks_ > 0, "Simulator: live-track accounting out of sync");
   --live_tracks_;
 }
 
@@ -564,65 +620,68 @@ void Simulator::maybe_reclaim(TransitionId id) {
 // ---- pending lists ----------------------------------------------------------
 
 EventId Simulator::push_event(TimeNs time, TransitionId transition, PinRef target) {
-  const EventId id = queue_.push(time, transition, target);
-  links_.push_back(EvLink{});
-  return id;
+  // Arena-only creation: heap scheduling is the caller's decision (only
+  // pending-list heads live in the heap).  The pending-list links live in
+  // the event's own queue record (EventQueue::links), initialized unlinked.
+  return queue_.create(time, transition, target);
 }
 
 void Simulator::list_push_back(InputState& in, EventId id) {
   const std::uint32_t v = id.value();
-  links_[v] = EvLink{in.tail, kNil};
+  queue_.links(id) = EvLink{in.tail, kNil};
   if (in.tail == kNil) {
     in.head = v;
   } else {
-    links_[in.tail].next = v;
+    queue_.links(EventId{in.tail}).next = v;
   }
   in.tail = v;
 }
 
 void Simulator::list_remove(InputState& in, EventId id) {
   const std::uint32_t v = id.value();
-  const EvLink link = links_[v];
+  const EvLink link = queue_.links(id);
   if (link.prev == kNil) {
-    ensure(in.head == v, "Simulator: pending list out of sync");
+    debug_ensure(in.head == v, "Simulator: pending list out of sync");
     in.head = link.next;
   } else {
-    links_[link.prev].next = link.next;
+    queue_.links(EventId{link.prev}).next = link.next;
   }
   if (link.next == kNil) {
-    ensure(in.tail == v, "Simulator: pending list out of sync");
+    debug_ensure(in.tail == v, "Simulator: pending list out of sync");
     in.tail = link.prev;
   } else {
-    links_[link.next].prev = link.prev;
+    queue_.links(EventId{link.next}).prev = link.prev;
   }
-  links_[v] = EvLink{};
+  queue_.links(id) = EvLink{};
 }
 
 void Simulator::list_insert_sorted(InputState& in, EventId id) {
   const Event& nev = queue_.event_unchecked(id);
+  const std::uint32_t v_new = id.value();
   std::uint32_t after = in.tail;
   while (after != kNil) {
     const Event& cev = queue_.event_unchecked(EventId{after});
-    if (cev.time < nev.time || (cev.time == nev.time && cev.seq < nev.seq)) break;
-    after = links_[after].prev;
+    // Ids are creation-ordered, so (time, id) is the paper's (time, seq).
+    if (cev.time < nev.time || (cev.time == nev.time && after < v_new)) break;
+    after = queue_.links(EventId{after}).prev;
   }
   const std::uint32_t v = id.value();
   if (after == kNil) {  // new head
-    links_[v] = EvLink{kNil, in.head};
+    queue_.links(id) = EvLink{kNil, in.head};
     if (in.head == kNil) {
       in.tail = v;
     } else {
-      links_[in.head].prev = v;
+      queue_.links(EventId{in.head}).prev = v;
     }
     in.head = v;
   } else {
-    const std::uint32_t next = links_[after].next;
-    links_[v] = EvLink{after, next};
-    links_[after].next = v;
+    const std::uint32_t next = queue_.links(EventId{after}).next;
+    queue_.links(id) = EvLink{after, next};
+    queue_.links(EventId{after}).next = v;
     if (next == kNil) {
       in.tail = v;
     } else {
-      links_[next].prev = v;
+      queue_.links(EventId{next}).prev = v;
     }
   }
 }
@@ -669,20 +728,19 @@ std::uint64_t Simulator::total_activity() const {
 }
 
 bool Simulator::perceived_value(const PinRef& pin) const {
-  require(pin.gate.valid() && pin.gate.value() < gate_info_.size(),
+  require(pin.gate.valid() && pin.gate.value() < gates_.size(),
           "Simulator::perceived_value(): gate out of range");
-  const GateInfo& gi = gate_info_[pin.gate.value()];
+  const GateRec& gi = gates_[pin.gate.value()];
   require(pin.pin >= 0 && pin.pin < static_cast<int>(gi.num_inputs),
           "Simulator::perceived_value(): pin out of range");
-  return input_values_[gi.input_base + static_cast<std::size_t>(pin.pin)] != 0;
+  return ((gi.word >> static_cast<unsigned>(pin.pin)) & 1u) != 0;
 }
 
 std::uint64_t Simulator::transition_arena_bytes() const {
   return transitions_.capacity() * sizeof(TransitionRec) +
          tracks_.capacity() * sizeof(TrackRec) +
          spawn_pool_.capacity() * sizeof(SpawnNode) +
-         pair_pool_.capacity() * sizeof(PairNode) +
-         links_.capacity() * sizeof(EvLink);
+         pair_pool_.capacity() * sizeof(PairNode);
 }
 
 std::vector<SignalId> Simulator::most_active_signals(std::size_t n) const {

@@ -15,8 +15,17 @@
 // minimum-width pulse and lets the receiving inputs filter it (the paper's
 // philosophy: filtering belongs to the inputs).
 //
-// Hot-path layout (PR 2): the per-event cost is allocation-free and mostly
-// sequential reads.
+// Hot-path layout (PR 2, PR 5): the per-event cost is allocation-free,
+// devirtualized and mostly sequential reads.
+//   * All per-arc timing comes from the elaborated TimingGraph (PR 5): gate
+//     evaluation computes DDM/CDM delays by indexing a dense TimingArc
+//     table (load already folded, eval_arc() inlined) instead of
+//     dispatching through the virtual `DelayModel::compute`; the DelayModel
+//     survives only as the policy that elaborated the table.
+//   * Gate functions are compiled to per-instance truth tables (PR 5): a
+//     packed input word is maintained incrementally (one XOR per event) and
+//     the output is one shift -- no per-event input-array walk, no
+//     `eval_cell` call.
 //   * A flattened fanout table built at construction stores, per
 //     (signal, fanout pin): the receiving pin, its flattened input index
 //     and the precomputed threshold crossing fractions VT/VDD -- so
@@ -24,18 +33,23 @@
 //     `event_threshold` calls and no cell lookups.
 //   * Transition bookkeeping (spawned events, suppressed pairs) lives in
 //     pooled, reclaimable `TrackRec` slots with inline small-buffer storage
-//     spilling to shared pools; a record is reclaimed -- and its pool nodes
-//     recycled -- as soon as the transition can neither be annihilated nor
-//     resurrect a partner, so live bookkeeping is bounded by circuit
-//     activity, not by stimulus length.  Only the 48-byte POD per
-//     transition survives (it is the waveform history).
+//     spilling to shared pools, allocated lazily on first use; a record is
+//     reclaimed -- and its pool nodes recycled -- as soon as the transition
+//     can neither be annihilated nor resurrect a partner, so live
+//     bookkeeping is bounded by circuit activity, not by stimulus length.
+//     Only the 32-byte POD per transition survives (it is the waveform
+//     history).
 //   * Per-input pending events form intrusive doubly-linked lists threaded
-//     through the event arena: O(1) pop-front in run(), O(1) unlink on
-//     cancellation, O(k) ordered insert on resurrection.
+//     through the event records themselves: O(1) pop-front in run(), O(1)
+//     unlink on cancellation, O(k) ordered insert on resurrection.  Only
+//     each list's head is scheduled in the d-ary heap (PR 5): the lists are
+//     time-ordered, so the heap arbitrates one event per active input and
+//     mid-list cancellations never pay heap maintenance.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -48,6 +62,7 @@
 #include "src/core/stimulus.hpp"
 #include "src/core/transition.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/timing/timing_graph.hpp"
 
 namespace halotis {
 
@@ -71,8 +86,19 @@ struct RunResult {
 
 class Simulator {
  public:
-  /// `netlist` and `model` must outlive the simulator.
+  /// `netlist` and `model` must outlive the simulator.  Elaborates the
+  /// netlist's TimingGraph under the model's policy internally.
   Simulator(const Netlist& netlist, const DelayModel& model, SimConfig config = {});
+
+  /// Runs on an externally elaborated TimingGraph -- the shared-database
+  /// path used by the fault campaign (one elaboration for every worker) and
+  /// by SDF back-annotation (`halotis sim --sdf`).  `timing` must be built
+  /// over this same `netlist` and must outlive the simulator; `model` is
+  /// retained for reporting only.
+  Simulator(const Netlist& netlist, const DelayModel& model, const TimingGraph& timing,
+            SimConfig config = {});
+  /// A temporary graph would dangle: bind it to a variable first.
+  Simulator(const Netlist&, const DelayModel&, TimingGraph&&, SimConfig = {}) = delete;
 
   /// Sets initial values (steady state from the stimulus initial word) and
   /// schedules every stimulus edge.  Must be called exactly once per re-arm
@@ -115,6 +141,8 @@ class Simulator {
   [[nodiscard]] const SimStats& stats() const { return stats_; }
   [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
   [[nodiscard]] const DelayModel& model() const { return *model_; }
+  /// The elaborated timing database the kernel evaluates.
+  [[nodiscard]] const TimingGraph& timing() const { return *timing_; }
 
   /// Value of `signal` before any transition.
   [[nodiscard]] bool initial_value(SignalId signal) const;
@@ -158,28 +186,31 @@ class Simulator {
   /// fractions (VT/VDD for rising ramps, 1 - VT/VDD for falling ones; the
   /// model's virtual `event_threshold` is consulted once, here).
   struct FanoutEntry {
-    PinRef target;
-    std::uint32_t input = 0;   ///< index into inputs_ / input_values_
-    double rise_frac = 0.5;    ///< crossing = t_start + tau * rise_frac
-    double fall_frac = 0.5;    ///< crossing = t_start + tau * fall_frac
+    GateId gate;               ///< receiving gate
+    std::uint16_t pin = 0;     ///< receiving input pin of `gate`
+    std::uint32_t input = 0;   ///< index into inputs_ (flattened gate pins)
+    double vt_frac = 0.5;      ///< rising crossing = t_start + tau * vt_frac;
+                               ///< falling uses (1 - vt_frac), computed inline
   };
 
-  /// Per-gate constants: cell, output line, load and flattened-pin range.
-  struct GateInfo {
-    const Cell* cell = nullptr;
-    SignalId output;
-    Farad out_load = 0.0;          ///< load on the output line (request.cl)
+  /// One per-gate record holding both the static tables (flattened-pin
+  /// range, TimingArc range, the boolean function compiled to a truth table
+  /// indexed by the packed input word; fan-in <= 4 by CellKind) and the
+  /// dynamic state (packed perceived-input word, scheduled output value,
+  /// last surviving output transition) -- 24 bytes, so an event touches one
+  /// cache line of gate state instead of three parallel arrays.
+  struct GateRec {
     std::uint32_t input_base = 0;  ///< first flattened input index
-    std::uint16_t num_inputs = 0;
-    CellKind kind = CellKind::kInv;
+    std::uint32_t arc_base = 0;    ///< first TimingArc of this gate
+    SignalId output;
+    TransitionId last_out;         ///< dynamic: last surviving output transition
+    std::uint16_t truth = 0;       ///< bit w = output for input word w
+    std::uint8_t num_inputs = 0;
+    std::uint8_t word = 0;         ///< dynamic: packed perceived-input word
+    bool output_value = false;     ///< dynamic: scheduled output value
   };
 
   // ---- dynamic state -------------------------------------------------------
-
-  struct GateState {
-    bool output_value = false;
-    TransitionId last_out;  ///< last surviving output transition
-  };
 
   /// Snapshot allowing resurrection of a pair-cancelled event.
   struct SuppressedPair {
@@ -231,19 +262,16 @@ class Simulator {
   };
 
   /// Intrusive doubly-linked, time-ordered pending list per gate input,
-  /// threaded through the event arena via links_.
+  /// threaded through the event records themselves (EventQueue::links --
+  /// the event, its state and its links share one arena record).
   struct InputState {
     std::uint32_t head = kNil;
     std::uint32_t tail = kNil;
   };
-  /// Pending-list links of one event (one record per created event).
-  struct EvLink {
-    std::uint32_t prev = kNil;
-    std::uint32_t next = kNil;
-  };
+  using EvLink = EventQueue::EventLinks;
 
   [[nodiscard]] std::size_t input_index(const PinRef& pin) const {
-    return gate_info_[pin.gate.value()].input_base + static_cast<std::size_t>(pin.pin);
+    return gates_[pin.gate.value()].input_base + static_cast<std::size_t>(pin.pin);
   }
 
   RunResult run_impl(TimeNs horizon);
@@ -282,13 +310,18 @@ class Simulator {
   /// Ordered insert by (time, seq), scanning from the tail (resurrection).
   void list_insert_sorted(InputState& in, EventId id);
 
+  /// Shared table-build step of both constructors.
+  void build_static_tables();
+
   const Netlist* netlist_;
   const DelayModel* model_;
   SimConfig config_;
-  Volt vdd_;
 
   // static tables
-  std::vector<GateInfo> gate_info_;
+  std::unique_ptr<TimingGraph> owned_timing_;  ///< set by the internal-build ctor
+  const TimingGraph* timing_ = nullptr;
+  const TimingArc* arcs_ = nullptr;  ///< timing_->arcs().data(), cached
+  std::vector<GateRec> gates_;  ///< static + dynamic per-gate record
   std::vector<FanoutEntry> fanout_;          // flattened over signals
   std::vector<std::uint32_t> fanout_base_;   // signal -> first index; size+1
   std::vector<GateId> topo_order_;           // cached: steady-state sweep order
@@ -297,7 +330,6 @@ class Simulator {
 
   // dynamic state
   EventQueue queue_;
-  std::vector<EvLink> links_;  // per-event pending-list links
   std::vector<TransitionRec> transitions_;
   std::vector<TrackRec> tracks_;
   std::uint32_t track_free_ = kNil;
@@ -309,8 +341,6 @@ class Simulator {
   std::uint64_t peak_live_tracks_ = 0;
   std::vector<std::vector<TransitionId>> signal_history_;
   std::vector<bool> initial_values_;
-  std::vector<GateState> gates_;
-  std::vector<std::uint8_t> input_values_;  // flattened perceived values
   std::vector<InputState> inputs_;          // flattened (gate, pin)
   TimeNs now_ = 0.0;
   bool stimulus_applied_ = false;

@@ -86,10 +86,15 @@ bool simulate_fault(Simulator& sim, const CampaignPlan& plan, std::size_t index,
 
 CampaignEngine::CampaignEngine(const Netlist& netlist, const DelayModel& model,
                                int threads)
-    : netlist_(&netlist), pool_(threads), good_(netlist, model) {
+    : netlist_(&netlist),
+      timing_(TimingGraph::build(netlist, model.timing_policy())),
+      pool_(threads),
+      good_(netlist, model, timing_) {
+  // One timing elaboration serves the good machine and every worker: the
+  // campaign's thousands of faulty runs all read the same arc table.
   sims_.reserve(static_cast<std::size_t>(pool_.size()));
   for (int w = 0; w < pool_.size(); ++w) {
-    sims_.push_back(std::make_unique<Simulator>(netlist, model));
+    sims_.push_back(std::make_unique<Simulator>(netlist, model, timing_));
   }
 }
 

@@ -38,6 +38,7 @@
 #include "src/core/stimulus.hpp"
 #include "src/fault/fault.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/timing/timing_graph.hpp"
 
 namespace halotis {
 
@@ -88,6 +89,9 @@ class CampaignEngine {
 
  private:
   const Netlist* netlist_;
+  /// The one elaborated timing database shared (read-only) by the good
+  /// machine and every worker Simulator.
+  TimingGraph timing_;
   WorkerPool pool_;
   Simulator good_;
   std::vector<std::unique_ptr<Simulator>> sims_;  ///< one per worker

@@ -18,6 +18,7 @@
 // and a self (parasitic drain) capacitance.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,8 +28,9 @@
 
 namespace halotis {
 
-/// Sense of an output transition.
-enum class Edge { kRise, kFall };
+/// Sense of an output transition.  One byte: Transition records pack it
+/// next to their flags, keeping the kernel's per-transition POD at 32 bytes.
+enum class Edge : std::uint8_t { kRise, kFall };
 
 [[nodiscard]] constexpr Edge opposite(Edge e) {
   return e == Edge::kRise ? Edge::kFall : Edge::kRise;

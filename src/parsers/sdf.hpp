@@ -1,18 +1,31 @@
-// SDF (Standard Delay Format, IEEE 1497 subset) writer.
+// SDF (Standard Delay Format, IEEE 1497 subset) writer and reader.
 //
-// Exports one CELL per gate instance with ABSOLUTE IOPATH delays computed
-// from the library macro-models at the instance's actual load, so the
-// netlist can be re-simulated in third-party event-driven simulators with
-// HALOTIS's conventional (undegraded) timing.  Degradation is inherently
-// dynamic and has no SDF representation -- which is precisely the paper's
-// argument for a dedicated simulator; the exported file carries the tp0
-// part only (documented in the SDF header comment).
+// Writer: exports one CELL per gate instance with ABSOLUTE IOPATH delays
+// computed from the elaborated timing (library macro-models at the
+// instance's actual load), so the netlist can be re-simulated in
+// third-party event-driven simulators with HALOTIS's conventional
+// (undegraded) timing.  Degradation is inherently dynamic and has no SDF
+// representation -- which is precisely the paper's argument for a dedicated
+// simulator; the exported file carries the tp0 part only (documented in the
+// SDF header comment).
+//
+// Reader: parses the same subset back -- plus the (min:typ:max) triple and
+// ps/us timescale forms third-party tools emit -- into SdfFile records, and
+// apply_sdf() back-annotates them onto a TimingGraph (IOPATH absolute
+// delay replaces the arc's conventional part; thresholds, output slopes and
+// degradation keep their library-elaborated values).  Parsing is strict in
+// the same way the stimulus parser is: malformed CELL/IOPATH records,
+// unbalanced parentheses, unknown constructs, bad ports and unmatched
+// instances are rejected with line-numbered ContractViolation errors, never
+// skipped best-effort.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/base/units.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/timing/timing_graph.hpp"
 
 namespace halotis {
 
@@ -23,5 +36,34 @@ namespace halotis {
 
 /// Conventional SDF port name of input pin `index` ("A", "B", ..).
 [[nodiscard]] std::string sdf_port_name(int index);
+
+/// One parsed (IOPATH port Y (rise) (fall)) record.
+struct SdfIopath {
+  std::string celltype;  ///< enclosing CELLTYPE, e.g. "NAND2_X1"
+  std::string instance;  ///< enclosing INSTANCE, SDF-escaped ('.' hierarchy)
+  int pin = 0;           ///< input port index ("A" = 0, "B" = 1, ...)
+  TimeNs rise = 0.0;     ///< ns, already timescale-converted
+  TimeNs fall = 0.0;
+  int line = 0;          ///< 1-based source line (for apply_sdf diagnostics)
+};
+
+/// A parsed DELAYFILE.
+struct SdfFile {
+  std::string design;
+  double timescale_ns = 1.0;  ///< multiplier applied to raw delay literals
+  std::vector<SdfIopath> iopaths;
+};
+
+/// Parses an SDF subset: DELAYFILE header entries, CELL / CELLTYPE /
+/// INSTANCE / DELAY / ABSOLUTE / IOPATH.  Throws ContractViolation with a
+/// line-numbered message on any malformed or unsupported construct.
+[[nodiscard]] SdfFile read_sdf(std::string_view text);
+
+/// Back-annotates every IOPATH of `sdf` onto `graph` (TimingGraph::
+/// annotate_iopath).  Instances are matched by name with the writer's
+/// '.'-for-'/' escaping undone; a record whose instance, celltype or port
+/// does not match the graph's netlist throws with the record's line number.
+/// Returns the number of IOPATH records applied.
+std::size_t apply_sdf(TimingGraph& graph, const SdfFile& sdf);
 
 }  // namespace halotis

@@ -13,6 +13,19 @@ StaticTimingAnalyzer::StaticTimingAnalyzer(const Netlist& netlist, TimeNs input_
   require(input_slew > 0.0, "StaticTimingAnalyzer: input slew must be positive");
   require(!netlist.has_combinational_cycles(),
           "StaticTimingAnalyzer: netlist has combinational cycles");
+  owned_timing_ =
+      std::make_unique<TimingGraph>(TimingGraph::build(netlist, TimingPolicy{}));
+  timing_ = owned_timing_.get();
+}
+
+StaticTimingAnalyzer::StaticTimingAnalyzer(const Netlist& netlist,
+                                           const TimingGraph& timing, TimeNs input_slew)
+    : netlist_(&netlist), input_slew_(input_slew), timing_(&timing) {
+  require(input_slew > 0.0, "StaticTimingAnalyzer: input slew must be positive");
+  require(!netlist.has_combinational_cycles(),
+          "StaticTimingAnalyzer: netlist has combinational cycles");
+  require(&timing.netlist() == &netlist,
+          "StaticTimingAnalyzer: TimingGraph was elaborated over a different netlist");
 }
 
 TimingReport StaticTimingAnalyzer::analyze() const {
@@ -31,8 +44,6 @@ TimingReport StaticTimingAnalyzer::analyze() const {
 
   for (const GateId gid : nl.topological_order()) {
     const Gate& gate = nl.gate(gid);
-    const Cell& cell = nl.cell_of(gid);
-    const Farad cl = nl.load_of(gate.output);
     ArrivalWindow out{kNeverNs, 0.0, 0.0};
     PathStep cause;
     for (int pin = 0; pin < static_cast<int>(gate.inputs.size()); ++pin) {
@@ -40,8 +51,12 @@ TimingReport StaticTimingAnalyzer::analyze() const {
       const ArrivalWindow& win = report.arrival[in.value()];
       if (win.earliest == kNeverNs) continue;  // unreachable input
       for (const Edge out_edge : {Edge::kRise, Edge::kFall}) {
-        const EdgeTiming& timing = cell.pin(pin).edge(out_edge);
-        const TimeNs tp = timing.tp0(cl, win.slew);
+        // The same elaborated arc the simulator's kernel evaluates: load
+        // folded into tp_base, per-instance derating in arc.factor.  STA
+        // uses the conventional (undegraded) part -- the worst case eq. 1
+        // can only improve on.
+        const TimingArc& arc = timing_->arc(timing_->arc_id(gid, pin, out_edge));
+        const TimeNs tp = (arc.tp_base + arc.p_slew * win.slew) * arc.factor;
         out.earliest = std::min(out.earliest, win.earliest + tp);
         if (win.latest + tp > out.latest) {
           out.latest = win.latest + tp;
@@ -50,7 +65,7 @@ TimingReport StaticTimingAnalyzer::analyze() const {
           // tau_out over both edges and every input pin (the old rule)
           // pairs the worst arrival with a slope it cannot have, inflating
           // every downstream tp0 and distorting the critical path.
-          out.slew = cell.drive.tau_out(out_edge, cl);
+          out.slew = arc.tau_out * arc.factor;
           cause = PathStep{gid, in, gate.output, tp};
         }
       }

@@ -1,20 +1,25 @@
-// Static timing analysis over the same delay macro-models the simulator
-// uses.
+// Static timing analysis over the same elaborated TimingGraph the
+// simulator's kernel evaluates.
 //
 // STA computes per-signal earliest/latest arrival windows assuming every
-// path can be exercised (topological propagation, no false-path analysis).
-// Comparing its worst-case arrival with the *simulated* (dynamic) arrival
-// shows how much pessimism glitch-free analysis carries, and gives the
-// simulator a cross-check: no simulated transition may ever arrive later
-// than the static latest arrival (a property test enforces this).
+// path can be exercised (topological propagation, no false-path analysis),
+// reading each stage's conventional delay (tp_base + p_slew * slew, times
+// the per-instance derating) and causing-edge output slope straight from
+// the arc table.  Because simulation and STA consume the *same* arcs --
+// including any SDF back-annotation or per-instance variation -- the static
+// bounds can never silently disagree with the dynamic results: no simulated
+// transition may ever arrive later than the static latest arrival (a
+// property test enforces this).  Degradation (eq. 1) only shrinks delays,
+// so the undegraded arc evaluation used here stays the worst case.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/base/units.hpp"
-#include "src/core/delay_model.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/timing/timing_graph.hpp"
 
 namespace halotis {
 
@@ -45,12 +50,26 @@ struct TimingReport {
 class StaticTimingAnalyzer {
  public:
   /// `netlist` must be combinationally acyclic (STA rejects latch loops).
-  /// `input_slew` is the assumed primary-input ramp duration.
+  /// `input_slew` is the assumed primary-input ramp duration.  Elaborates a
+  /// conventional TimingGraph internally.
   explicit StaticTimingAnalyzer(const Netlist& netlist, TimeNs input_slew = 0.5);
+
+  /// Analyzes an externally elaborated TimingGraph -- the shared-database
+  /// path: pass the simulator's graph (possibly SDF-annotated or derated)
+  /// and the bounds are computed from the very same arcs the kernel
+  /// evaluates.  `timing` must be built over `netlist` and outlive the
+  /// analyzer.
+  StaticTimingAnalyzer(const Netlist& netlist, const TimingGraph& timing,
+                       TimeNs input_slew = 0.5);
+  /// A temporary graph would dangle: bind it to a variable first.
+  StaticTimingAnalyzer(const Netlist&, TimingGraph&&, TimeNs = 0.5) = delete;
 
   /// Full analysis with conventional (undegraded) delays -- the worst case
   /// the DDM can only improve on.
   [[nodiscard]] TimingReport analyze() const;
+
+  /// The arc table this analyzer reads.
+  [[nodiscard]] const TimingGraph& timing() const { return *timing_; }
 
   /// Formats the critical path like a timing report.
   [[nodiscard]] static std::string format(const TimingReport& report,
@@ -59,6 +78,8 @@ class StaticTimingAnalyzer {
  private:
   const Netlist* netlist_;
   TimeNs input_slew_;
+  std::unique_ptr<TimingGraph> owned_timing_;  ///< set by the internal-build ctor
+  const TimingGraph* timing_ = nullptr;
 };
 
 }  // namespace halotis

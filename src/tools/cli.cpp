@@ -26,6 +26,7 @@
 #include "src/repro/experiment.hpp"
 #include "src/repro/runner.hpp"
 #include "src/sta/sta.hpp"
+#include "src/timing/timing_graph.hpp"
 #include "src/waveform/ascii_plot.hpp"
 #include "src/waveform/vcd.hpp"
 
@@ -124,15 +125,35 @@ Stimulus load_stimulus(const Options& options, const Netlist& netlist) {
   return Stimulus(0.5);  // quiescent testbench
 }
 
+/// Elaborates the netlist's TimingGraph under `policy` and, with --sdf,
+/// back-annotates it from the given file (reporting the override count).
+TimingGraph load_timing(const Options& options, const Netlist& netlist,
+                        const TimingPolicy& policy, std::ostream& out) {
+  TimingGraph graph = TimingGraph::build(netlist, policy);
+  if (const auto sdf_path = options.get("sdf")) {
+    const SdfFile sdf = read_sdf(read_file(*sdf_path));
+    const std::size_t applied = apply_sdf(graph, sdf);
+    out << "annotated " << applied << " IOPATH record" << (applied == 1 ? "" : "s")
+        << " from " << *sdf_path;
+    if (!sdf.design.empty()) out << " (design \"" << sdf.design << "\")";
+    out << "\n";
+  }
+  return graph;
+}
+
 int cmd_sim(const Options& options, std::ostream& out) {
   const Library lib = Library::default_u6();
   const Netlist netlist = load_netlist(options, lib);
   const std::unique_ptr<DelayModel> model = make_model(options);
   const Stimulus stimulus = load_stimulus(options, netlist);
+  // One elaborated timing database for the run; --sdf back-annotates it
+  // (the third-party-netlist scenario: IOPATH delays replace the library's
+  // conventional part, the inertial/degradation treatment stays).
+  const TimingGraph timing = load_timing(options, netlist, model->timing_policy(), out);
 
   SimConfig config;
   config.t_end = options.number("t-end", kNeverNs);
-  Simulator sim(netlist, *model, config);
+  Simulator sim(netlist, *model, timing, config);
   sim.apply_stimulus(stimulus);
   const RunResult result = sim.run();
 
@@ -223,9 +244,15 @@ int cmd_analog(const Options& options, std::ostream& out) {
 int cmd_sta(const Options& options, std::ostream& out) {
   const Library lib = Library::default_u6();
   const Netlist netlist = load_netlist(options, lib);
-  const StaticTimingAnalyzer sta(netlist, options.number("slew", 0.5));
+  // STA reads the same elaborated arcs the simulator would evaluate;
+  // --sdf analyzes the back-annotated database.
+  const TimingGraph timing = load_timing(options, netlist, TimingPolicy{}, out);
+  const StaticTimingAnalyzer sta(netlist, timing, options.number("slew", 0.5));
   const TimingReport report = sta.analyze();
   out << StaticTimingAnalyzer::format(report, netlist);
+  if (options.get("per-arc")) {
+    out << '\n' << timing.format_arcs();
+  }
   return 0;
 }
 
@@ -442,11 +469,11 @@ commands:
   sim      event-driven timing simulation
            --netlist F [--format bench|verilog|native] [--stim F]
            [--model ddm|cdm|cdm-classical|transport] [--t-end NS]
-           [--vcd F] [--report] [--waves]
+           [--sdf F] [--vcd F] [--report] [--waves]
   analog   transistor-level reference simulation
            --netlist F [--stim F] [--t-end NS] [--csv F]
   sta      static timing analysis (conventional worst case)
-           --netlist F [--slew NS]
+           --netlist F [--slew NS] [--sdf F] [--per-arc]
   fault    parallel stuck-at fault campaign / test generation
            --netlist F --stim F [--model M] [--period NS]
            [--threads N] [--serial] [--no-early-exit]

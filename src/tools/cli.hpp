@@ -2,14 +2,19 @@
 //
 // Subcommands:
 //   sim     --netlist F [--stim F] [--model ddm|cdm|transport] [--t-end NS]
-//           [--vcd F] [--report] [--waves]      event-driven simulation
+//           [--sdf F] [--vcd F] [--report] [--waves]
+//                                               event-driven simulation
+//                                               (--sdf back-annotates the
+//                                               timing database first)
 //   analog  --netlist F [--stim F] [--t-end NS] [--csv F]
 //                                               transistor-level reference
-//   sta     --netlist F [--slew NS]             static timing analysis
+//   sta     --netlist F [--slew NS] [--sdf F] [--per-arc]
+//                                               static timing analysis over
+//                                               the elaborated TimingGraph
 //   fault   --netlist F --stim F [--model M]    stuck-at fault simulation
 //   repro   [--list] [--only ID[,...]] [--quick] [--out DIR] [--golden F]
 //                                               paper-reproduction engine
-//   convert --netlist F --to bench|verilog|native [--out F]
+//   convert --netlist F --to bench|verilog|native|sdf [--out F]
 //
 // Netlist formats are detected from the file extension (.bench, .v,
 // anything else = native) unless --format overrides.

@@ -191,5 +191,47 @@ TEST_F(CliTest, ModelVariantsAllRun) {
   }
 }
 
+TEST_F(CliTest, SimWithSdfBackAnnotationRoundTrip) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  const std::string sdf = (dir_ / "and2.sdf").string();
+  ASSERT_EQ(run({"convert", "--netlist", netlist, "--to", "sdf", "--out", sdf}), 0);
+  ASSERT_EQ(run({"sim", "--netlist", netlist, "--stim", stim, "--sdf", sdf}), 0);
+  EXPECT_NE(out_.str().find("annotated 3 IOPATH records"), std::string::npos);
+  EXPECT_NE(out_.str().find("y = 0"), std::string::npos);
+}
+
+TEST_F(CliTest, SimWithThirdPartySdfFixture) {
+  // The committed vendor-style fixture: (min:typ:max) triples, 100 ps
+  // timescale, extra header entries -- simulated end to end.
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  const std::string fixture =
+      std::string(HALOTIS_SOURCE_DIR) + "/tests/sdf/and2_thirdparty.sdf";
+  ASSERT_EQ(run({"sim", "--netlist", netlist, "--stim", stim, "--sdf", fixture}), 0);
+  EXPECT_NE(out_.str().find("annotated 3 IOPATH records"), std::string::npos);
+  EXPECT_NE(out_.str().find("design \"and2_from_vendor_flow\""), std::string::npos);
+  EXPECT_NE(out_.str().find("y = 0"), std::string::npos);
+  // STA over the same annotated database.
+  ASSERT_EQ(run({"sta", "--netlist", netlist, "--sdf", fixture}), 0);
+  EXPECT_NE(out_.str().find("critical delay"), std::string::npos);
+}
+
+TEST_F(CliTest, StaPerArcDumpsTimingGraph) {
+  const std::string netlist = write("and2.bench", kBench);
+  ASSERT_EQ(run({"sta", "--netlist", netlist, "--per-arc"}), 0);
+  EXPECT_NE(out_.str().find("timing graph: 2 gates, 6 arcs"), std::string::npos);
+  EXPECT_NE(out_.str().find("g_n1"), std::string::npos);
+  EXPECT_NE(out_.str().find("NAND2_X1"), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedSdfFailsWithLineNumber) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string bad = write("bad.sdf", "(DELAYFILE\n(CELL (INSTANCE g_y)\n"
+                                           "(DELAY (ABSOLUTE (IOPATH A Y (1) (1))))))\n");
+  EXPECT_EQ(run({"sim", "--netlist", netlist, "--sdf", bad}), 1);
+  EXPECT_NE(err_.str().find("sdf line 3"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace halotis

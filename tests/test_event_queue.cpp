@@ -90,8 +90,9 @@ template <class Queue>
 void randomized_oracle_stress(std::uint64_t seed) {
   SplitMix64 rng(seed);
   Queue q;
-  // Oracle: set of (time, seq) for pending events, plus id lookup.
-  using Key = std::tuple<double, std::uint64_t, std::uint32_t>;  // time, seq, id
+  // Oracle: set of (time, id) for pending events (ids are creation-ordered,
+  // so they double as the FIFO sequence tie-break).
+  using Key = std::tuple<double, std::uint32_t>;  // time, id
   std::set<Key> oracle;
   std::vector<EventId> live;
 
@@ -100,13 +101,13 @@ void randomized_oracle_stress(std::uint64_t seed) {
     if (action < 0.5 || oracle.empty()) {
       const double t = rng.next_double_in(0.0, 1000.0);
       const EventId id = q.push(t, TransitionId{0}, pin(0));
-      oracle.emplace(t, q.event(id).seq, id.value());
+      oracle.emplace(t, id.value());
       live.push_back(id);
     } else if (action < 0.8) {
       const auto expected = *oracle.begin();
       oracle.erase(oracle.begin());
       const EventId got = q.pop();
-      EXPECT_EQ(got.value(), std::get<2>(expected));
+      EXPECT_EQ(got.value(), std::get<1>(expected));
       EXPECT_DOUBLE_EQ(q.event(got).time, std::get<0>(expected));
     } else {
       // Cancel a random pending event.
@@ -114,7 +115,7 @@ void randomized_oracle_stress(std::uint64_t seed) {
       const EventId victim = live[pick];
       if (q.state(victim) == EventState::kPending) {
         q.cancel(victim);
-        oracle.erase({q.event(victim).time, q.event(victim).seq, victim.value()});
+        oracle.erase({q.event(victim).time, victim.value()});
       }
     }
     ASSERT_EQ(q.size(), oracle.size());
@@ -123,7 +124,7 @@ void randomized_oracle_stress(std::uint64_t seed) {
   while (!oracle.empty()) {
     const auto expected = *oracle.begin();
     oracle.erase(oracle.begin());
-    EXPECT_EQ(q.pop().value(), std::get<2>(expected));
+    EXPECT_EQ(q.pop().value(), std::get<1>(expected));
   }
   EXPECT_TRUE(q.empty());
 }

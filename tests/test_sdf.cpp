@@ -1,4 +1,4 @@
-// Tests for the SDF delay-annotation writer.
+// Tests for the SDF delay-annotation writer and the strict reader.
 #include <gtest/gtest.h>
 
 #include "src/base/strings.hpp"
@@ -7,6 +7,18 @@
 
 namespace halotis {
 namespace {
+
+/// Expects `fn` to throw a ContractViolation whose message carries the
+/// given line-numbered prefix.
+template <class Fn>
+void expect_sdf_error(Fn&& fn, const std::string& fragment) {
+  try {
+    fn();
+    FAIL() << "expected ContractViolation containing '" << fragment << "'";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+  }
+}
 
 class SdfTest : public ::testing::Test {
  protected:
@@ -39,8 +51,8 @@ TEST_F(SdfTest, IopathValuesMatchMacroModel) {
 
   const Cell& inv = lib_.cell(lib_.by_kind(CellKind::kInv));
   const Farad cl = chain.netlist.load_of(chain.nodes[1]);
-  const std::string rise = format_double(inv.pin(0).rise.tp0(cl, slew), 5);
-  const std::string fall = format_double(inv.pin(0).fall.tp0(cl, slew), 5);
+  const std::string rise = format_double(inv.pin(0).rise.tp0(cl, slew), 9);
+  const std::string fall = format_double(inv.pin(0).fall.tp0(cl, slew), 9);
   EXPECT_NE(sdf.find("(IOPATH A Y (" + rise + "::" + rise + ") (" + fall +
                      "::" + fall + "))"),
             std::string::npos)
@@ -80,6 +92,140 @@ TEST_F(SdfTest, PortNames) {
   EXPECT_EQ(sdf_port_name(3), "D");
   EXPECT_THROW((void)sdf_port_name(26), ContractViolation);
   EXPECT_THROW((void)write_sdf(Netlist(lib_), 0.0), ContractViolation);
+}
+
+// ---- reader -----------------------------------------------------------------
+
+TEST_F(SdfTest, ReaderParsesWriterOutput) {
+  C17Circuit c17 = make_c17(lib_);
+  const SdfFile sdf = read_sdf(write_sdf(c17.netlist, 0.5, "c17"));
+  EXPECT_EQ(sdf.design, "c17");
+  EXPECT_EQ(sdf.timescale_ns, 1.0);
+  std::size_t pins = 0;
+  for (std::size_t g = 0; g < c17.netlist.num_gates(); ++g) {
+    pins += c17.netlist.gate(GateId{static_cast<GateId::underlying_type>(g)}).inputs.size();
+  }
+  EXPECT_EQ(sdf.iopaths.size(), pins);
+  EXPECT_EQ(sdf.iopaths.front().celltype, "NAND2_X1");
+  EXPECT_GT(sdf.iopaths.front().rise, 0.0);
+}
+
+TEST_F(SdfTest, ReaderHandlesTriplesAndTimescales) {
+  const SdfFile sdf = read_sdf(R"((DELAYFILE
+  (TIMESCALE 100 ps)
+  (CELL (CELLTYPE "INV_X1") (INSTANCE u1)
+    (DELAY (ABSOLUTE (IOPATH A Y (1.2:1.5:1.9) (0.9)))))
+))");
+  ASSERT_EQ(sdf.iopaths.size(), 1u);
+  // typ field of the triple, converted from 100 ps units to ns.
+  EXPECT_NEAR(sdf.iopaths[0].rise, 0.15, 1e-12);
+  EXPECT_NEAR(sdf.iopaths[0].fall, 0.09, 1e-12);
+  // Empty typ falls back to max.
+  const SdfFile maxed = read_sdf(R"((DELAYFILE
+  (CELL (CELLTYPE "INV_X1") (INSTANCE u1)
+    (DELAY (ABSOLUTE (IOPATH A Y (1.2::1.9) (0.5::0.5)))))
+))");
+  EXPECT_NEAR(maxed.iopaths[0].rise, 1.9, 1e-12);
+}
+
+TEST_F(SdfTest, ReaderRejectsMalformedRecordsWithLineNumbers) {
+  // CELL without CELLTYPE.
+  expect_sdf_error(
+      [] {
+        (void)read_sdf("(DELAYFILE\n(CELL (INSTANCE u1)\n"
+                       "(DELAY (ABSOLUTE (IOPATH A Y (1) (1))))))");
+      },
+      "sdf line 3: DELAY before CELLTYPE");
+  // Bad input port.
+  expect_sdf_error(
+      [] {
+        (void)read_sdf("(DELAYFILE (CELL (CELLTYPE \"X\") (INSTANCE u1)\n"
+                       "(DELAY (ABSOLUTE (IOPATH AB Y (1) (1))))))");
+      },
+      "sdf line 2: bad IOPATH input port 'AB'");
+  // Malformed delay triple.
+  expect_sdf_error(
+      [] {
+        (void)read_sdf("(DELAYFILE (CELL (CELLTYPE \"X\") (INSTANCE u1)\n"
+                       "(DELAY (ABSOLUTE (IOPATH A Y (1:2) (1))))))");
+      },
+      "sdf line 2: delay must be (v) or (min:typ:max)");
+  // INCREMENT mode is unsupported, not silently treated as ABSOLUTE.
+  expect_sdf_error(
+      [] {
+        (void)read_sdf("(DELAYFILE (CELL (CELLTYPE \"X\") (INSTANCE u1)\n"
+                       "(DELAY (INCREMENT (IOPATH A Y (1) (1))))))");
+      },
+      "sdf line 2: INCREMENT delays are not supported");
+  // Unbalanced parentheses.
+  expect_sdf_error([] { (void)read_sdf("(DELAYFILE (CELL (CELLTYPE \"X\")"); },
+                   "unexpected end of file");
+  // Unknown top-level construct.
+  expect_sdf_error([] { (void)read_sdf("(DELAYFILE\n(TIMINGCHECK))"); },
+                   "sdf line 2: unsupported DELAYFILE entry 'TIMINGCHECK'");
+  // TIMESCALE after a CELL would silently mis-scale the already-parsed
+  // delays: rejected, not best-effort.
+  expect_sdf_error(
+      [] {
+        (void)read_sdf("(DELAYFILE (CELL (CELLTYPE \"X\") (INSTANCE u1)\n"
+                       "(DELAY (ABSOLUTE (IOPATH A Y (1) (1)))))\n"
+                       "(TIMESCALE 100 ps))");
+      },
+      "sdf line 3: TIMESCALE after the first CELL is not supported");
+  // Negative delay.
+  expect_sdf_error(
+      [] {
+        (void)read_sdf("(DELAYFILE (CELL (CELLTYPE \"X\") (INSTANCE u1)\n"
+                       "(DELAY (ABSOLUTE (IOPATH A Y (-1) (1))))))");
+      },
+      "sdf line 2: negative IOPATH delay");
+}
+
+TEST_F(SdfTest, ApplyRejectsUnmatchedRecords) {
+  ChainCircuit chain = make_chain(lib_, 1);
+  const TimingGraph reference = TimingGraph::build(chain.netlist, TimingPolicy{});
+  const std::string gate_name = chain.netlist.gate(GateId{0}).name;
+
+  // Unknown instance.
+  {
+    TimingGraph graph = reference;
+    const SdfFile sdf = read_sdf("(DELAYFILE (CELL (CELLTYPE \"INV_X1\")\n"
+                                 "(INSTANCE nosuch)\n"
+                                 "(DELAY (ABSOLUTE (IOPATH A Y (1) (1))))))");
+    expect_sdf_error([&] { (void)apply_sdf(graph, sdf); },
+                     "INSTANCE 'nosuch' not found");
+  }
+  // CELLTYPE mismatch.
+  {
+    TimingGraph graph = reference;
+    const SdfFile sdf =
+        read_sdf("(DELAYFILE (CELL (CELLTYPE \"NAND2_X1\")\n(INSTANCE " + gate_name +
+                 ")\n(DELAY (ABSOLUTE (IOPATH A Y (1) (1))))))");
+    expect_sdf_error([&] { (void)apply_sdf(graph, sdf); }, "does not match instance");
+  }
+  // Port out of range for the instance's fan-in.
+  {
+    TimingGraph graph = reference;
+    const SdfFile sdf =
+        read_sdf("(DELAYFILE (CELL (CELLTYPE \"INV_X1\")\n(INSTANCE " + gate_name +
+                 ")\n(DELAY (ABSOLUTE (IOPATH B Y (1) (1))))))");
+    expect_sdf_error([&] { (void)apply_sdf(graph, sdf); }, "out of range");
+  }
+}
+
+TEST_F(SdfTest, ApplyResolvesEscapedHierarchySeparators) {
+  Netlist nl(lib_);
+  const SignalId a = nl.add_primary_input("a");
+  const SignalId y = nl.add_signal("u0/y");
+  nl.mark_primary_output(y);
+  const std::array<SignalId, 1> ins{a};
+  (void)nl.add_gate("u0/g1", CellKind::kInv, ins, y);
+
+  // The writer escapes 'u0/g1' to 'u0.g1'; apply_sdf must find the gate.
+  TimingGraph graph = TimingGraph::build(nl, TimingPolicy{});
+  const SdfFile sdf = read_sdf(write_sdf(nl));
+  EXPECT_EQ(apply_sdf(graph, sdf), 1u);
+  EXPECT_EQ(graph.annotated_arcs(), 2u);
 }
 
 }  // namespace

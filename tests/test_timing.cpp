@@ -1,0 +1,314 @@
+// Tests for the elaborated TimingGraph: arc elaboration against the macro
+// models, bit-exact agreement between eval_arc() and the DelayModel
+// reference implementations, the shared-graph simulator and STA paths, and
+// SDF back-annotation.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/circuits/generators.hpp"
+#include "src/core/delay_model.hpp"
+#include "src/core/simulator.hpp"
+#include "src/parsers/sdf.hpp"
+#include "src/sta/sta.hpp"
+#include "src/timing/timing_graph.hpp"
+
+namespace halotis {
+namespace {
+
+class TimingGraphTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+};
+
+/// Builds the graph the given model's policy elaborates.
+TimingGraph graph_for(const Netlist& netlist, const DelayModel& model) {
+  return TimingGraph::build(netlist, model.timing_policy());
+}
+
+TEST_F(TimingGraphTest, ElaborationFoldsLoadAgainstMacroModels) {
+  C17Circuit c17 = make_c17(lib_);
+  const TimingGraph graph = graph_for(c17.netlist, DdmDelayModel{});
+  ASSERT_EQ(graph.num_gates(), c17.netlist.num_gates());
+
+  std::size_t expected_arcs = 0;
+  for (std::size_t g = 0; g < c17.netlist.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    const Gate& gate = c17.netlist.gate(gid);
+    const Cell& cell = c17.netlist.cell_of(gid);
+    const Farad cl = c17.netlist.load_of(gate.output);
+    EXPECT_EQ(graph.load(gid), cl);
+    expected_arcs += 2 * gate.inputs.size();
+    for (int pin = 0; pin < static_cast<int>(gate.inputs.size()); ++pin) {
+      for (const Edge edge : {Edge::kRise, Edge::kFall}) {
+        const TimingArc& arc = graph.arc(graph.arc_id(gid, pin, edge));
+        const EdgeTiming& et = cell.pin(pin).edge(edge);
+        EXPECT_EQ(arc.tp_base, et.p0 + et.p_load * cl);
+        EXPECT_EQ(arc.p_slew, et.p_slew);
+        EXPECT_EQ(arc.tau_out, cell.drive.tau_out(edge, cl));
+        EXPECT_EQ(arc.deg_tau, std::max(et.deg_tau(cl, lib_.vdd()), kMinDegradationTau));
+        EXPECT_EQ(arc.t0_slope, 0.5 - et.deg_c / lib_.vdd());
+        EXPECT_EQ(arc.factor, 1.0);
+        EXPECT_NE(arc.flags & kArcDegradation, 0);
+      }
+      // DDM threshold policy: the receiving pin's own VT.
+      EXPECT_EQ(graph.threshold_fraction(gid, pin), cell.pin(pin).vt / lib_.vdd());
+    }
+  }
+  EXPECT_EQ(graph.num_arcs(), expected_arcs);
+}
+
+TEST_F(TimingGraphTest, CdmPolicyUsesMidswingThresholdsAndNoDegradation) {
+  C17Circuit c17 = make_c17(lib_);
+  const TimingGraph graph = graph_for(c17.netlist, CdmDelayModel{});
+  for (const TimingArc& arc : graph.arcs()) {
+    EXPECT_EQ(arc.flags & kArcDegradation, 0);
+  }
+  EXPECT_EQ(graph.threshold_fraction(GateId{0}, 0), 0.5);
+}
+
+/// The agreement theorem: eval_arc over the elaborated arc must reproduce
+/// the virtual reference implementation bit for bit, for every model
+/// flavour, over a grid of operating points.
+TEST_F(TimingGraphTest, ArcEvalBitIdenticalToModelCompute) {
+  C17Circuit c17 = make_c17(lib_);
+  const DdmDelayModel ddm;
+  const CdmDelayModel cdm;
+  const CdmDelayModel cdm_classical(CdmDelayModel::InertialWindow::kGateDelay);
+  const CdmDelayModel cdm_fixed(CdmDelayModel::InertialWindow::kFixed, 0.35);
+  const VariationDelayModel varied(ddm, 0.08, 42);
+
+  for (const DelayModel* model :
+       {static_cast<const DelayModel*>(&ddm), static_cast<const DelayModel*>(&cdm),
+        static_cast<const DelayModel*>(&cdm_classical),
+        static_cast<const DelayModel*>(&cdm_fixed),
+        static_cast<const DelayModel*>(&varied)}) {
+    const TimingGraph graph = graph_for(c17.netlist, *model);
+    for (std::size_t g = 0; g < c17.netlist.num_gates(); ++g) {
+      const GateId gid{static_cast<GateId::underlying_type>(g)};
+      const Gate& gate = c17.netlist.gate(gid);
+      for (int pin = 0; pin < static_cast<int>(gate.inputs.size()); ++pin) {
+        for (const Edge edge : {Edge::kRise, Edge::kFall}) {
+          const TimingArc& arc = graph.arc(graph.arc_id(gid, pin, edge));
+          for (const TimeNs tau_in : {0.2, 0.5, 1.3}) {
+            for (const std::optional<TimeNs> prev :
+                 {std::optional<TimeNs>{}, std::optional<TimeNs>{9.95},
+                  std::optional<TimeNs>{8.0}}) {
+              DelayRequest request;
+              request.cell = &c17.netlist.cell_of(gid);
+              request.gate = gid;
+              request.pin = pin;
+              request.out_edge = edge;
+              request.cl = c17.netlist.load_of(gate.output);
+              request.tau_in = tau_in;
+              request.t_in50 = 10.0;
+              request.t_event = 10.0;
+              request.t_prev_out50 = prev;
+              request.vdd = lib_.vdd();
+              const DelayResult expected = model->compute(request);
+              const ArcDelay got = eval_arc(arc, tau_in, request.t_event,
+                                            prev.has_value(), prev.value_or(0.0));
+              EXPECT_EQ(got.tp, expected.tp);
+              EXPECT_EQ(got.tau_out, expected.tau_out);
+              EXPECT_EQ(got.filtered, expected.filtered);
+              EXPECT_EQ(got.inertial_window, expected.inertial_window);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TimingGraphTest, VariationPolicyFoldsPerInstanceFactors) {
+  C17Circuit c17 = make_c17(lib_);
+  const DdmDelayModel ddm;
+  const VariationDelayModel varied(ddm, 0.1, 7);
+  const TimingGraph graph = graph_for(c17.netlist, varied);
+  for (std::size_t g = 0; g < c17.netlist.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    EXPECT_EQ(graph.arc(graph.arc_id(gid, 0, Edge::kRise)).factor, varied.factor(gid));
+  }
+  // Stacking variation on variation is rejected.
+  const VariationDelayModel stacked(varied, 0.1, 8);
+  EXPECT_THROW((void)stacked.timing_policy(), ContractViolation);
+}
+
+TEST_F(TimingGraphTest, ThresholdOutsideSwingRejected) {
+  C17Circuit c17 = make_c17(lib_);
+  lib_.mutable_cell(c17.netlist.gate(GateId{0}).cell).pins[0].vt = lib_.vdd() + 1.0;
+  TimingPolicy policy;
+  policy.threshold = TimingPolicy::Threshold::kPerPinVt;
+  EXPECT_THROW((void)TimingGraph::build(c17.netlist, policy), ContractViolation);
+}
+
+TEST_F(TimingGraphTest, SharedGraphSimulationBitIdenticalToInternalBuild) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  const DdmDelayModel ddm;
+  const TimingGraph graph = graph_for(mult.netlist, ddm);
+
+  Stimulus stim(0.5);
+  std::vector<SignalId> inputs;
+  for (SignalId s : mult.a) inputs.push_back(s);
+  for (SignalId s : mult.b) inputs.push_back(s);
+  const std::vector<std::uint64_t> words{0x00, 0xFF, 0x5A, 0xA5};
+  stim.apply_sequence(inputs, words, 5.0, 5.0);
+  stim.set_initial(mult.tie0, false);
+
+  Simulator internal(mult.netlist, ddm);
+  internal.apply_stimulus(stim);
+  (void)internal.run();
+  Simulator shared(mult.netlist, ddm, graph);
+  shared.apply_stimulus(stim);
+  (void)shared.run();
+
+  EXPECT_EQ(internal.stats().events_processed, shared.stats().events_processed);
+  for (std::size_t s = 0; s < mult.netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const auto a = internal.history(sid);
+    const auto b = shared.history(sid);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].t_start, b[i].t_start);
+      EXPECT_EQ(a[i].tau, b[i].tau);
+      EXPECT_EQ(a[i].edge, b[i].edge);
+    }
+  }
+}
+
+TEST_F(TimingGraphTest, VariationGraphSimulationMatchesWrapperModel) {
+  ChainCircuit chain = make_chain(lib_, 6);
+  const DdmDelayModel ddm;
+  const VariationDelayModel varied(ddm, 0.12, 1234);
+
+  Stimulus stim(0.5);
+  stim.add_edge(chain.nodes[0], 2.0, true, 0.5);
+  stim.add_edge(chain.nodes[0], 7.0, false, 0.5);
+
+  // The wrapper computes nominal then scales; the graph folds the same
+  // factor into the arc.  Same histories, bit for bit.
+  Simulator wrapper(chain.netlist, varied);
+  wrapper.apply_stimulus(stim);
+  (void)wrapper.run();
+  const TimingGraph graph = graph_for(chain.netlist, varied);
+  Simulator graph_sim(chain.netlist, varied, graph);
+  graph_sim.apply_stimulus(stim);
+  (void)graph_sim.run();
+
+  const SignalId out = chain.nodes.back();
+  const auto a = wrapper.history(out);
+  const auto b = graph_sim.history(out);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t_start, b[i].t_start);
+    EXPECT_EQ(a[i].tau, b[i].tau);
+  }
+  // And the derated timing differs from nominal (the factor is real).
+  Simulator nominal(chain.netlist, ddm);
+  nominal.apply_stimulus(stim);
+  (void)nominal.run();
+  EXPECT_NE(nominal.history(out)[0].t_start, a[0].t_start);
+}
+
+TEST_F(TimingGraphTest, StaSharedGraphMatchesLegacyConstructor) {
+  MultiplierCircuit mult = make_multiplier(lib_, 3);
+  const StaticTimingAnalyzer legacy(mult.netlist, 0.5);
+  const TimingGraph graph = TimingGraph::build(mult.netlist, TimingPolicy{});
+  const StaticTimingAnalyzer shared(mult.netlist, graph, 0.5);
+
+  const TimingReport a = legacy.analyze();
+  const TimingReport b = shared.analyze();
+  EXPECT_EQ(a.critical_delay, b.critical_delay);
+  EXPECT_EQ(a.critical_output, b.critical_output);
+  ASSERT_EQ(a.arrival.size(), b.arrival.size());
+  for (std::size_t s = 0; s < a.arrival.size(); ++s) {
+    EXPECT_EQ(a.arrival[s].earliest, b.arrival[s].earliest);
+    EXPECT_EQ(a.arrival[s].latest, b.arrival[s].latest);
+    EXPECT_EQ(a.arrival[s].slew, b.arrival[s].slew);
+  }
+}
+
+TEST_F(TimingGraphTest, StaReadsSdfAnnotatedArcs) {
+  ChainCircuit chain = make_chain(lib_, 2);
+  TimingGraph graph = TimingGraph::build(chain.netlist, TimingPolicy{});
+
+  // Annotated delays are absolute (p_slew = 0), so the STA bound becomes
+  // the plain sum of each stage's worst annotated edge.
+  TimeNs expected = 0.0;
+  for (std::size_t g = 0; g < chain.netlist.num_gates(); ++g) {
+    const GateId gid{static_cast<GateId::underlying_type>(g)};
+    const TimeNs rise = 0.4 + 0.1 * static_cast<double>(g);
+    const TimeNs fall = 0.3 + 0.1 * static_cast<double>(g);
+    graph.annotate_iopath(gid, 0, rise, fall);
+    expected += std::max(rise, fall);
+  }
+  EXPECT_EQ(graph.annotated_arcs(), 2 * chain.netlist.num_gates());
+  const StaticTimingAnalyzer after(chain.netlist, graph, 0.5);
+  EXPECT_NEAR(after.analyze().critical_delay, expected, 1e-12);
+}
+
+TEST_F(TimingGraphTest, SdfRoundTripReproducesElaboratedArcs) {
+  // write_sdf -> read_sdf -> apply_sdf: the annotated conventional delays
+  // must match the library-elaborated arcs at the writer's slew to 1e-9.
+  MultiplierCircuit mult = make_multiplier(lib_, 3);
+  const TimeNs slew = 0.7;
+  const SdfFile sdf = read_sdf(write_sdf(mult.netlist, slew));
+  EXPECT_EQ(sdf.design, "halotis_top");
+  EXPECT_EQ(sdf.timescale_ns, 1.0);
+
+  TimingGraph annotated = TimingGraph::build(mult.netlist, TimingPolicy{});
+  const TimingGraph reference = TimingGraph::build(mult.netlist, TimingPolicy{});
+  EXPECT_EQ(apply_sdf(annotated, sdf), sdf.iopaths.size());
+  ASSERT_EQ(annotated.num_arcs(), reference.num_arcs());
+  EXPECT_EQ(annotated.annotated_arcs(), annotated.num_arcs());
+
+  for (std::size_t a = 0; a < reference.num_arcs(); ++a) {
+    const TimingArc& ref = reference.arc(static_cast<std::uint32_t>(a));
+    const TimingArc& ann = annotated.arc(static_cast<std::uint32_t>(a));
+    EXPECT_NEAR(ann.tp_base, ref.tp_base + ref.p_slew * slew, 1e-9);
+    EXPECT_EQ(ann.p_slew, 0.0);  // absolute after annotation
+    // Non-SDF-expressible parts keep their library elaboration.
+    EXPECT_EQ(ann.tau_out, ref.tau_out);
+    EXPECT_EQ(ann.deg_tau, ref.deg_tau);
+  }
+}
+
+TEST_F(TimingGraphTest, RecharacterizedLibraryFlowsIntoRebuiltGraph) {
+  // The characterization flow refits cell parameters in place; a graph
+  // built afterwards must elaborate the new values (the graph is a
+  // snapshot, not a live view).
+  ChainCircuit chain = make_chain(lib_, 1);
+  const TimingGraph before = TimingGraph::build(chain.netlist, TimingPolicy{});
+  Library& lib = const_cast<Library&>(chain.netlist.library());
+  lib.mutable_cell(chain.netlist.gate(GateId{0}).cell).pins[0].rise.p0 += 0.25;
+  const TimingGraph after = TimingGraph::build(chain.netlist, TimingPolicy{});
+  const std::uint32_t arc = before.arc_id(GateId{0}, 0, Edge::kRise);
+  EXPECT_NEAR(after.arc(arc).tp_base, before.arc(arc).tp_base + 0.25, 1e-12);
+}
+
+TEST_F(TimingGraphTest, FormatArcsListsEveryArc) {
+  C17Circuit c17 = make_c17(lib_);
+  const TimingGraph graph = graph_for(c17.netlist, DdmDelayModel{});
+  const std::string dump = graph.format_arcs();
+  EXPECT_NE(dump.find("timing graph: 6 gates, 24 arcs, degradation"), std::string::npos);
+  EXPECT_NE(dump.find("NAND2_X1"), std::string::npos);
+  std::size_t rows = 0;
+  for (std::size_t pos = 0; (pos = dump.find(" rise ", pos)) != std::string::npos; ++pos) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, graph.num_arcs() / 2);
+}
+
+TEST_F(TimingGraphTest, MismatchedGraphRejected) {
+  C17Circuit a = make_c17(lib_);
+  C17Circuit b = make_c17(lib_);
+  const DdmDelayModel ddm;
+  const TimingGraph graph = graph_for(a.netlist, ddm);
+  EXPECT_THROW((Simulator{b.netlist, ddm, graph}), ContractViolation);
+  EXPECT_THROW((StaticTimingAnalyzer{b.netlist, graph}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace halotis
