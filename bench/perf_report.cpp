@@ -31,9 +31,11 @@
 #include "src/base/rng.hpp"
 #include "src/circuits/generators.hpp"
 #include "src/core/delay_model.hpp"
+#include "src/core/partition.hpp"
 #include "src/core/simulator.hpp"
 #include "src/fault/campaign.hpp"
 #include "src/fault/fault.hpp"
+#include "src/timing/timing_graph.hpp"
 
 using namespace halotis;
 using namespace halotis::bench;
@@ -62,8 +64,12 @@ std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t n) {
   return hash;
 }
 
-/// Order- and bit-sensitive hash of all surviving transitions.
-std::uint64_t hash_history(const Simulator& sim) {
+/// Order- and bit-sensitive hash of all surviving transitions.  Works on
+/// both the serial Simulator and the PartitionedSimulator (whose history()
+/// routes to the owning partition) -- equal hashes mean bit-identical
+/// waveforms.
+template <class Sim>
+std::uint64_t hash_history(const Sim& sim) {
   std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
   const Netlist& nl = sim.netlist();
   for (std::size_t s = 0; s < nl.num_signals(); ++s) {
@@ -150,6 +156,111 @@ FaultCampaignResult run_fault_campaign_workload(const Library& lib, bool quick) 
       result.campaign_4t_wall_s > 0.0
           ? static_cast<double>(result.faults) / result.campaign_4t_wall_s
           : 0.0;
+  return result;
+}
+
+// ---- partitioned-kernel scaling workload ------------------------------------
+
+/// The PR-6 scaling workload: a deterministic layered synthetic circuit
+/// (100k gates full, 10k quick) under CDM, run through the serial kernel
+/// and the partitioned kernel at 1 and 4 threads.  CDM because the static
+/// window lookahead is provably conservative without delay degradation, so
+/// the run stays on the windowed path; the stimulus is staggered so no
+/// cross-partition simultaneity tie forces the serial fallback.
+///
+/// On the single-core trajectory containers the 4-thread wall time cannot
+/// show real scaling, so the record keeps both numbers: measured_speedup_4t
+/// (honest wall clock) and model_speedup_4p = events_processed /
+/// critical_path_events, the speedup an ideal 4-core host would see given
+/// the per-window partition balance actually achieved.
+struct PartitionScalingResult {
+  std::string name;
+  std::size_t gates = 0;
+  std::uint32_t partitions = 0;
+  double serial_wall_s = 0.0;
+  double part1_wall_s = 0.0;
+  double part4_wall_s = 0.0;
+  std::uint64_t events_processed = 0;
+  double events_per_sec_1t = 0.0;
+  double events_per_sec_4t = 0.0;
+  double measured_speedup_4t = 0.0;   // part1_wall / part4_wall
+  double model_speedup_4p = 0.0;      // events / critical-path events
+  std::uint64_t windows = 0;
+  std::uint64_t messages = 0;
+  bool fell_back_serial = false;
+  std::uint64_t hash_serial = 0;
+  std::uint64_t hash_part1 = 0;
+  std::uint64_t hash_part4 = 0;
+};
+
+PartitionScalingResult run_partition_scaling(const Library& lib, bool quick,
+                                             int reps) {
+  const CdmDelayModel cdm;
+  const int width = quick ? 100 : 500;
+  const int depth = quick ? 100 : 200;
+  LayeredCircuit circuit = make_layered_circuit(lib, width, depth, 7);
+  const TimingGraph timing = TimingGraph::build(circuit.netlist, cdm.timing_policy());
+  const Stimulus stim =
+      staggered_random_stimulus(circuit.inputs, quick ? 4 : 6, 911);
+
+  PartitionScalingResult result;
+  result.name = quick ? "layered10k_part" : "layered100k_part";
+  result.gates = circuit.netlist.num_gates();
+  result.partitions = 4;
+
+  {
+    std::vector<double> times;
+    for (int r = 0; r < reps; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      Simulator sim(circuit.netlist, cdm, timing);
+      sim.apply_stimulus(stim);
+      (void)sim.run();
+      times.push_back(seconds_since(start));
+      if (r == 0) result.hash_serial = hash_history(sim);
+    }
+    result.serial_wall_s = *std::min_element(times.begin(), times.end());
+  }
+
+  const auto run_partitioned = [&](int threads, double* wall,
+                                   std::uint64_t* hash) {
+    std::vector<double> times;
+    for (int r = 0; r < reps; ++r) {
+      PartitionedConfig config;
+      config.threads = threads;
+      config.partitions = result.partitions;
+      const auto start = std::chrono::steady_clock::now();
+      PartitionedSimulator sim(circuit.netlist, cdm, timing, config);
+      sim.apply_stimulus(stim);
+      (void)sim.run();
+      times.push_back(seconds_since(start));
+      if (r == 0) {
+        *hash = hash_history(sim);
+        result.events_processed = sim.stats().events_processed;
+        result.windows = sim.window_stats().windows;
+        result.messages = sim.window_stats().messages;
+        result.fell_back_serial = sim.window_stats().fell_back_serial;
+        const std::uint64_t critical = sim.window_stats().critical_path_events;
+        result.model_speedup_4p =
+            critical > 0 ? static_cast<double>(sim.stats().events_processed) /
+                               static_cast<double>(critical)
+                         : 0.0;
+      }
+    }
+    *wall = *std::min_element(times.begin(), times.end());
+  };
+  run_partitioned(1, &result.part1_wall_s, &result.hash_part1);
+  run_partitioned(4, &result.part4_wall_s, &result.hash_part4);
+
+  result.events_per_sec_1t =
+      result.part1_wall_s > 0.0
+          ? static_cast<double>(result.events_processed) / result.part1_wall_s
+          : 0.0;
+  result.events_per_sec_4t =
+      result.part4_wall_s > 0.0
+          ? static_cast<double>(result.events_processed) / result.part4_wall_s
+          : 0.0;
+  result.measured_speedup_4t =
+      result.part4_wall_s > 0.0 ? result.part1_wall_s / result.part4_wall_s : 0.0;
   return result;
 }
 
@@ -331,6 +442,11 @@ int main(int argc, char** argv) {
   // Fault-campaign workload: serial engine vs parallel campaign.
   const FaultCampaignResult fault = run_fault_campaign_workload(lib, quick);
 
+  // Partitioned-kernel scaling workload (PR 6): big runs are expensive, so
+  // fewer repetitions than the microbenchmarks.
+  const PartitionScalingResult part =
+      run_partition_scaling(lib, quick, quick ? 2 : 3);
+
   // Human-readable summary.
   std::printf("== perf_report (%s) ==\n\n", quick ? "quick" : "full");
   std::printf("%-18s %-12s %8s %12s %14s %12s\n", "workload", "model", "gates",
@@ -347,6 +463,19 @@ int main(int argc, char** argv) {
       fault.verdicts_identical ? "identical" : "DIVERGED", fault.serial_wall_s,
       fault.campaign_1t_wall_s, fault.speedup_1t, fault.campaign_4t_wall_s,
       fault.speedup_4t, fault.faults_per_sec_4t);
+
+  const bool part_hashes_ok =
+      part.hash_serial == part.hash_part1 && part.hash_part1 == part.hash_part4;
+  std::printf(
+      "\n%s: %zu gates, %u partitions, %llu windows, %llu boundary messages%s\n"
+      "  serial %.3f s | partitioned 1t %.3f s | 4t %.3f s"
+      " (measured %.2fx, model %.2fx) | hashes %s\n",
+      part.name.c_str(), part.gates, part.partitions,
+      static_cast<unsigned long long>(part.windows),
+      static_cast<unsigned long long>(part.messages),
+      part.fell_back_serial ? " [FELL BACK TO SERIAL]" : "", part.serial_wall_s,
+      part.part1_wall_s, part.part4_wall_s, part.measured_speedup_4t,
+      part.model_speedup_4p, part_hashes_ok ? "identical" : "DIVERGED");
 
   // JSON entry.
   std::string entry;
@@ -379,12 +508,39 @@ int main(int argc, char** argv) {
                   "    \"serial_wall_s\": %.6f, \"campaign_1t_wall_s\": %.6f,"
                   " \"campaign_4t_wall_s\": %.6f,\n"
                   "    \"speedup_1t_vs_serial\": %.3f, \"speedup_4t_vs_serial\": %.3f,"
-                  " \"faults_per_sec_4t\": %.1f, \"verdicts_identical\": %s}}",
+                  " \"faults_per_sec_4t\": %.1f, \"verdicts_identical\": %s},\n",
                   fault.name.c_str(), fault.gates, fault.faults, fault.vectors,
                   fault.detected, fault.serial_wall_s, fault.campaign_1t_wall_s,
                   fault.campaign_4t_wall_s, fault.speedup_1t, fault.speedup_4t,
                   fault.faults_per_sec_4t, fault.verdicts_identical ? "true" : "false");
     entry += fc;
+    // The three history_hash fields ride the same CI quick-hash diff as the
+    // workload hashes above -- they pin the multi-threaded kernel's waveform
+    // (and must all be equal: serial == partitioned-1t == partitioned-4t).
+    char pc[896];
+    std::snprintf(
+        pc, sizeof pc,
+        "   \"partition_scaling\": {\"workload\": \"%s\", \"gates\": %zu,"
+        " \"partitions\": %u, \"windows\": %llu, \"messages\": %llu,"
+        " \"fell_back_serial\": %s,\n"
+        "    \"serial_wall_s\": %.6f, \"part1_wall_s\": %.6f,"
+        " \"part4_wall_s\": %.6f, \"events_processed\": %llu,\n"
+        "    \"events_per_sec_1t\": %.1f, \"events_per_sec_4t\": %.1f,"
+        " \"measured_speedup_4t\": %.3f, \"model_speedup_4p\": %.3f,\n"
+        "    \"serial\": {\"history_hash\": \"%016llx\"},"
+        " \"part1\": {\"history_hash\": \"%016llx\"},"
+        " \"part4\": {\"history_hash\": \"%016llx\"}}}",
+        part.name.c_str(), part.gates, part.partitions,
+        static_cast<unsigned long long>(part.windows),
+        static_cast<unsigned long long>(part.messages),
+        part.fell_back_serial ? "true" : "false", part.serial_wall_s,
+        part.part1_wall_s, part.part4_wall_s,
+        static_cast<unsigned long long>(part.events_processed),
+        part.events_per_sec_1t, part.events_per_sec_4t, part.measured_speedup_4t,
+        part.model_speedup_4p, static_cast<unsigned long long>(part.hash_serial),
+        static_cast<unsigned long long>(part.hash_part1),
+        static_cast<unsigned long long>(part.hash_part4));
+    entry += pc;
   }
   if (!write_report(out, entry, append)) return 1;
   std::printf("\nwrote %s (label \"%s\"%s)\n", out.c_str(), label.c_str(),

@@ -297,6 +297,59 @@ RandomCircuit make_random_circuit(const Library& lib, int num_inputs, int num_ga
   return c;
 }
 
+LayeredCircuit make_layered_circuit(const Library& lib, int width, int depth,
+                                    std::uint64_t seed) {
+  require(width >= 4, "make_layered_circuit(): width must be >= 4");
+  require(depth >= 1, "make_layered_circuit(): depth must be >= 1");
+  LayeredCircuit c(lib);
+  Netlist& nl = c.netlist;
+  SplitMix64 rng(seed);
+
+  for (int i = 0; i < width; ++i) {
+    c.inputs.push_back(nl.add_primary_input(idx_name("in", i)));
+  }
+
+  static constexpr CellKind kKinds[] = {CellKind::kInv,  CellKind::kNand2,
+                                        CellKind::kNor2, CellKind::kAnd2,
+                                        CellKind::kOr2,  CellKind::kXor2};
+  const std::size_t w = static_cast<std::size_t>(width);
+  // Local taps stay within +-window of the gate's own column, so gates of
+  // one column range mostly feed gates of the same column range -- the
+  // structure a min-cut partitioner should find and keep.
+  const std::size_t window = std::max<std::size_t>(2, w / 16);
+  std::vector<SignalId> prev = c.inputs;
+  std::vector<SignalId> all = c.inputs;
+  std::vector<SignalId> layer;
+  for (int l = 0; l < depth; ++l) {
+    layer.clear();
+    for (int i = 0; i < width; ++i) {
+      const CellKind kind = kKinds[rng.next_below(std::size(kKinds))];
+      const int arity = num_inputs(kind);
+      std::vector<SignalId> ins;
+      ins.push_back(prev[static_cast<std::size_t>(i)]);
+      for (int k = 1; k < arity; ++k) {
+        if (rng.next_bool(0.05)) {
+          // Rare long-range tap: reconvergent fanout across columns/layers.
+          ins.push_back(all[rng.next_below(all.size())]);
+        } else {
+          const std::size_t off = 1 + rng.next_below(2 * window);
+          ins.push_back(prev[(static_cast<std::size_t>(i) + off) % w]);
+        }
+      }
+      const SignalId out = nl.add_signal(idx_name("w", l * width + i));
+      (void)nl.add_gate(idx_name("lg", l * width + i), kind, ins, out);
+      layer.push_back(out);
+    }
+    all.insert(all.end(), layer.begin(), layer.end());
+    prev = layer;
+  }
+  for (const SignalId s : prev) {
+    nl.mark_primary_output(s);
+    c.outputs.push_back(s);
+  }
+  return c;
+}
+
 LatchCircuit make_nand_latch(const Library& lib) {
   LatchCircuit c(lib);
   Netlist& nl = c.netlist;

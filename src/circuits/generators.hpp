@@ -96,6 +96,22 @@ struct RandomCircuit {
 [[nodiscard]] RandomCircuit make_random_circuit(const Library& lib, int num_inputs,
                                                 int num_gates, std::uint64_t seed);
 
+/// Deterministic layered synthetic benchmark for the partitioned-kernel
+/// scaling experiments: `width` primary inputs feeding `depth` layers of
+/// `width` gates each (total gates = width * depth).  Fanins come mostly
+/// from a local window of the previous layer -- the locality a partitioner
+/// can exploit -- with occasional long-range taps for reconvergent fanout.
+/// Same (width, depth, seed) always yields the bit-identical netlist.
+struct LayeredCircuit {
+  Netlist netlist;
+  std::vector<SignalId> inputs;   ///< size = width
+  std::vector<SignalId> outputs;  ///< final layer, size = width
+
+  LayeredCircuit(const Library& lib) : netlist(lib) {}
+};
+[[nodiscard]] LayeredCircuit make_layered_circuit(const Library& lib, int width,
+                                                  int depth, std::uint64_t seed);
+
 /// Cross-coupled NAND set/reset latch (for the hazard example): active-low
 /// set_n / reset_n inputs.
 struct LatchCircuit {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/rng.hpp"
 #include "src/circuits/generators.hpp"
 #include "src/core/stimulus.hpp"
 
@@ -48,6 +49,33 @@ inline std::vector<std::uint64_t> fig7_sequence() { return {0x00, 0xFF, 0x00, 0x
                                             TimeNs period = 5.0, TimeNs slew = 0.5) {
   Stimulus stim(slew);
   stim.apply_sequence(inputs, words, period, period);
+  return stim;
+}
+
+/// Per-signal staggered random edges: every input gets its own random
+/// 20-bit-fraction period and phase, so independent edges essentially never
+/// land on bit-equal times.  The partitioned kernel's windowed path wants
+/// tie-free stimuli -- synchronized word streams drive bit-equal event
+/// times into gates fed from different partitions, which (deliberately)
+/// forces its serial fallback.
+[[nodiscard]] inline Stimulus staggered_random_stimulus(
+    std::span<const SignalId> inputs, std::size_t edges, std::uint64_t seed,
+    TimeNs slew = 0.5) {
+  Stimulus stim(slew);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const TimeNs period =
+        4.0 + static_cast<double>(rng.next_below(1u << 20)) / (1u << 21);
+    const TimeNs start =
+        3.0 + static_cast<double>(rng.next_below(1u << 20)) / (1u << 20);
+    bool value = rng.next_bool(0.5);
+    stim.set_initial(inputs[i], value);
+    for (std::size_t k = 0; k < edges; ++k) {
+      if (rng.next_bool(0.3)) continue;  // idle cycles keep activity mixed
+      value = !value;
+      stim.add_edge(inputs[i], start + period * static_cast<double>(k), value);
+    }
+  }
   return stim;
 }
 

@@ -100,6 +100,17 @@ class BasicEventQueue {
   /// Requires state(id) == kPending.
   void cancel(EventId id);
 
+  /// Marks a pending, never-scheduled event fired without touching the
+  /// heap -- the partitioned kernel's owner-side replay of a firing that
+  /// physically happened in the receiving partition's queue.
+  void mark_fired_unscheduled(EventId id) {
+    Node& node = nodes_[id.value()];
+    debug_ensure(node.state == EventState::kPending && node.heap_pos == 0xFFFFFFFFu,
+                 "EventQueue::mark_fired_unscheduled(): event scheduled or not pending");
+    node.state = EventState::kFired;
+    ++fired_;
+  }
+
   /// Owner-managed intrusive list links stored alongside each event: the
   /// simulator threads its per-input pending lists through these so the
   /// event, its lifecycle state and its links share one ~40-byte record

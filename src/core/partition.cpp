@@ -1,0 +1,381 @@
+#include "src/core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/base/check.hpp"
+
+namespace halotis {
+
+std::vector<std::size_t> PartitionPlan::partition_sizes() const {
+  std::vector<std::size_t> sizes(k, 0);
+  for (const std::uint32_t p : gate_part) ++sizes[p];
+  return sizes;
+}
+
+std::uint32_t default_partition_count(const Netlist& netlist) {
+  // One partition per ~4k gates: below that the per-window barrier overhead
+  // dominates any parallel win; capped at 8 (the largest thread count the
+  // determinism tests pin).  Small circuits stay on the serial path.
+  const std::size_t by_size = netlist.num_gates() / 4096;
+  return static_cast<std::uint32_t>(std::clamp<std::size_t>(by_size, 1, 8));
+}
+
+namespace {
+
+/// One KL-style refinement sweep: move a boundary gate to the partition
+/// holding most of its neighbours (fanout-entry multiplicity, both
+/// directions) when that strictly reduces the cut and the sizes stay
+/// within [target/2, 3*target/2].  Deterministic: gates are visited in
+/// topological order, ties go to the lowest partition index.
+bool refine_pass(const Netlist& netlist, std::span<const GateId> topo,
+                 std::vector<std::uint32_t>& gate_part,
+                 std::vector<std::size_t>& sizes, std::uint32_t k) {
+  const std::size_t target = std::max<std::size_t>(1, netlist.num_gates() / k);
+  const std::size_t min_size = std::max<std::size_t>(1, target / 2);
+  const std::size_t max_size = target + target / 2 + 1;
+  std::vector<std::uint64_t> adj(k);
+  bool moved_any = false;
+  for (const GateId gid : topo) {
+    const Gate& gate = netlist.gate(gid);
+    std::fill(adj.begin(), adj.end(), 0);
+    for (const SignalId in : gate.inputs) {
+      const Signal& sig = netlist.signal(in);
+      if (sig.driver.valid()) ++adj[gate_part[sig.driver.value()]];
+    }
+    for (const PinRef& fo : netlist.signal(gate.output).fanout) {
+      ++adj[gate_part[fo.gate.value()]];
+    }
+    const std::uint32_t p = gate_part[gid.value()];
+    std::uint32_t best = p;
+    for (std::uint32_t q = 0; q < k; ++q) {
+      if (adj[q] > adj[best]) best = q;
+    }
+    if (best == p || adj[best] <= adj[p]) continue;
+    if (sizes[p] <= min_size || sizes[best] >= max_size) continue;
+    gate_part[gid.value()] = best;
+    --sizes[p];
+    ++sizes[best];
+    moved_any = true;
+  }
+  return moved_any;
+}
+
+}  // namespace
+
+PartitionPlan partition_netlist(const Netlist& netlist, const TimingGraph& timing,
+                                std::uint32_t k) {
+  require(&timing.netlist() == &netlist,
+          "partition_netlist(): TimingGraph was elaborated over a different netlist");
+  const std::size_t num_gates = netlist.num_gates();
+  PartitionPlan plan;
+  plan.k = std::max<std::uint32_t>(1, k);
+  if (num_gates > 0) {
+    plan.k = std::min<std::uint32_t>(plan.k, static_cast<std::uint32_t>(num_gates));
+  } else {
+    plan.k = 1;
+  }
+  plan.gate_part.assign(num_gates, 0);
+  plan.signal_owner.assign(netlist.num_signals(), 0);
+
+  const std::vector<GateId> topo = netlist.topological_order();
+  if (plan.k > 1) {
+    // Seed: contiguous blocks of the topological order.  In a feed-forward
+    // circuit the cut then falls between consecutive logic levels, which is
+    // already close to the minimum for layered DAGs.
+    for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+      plan.gate_part[topo[pos].value()] =
+          static_cast<std::uint32_t>(pos * plan.k / num_gates);
+    }
+    std::vector<std::size_t> sizes(plan.k, 0);
+    for (const std::uint32_t p : plan.gate_part) ++sizes[p];
+    for (int pass = 0; pass < 4; ++pass) {
+      if (!refine_pass(netlist, topo, plan.gate_part, sizes, plan.k)) break;
+    }
+  }
+
+  // Signal ownership: the driver's partition; primary inputs follow their
+  // first receiver (partition 0 when unconnected).
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const Signal& sig = netlist.signal(sid);
+    if (sig.driver.valid()) {
+      plan.signal_owner[s] = plan.gate_part[sig.driver.value()];
+    } else if (!sig.fanout.empty()) {
+      plan.signal_owner[s] = plan.gate_part[sig.fanout.front().gate.value()];
+    }
+  }
+
+  // Cut metrics + conservative lookahead.  A boundary insert's time is
+  //   t_cross = t_event + tp - tau_out * (0.5 - min(frac, 1 - frac))
+  // (the receiving pin's threshold crossing of the driver's output ramp),
+  // so the margin a crossing signal guarantees is its driver's smallest
+  // nominal arc delay minus the worst receiver offset.  Degradation can
+  // still undercut any static margin (eq. 1: tp -> 0); those cases are
+  // caught as violations at the barrier and fall back to the serial kernel.
+  TimeNs min_margin = kNeverNs;
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const Signal& sig = netlist.signal(sid);
+    const std::uint32_t owner = plan.signal_owner[s];
+    bool crosses = false;
+    double worst_off = 0.0;
+    for (const PinRef& fo : sig.fanout) {
+      if (plan.gate_part[fo.gate.value()] == owner) continue;
+      crosses = true;
+      ++plan.cut_fanout;
+      const double frac = timing.threshold_fraction(fo.gate, fo.pin);
+      worst_off = std::max(worst_off, 0.5 - std::min(frac, 1.0 - frac));
+    }
+    if (!crosses) continue;
+    ++plan.cut_signals;
+    // Primary-input transitions are scheduled before the first window and
+    // constrain nothing; their pair-rule revocations are violation-checked.
+    if (!sig.driver.valid()) continue;
+    const Gate& driver = netlist.gate(sig.driver);
+    const std::uint32_t arc_base = timing.arc_base(sig.driver);
+    TimeNs min_tp = kNeverNs;
+    TimeNs max_tau = 0.0;
+    for (std::uint32_t a = 0; a < 2 * driver.inputs.size(); ++a) {
+      const TimingArc& arc = timing.arc(arc_base + a);
+      min_tp = std::min(min_tp, arc.tp_base * std::min(arc.factor, 1.0));
+      max_tau = std::max(max_tau, arc.tau_out * std::max(arc.factor, 1.0));
+    }
+    min_margin = std::min(min_margin, min_tp - worst_off * max_tau);
+  }
+  plan.lookahead =
+      min_margin >= kNeverNs ? 1.0 : std::max(kMinLookahead, min_margin);
+  return plan;
+}
+
+// ---- PartitionedSimulator ---------------------------------------------------
+
+PartitionedSimulator::PartitionedSimulator(const Netlist& netlist, const DelayModel& model,
+                                           const TimingGraph& timing,
+                                           PartitionedConfig config)
+    : netlist_(&netlist),
+      model_(&model),
+      timing_(&timing),
+      config_(config),
+      plan_(partition_netlist(netlist, timing,
+                              config.partitions == 0 ? default_partition_count(netlist)
+                                                     : config.partitions)),
+      pool_(config.threads) {
+  outbox_.resize(plan_.k);
+  for (auto& row : outbox_) row.resize(plan_.k);
+  parts_.reserve(plan_.k);
+  for (std::uint32_t p = 0; p < plan_.k; ++p) {
+    parts_.push_back(std::make_unique<Simulator>(netlist, model, timing, config.sim));
+    // A single partition needs no ownership filter: it IS the serial kernel.
+    if (plan_.k > 1) {
+      parts_.back()->part_attach(p, plan_.k, plan_.gate_part.data(), outbox_[p].data());
+    }
+  }
+}
+
+void PartitionedSimulator::apply_stimulus(const Stimulus& stimulus) {
+  require(!stimulus_applied_,
+          "PartitionedSimulator::apply_stimulus(): stimulus already applied");
+  stimulus_ = stimulus;  // retained for the serial fallback re-run
+  stimulus_applied_ = true;
+  // Every partition enumerates the same stimulus and materializes only the
+  // primary inputs it owns; partitions touch disjoint state (their own
+  // arenas and outboxes), so the settle/schedule work shards cleanly.
+  pool_.for_each_index(plan_.k, [this](int, std::size_t i) {
+    parts_[i]->apply_stimulus(stimulus_);
+  });
+}
+
+RunResult PartitionedSimulator::run() {
+  require(stimulus_applied_, "PartitionedSimulator::run(): apply_stimulus() first");
+  require(!ran_, "PartitionedSimulator::run(): already ran; reset() first");
+  ran_ = true;
+  RunResult result;
+  if (plan_.k == 1) {
+    result = parts_[0]->run();
+    sum_stats();
+    return result;
+  }
+
+  const TimeNs lookahead = config_.lookahead_override > 0.0
+                               ? config_.lookahead_override
+                               : plan_.lookahead;
+  const TimeNs horizon = config_.sim.t_end;
+  // The serial kernel processes events with time <= horizon and windows are
+  // half-open [start, end): cap the last window just past the horizon.
+  const TimeNs end_cap =
+      std::nextafter(horizon, std::numeric_limits<double>::infinity());
+  TimeNs prev_w_end = -kNeverNs;
+  std::vector<std::uint64_t> processed_before(plan_.k, 0);
+
+  while (true) {
+    // ---- barrier: deliver the messages staged during the last window, in
+    // fixed (destination, source, staging) order -- the deterministic merge
+    // that makes receiver-side event ids thread-count invariant.
+    std::uint64_t violations = 0;
+    for (std::uint32_t dst = 0; dst < plan_.k; ++dst) {
+      for (std::uint32_t src = 0; src < plan_.k; ++src) {
+        auto& box = outbox_[src][dst];
+        if (box.empty()) continue;
+        window_stats_.messages += box.size();
+        const Simulator::InboxResult r = parts_[dst]->part_apply_inbox(src, box, prev_w_end);
+        window_stats_.violations_insert += r.late_inserts;
+        window_stats_.violations_cancel += r.late_cancels;
+        violations += r.late_inserts + r.late_cancels;
+        box.clear();
+      }
+    }
+    if (violations != 0) {
+      // A boundary pulse undercut the lookahead (degradation or a clamped
+      // minimum-width pulse).  The violation set depends only on the
+      // deterministic window schedule and message stream -- every thread
+      // count takes this exit on the same workload -- and the fallback
+      // reproduces the serial kernel's result exactly.
+      window_stats_.violations += violations;
+      window_stats_.fell_back_serial = true;
+      run_serial_fallback(&result);
+      return result;
+    }
+
+    // ---- next window: global minimum pending time plus the lookahead.
+    TimeNs t_min = kNeverNs;
+    std::uint64_t processed = 0;
+    for (const auto& part : parts_) {
+      t_min = std::min(t_min, part->part_next_time());
+      processed += part->stats().events_processed;
+    }
+    if (t_min >= kNeverNs) {
+      result.reason = StopReason::kQueueExhausted;
+      break;
+    }
+    if (t_min > horizon) {
+      result.reason = StopReason::kHorizonReached;
+      break;
+    }
+    if (processed >= config_.sim.max_events) {
+      // Enforced at barriers: the partitioned run may overshoot within the
+      // last window (documented difference from the serial kernel's exact
+      // mid-storm cutoff).
+      result.reason = StopReason::kEventLimit;
+      break;
+    }
+    const TimeNs w_end = std::min(t_min + lookahead, end_cap);
+
+    // ---- parallel phase: disjoint partitions, own outboxes, no shared
+    // mutable state; WorkerPool's join is the barrier.
+    for (std::uint32_t p = 0; p < plan_.k; ++p) {
+      processed_before[p] = parts_[p]->stats().events_processed;
+    }
+    pool_.for_each_index(plan_.k, [this, w_end](int, std::size_t i) {
+      parts_[i]->part_run_window(w_end);
+    });
+    ++window_stats_.windows;
+    std::uint64_t busiest = 0;
+    std::uint64_t ties = 0;
+    for (std::uint32_t p = 0; p < plan_.k; ++p) {
+      busiest = std::max(busiest,
+                         parts_[p]->stats().events_processed - processed_before[p]);
+      ties += parts_[p]->part_tie_violations();
+    }
+    window_stats_.critical_path_events += busiest;
+    if (ties != 0) {
+      // Cross-channel simultaneity: two bit-equal event times met at one
+      // gate.  Serial event order is unrecoverable; discard and rerun
+      // serially (deterministic -- the tie is a property of the workload).
+      window_stats_.violations += ties;
+      window_stats_.violations_tie += ties;
+      window_stats_.fell_back_serial = true;
+      run_serial_fallback(&result);
+      return result;
+    }
+    prev_w_end = w_end;
+  }
+
+  TimeNs end_time = 0.0;
+  for (const auto& part : parts_) end_time = std::max(end_time, part->now());
+  result.end_time = end_time;
+  sum_stats();
+  return result;
+}
+
+void PartitionedSimulator::run_serial_fallback(RunResult* result) {
+  serial_ = std::make_unique<Simulator>(*netlist_, *model_, *timing_, config_.sim);
+  serial_->apply_stimulus(stimulus_);
+  *result = serial_->run();
+  sum_stats();
+}
+
+void PartitionedSimulator::reset() {
+  for (auto& part : parts_) part->reset();
+  for (auto& row : outbox_) {
+    for (auto& box : row) box.clear();
+  }
+  serial_.reset();
+  stats_ = SimStats{};
+  window_stats_ = WindowStats{};
+  stimulus_ = Stimulus{};
+  stimulus_applied_ = false;
+  ran_ = false;
+}
+
+void PartitionedSimulator::sum_stats() {
+  if (serial_ != nullptr) {
+    stats_ = serial_->stats();
+    return;
+  }
+  stats_ = SimStats{};
+  for (const auto& part : parts_) {
+    const SimStats& s = part->stats();
+    stats_.events_created += s.events_created;
+    stats_.events_processed += s.events_processed;
+    stats_.events_cancelled += s.events_cancelled;
+    stats_.events_suppressed += s.events_suppressed;
+    stats_.events_resurrected += s.events_resurrected;
+    stats_.pair_cancellations += s.pair_cancellations;
+    stats_.annihilations += s.annihilations;
+    stats_.ddm_collapses += s.ddm_collapses;
+    stats_.cdm_inertial_filtered += s.cdm_inertial_filtered;
+    stats_.clamped_pulses += s.clamped_pulses;
+    stats_.transitions_created += s.transitions_created;
+    stats_.transitions_annihilated += s.transitions_annihilated;
+    stats_.gate_evaluations += s.gate_evaluations;
+  }
+}
+
+const Simulator& PartitionedSimulator::owner_sim(SignalId signal) const {
+  if (serial_ != nullptr) return *serial_;
+  return *parts_[plan_.owner_of(signal)];
+}
+
+bool PartitionedSimulator::initial_value(SignalId signal) const {
+  return (serial_ != nullptr ? *serial_ : *parts_[0]).initial_value(signal);
+}
+
+bool PartitionedSimulator::final_value(SignalId signal) const {
+  return owner_sim(signal).final_value(signal);
+}
+
+std::vector<Transition> PartitionedSimulator::history(SignalId signal) const {
+  return owner_sim(signal).history(signal);
+}
+
+bool PartitionedSimulator::value_at(SignalId signal, TimeNs t) const {
+  return owner_sim(signal).value_at(signal, t);
+}
+
+std::size_t PartitionedSimulator::toggle_count(SignalId signal) const {
+  return owner_sim(signal).toggle_count(signal);
+}
+
+std::uint64_t PartitionedSimulator::total_activity() const {
+  if (serial_ != nullptr) return serial_->total_activity();
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < netlist_->num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    total += owner_sim(sid).toggle_count(sid);
+  }
+  return total;
+}
+
+}  // namespace halotis

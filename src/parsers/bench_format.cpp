@@ -58,6 +58,8 @@ Netlist read_bench_stream(std::istream& in, const Library& library) {
   std::vector<std::string> outputs;
   std::vector<PendingGate> gates;
   std::map<std::string, SignalId> signals;
+  std::map<std::string, int> input_lines;    ///< INPUT name -> declaring line
+  std::map<std::string, int> defined_lines;  ///< gate output -> defining line
 
   const auto get_signal = [&](const std::string& name) {
     const auto it = signals.find(name);
@@ -86,8 +88,10 @@ Netlist read_bench_stream(std::istream& in, const Library& library) {
       require(!name.empty(), "bench: empty port name on line " + std::to_string(line_number));
       if (starts_with(upper, "INPUT(")) {
         require(signals.find(name) == signals.end(),
-                "bench: duplicate INPUT '" + name + "'");
+                "bench: duplicate INPUT '" + name + "' on line " +
+                    std::to_string(line_number));
         signals.emplace(name, netlist.add_primary_input(name));
+        input_lines.emplace(name, line_number);
       } else {
         outputs.push_back(name);
       }
@@ -116,7 +120,69 @@ Netlist read_bench_stream(std::istream& in, const Library& library) {
     }
     require(!gate.inputs.empty(),
             "bench: gate without inputs on line " + std::to_string(line_number));
+    require(!gate.output.empty(),
+            "bench: empty gate output name on line " + std::to_string(line_number));
+    {
+      const auto prev = defined_lines.find(gate.output);
+      require(prev == defined_lines.end(),
+              "bench: duplicate definition of '" + gate.output + "' on line " +
+                  std::to_string(line_number) + " (first defined on line " +
+                  std::to_string(prev == defined_lines.end() ? 0 : prev->second) +
+                  ")");
+      const auto pi = input_lines.find(gate.output);
+      require(pi == input_lines.end(),
+              "bench: gate on line " + std::to_string(line_number) +
+                  " redefines INPUT '" + gate.output + "' (declared on line " +
+                  std::to_string(pi == input_lines.end() ? 0 : pi->second) + ")");
+      defined_lines.emplace(gate.output, line_number);
+    }
     gates.push_back(std::move(gate));
+  }
+
+  // Every fanin must be an INPUT or some gate's output -- a silently
+  // created undriven signal would only be diagnosed (nameless) much later.
+  for (const PendingGate& g : gates) {
+    for (const std::string& in_name : g.inputs) {
+      require(input_lines.count(in_name) != 0 || defined_lines.count(in_name) != 0,
+              "bench: undeclared fanin '" + in_name + "' on line " +
+                  std::to_string(g.line));
+    }
+  }
+
+  // Cycle check over the pending gates (iterative DFS, three colours).  A
+  // combinational deck must be acyclic; Netlist::check() cannot report the
+  // offending source line, so detect it here.
+  {
+    std::map<std::string, std::size_t> gate_of_output;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      gate_of_output.emplace(gates[i].output, i);
+    }
+    std::vector<int> colour(gates.size(), 0);  // 0 white, 1 grey, 2 black
+    for (std::size_t root = 0; root < gates.size(); ++root) {
+      if (colour[root] != 0) continue;
+      std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+      colour[root] = 1;
+      while (!stack.empty()) {
+        auto& [g, next_in] = stack.back();
+        if (next_in == gates[g].inputs.size()) {
+          colour[g] = 2;
+          stack.pop_back();
+          continue;
+        }
+        const auto it = gate_of_output.find(gates[g].inputs[next_in++]);
+        if (it == gate_of_output.end()) continue;  // primary input
+        const std::size_t dep = it->second;
+        require(colour[dep] != 1,
+                "bench: cyclic definition of '" + gates[dep].output +
+                    "' on line " + std::to_string(gates[dep].line) +
+                    " (reached again from '" + gates[g].output + "' on line " +
+                    std::to_string(gates[g].line) + ")");
+        if (colour[dep] == 0) {
+          colour[dep] = 1;
+          stack.emplace_back(dep, 0);
+        }
+      }
+    }
   }
 
   // Instantiate (two passes: signals first so order in the file is free).

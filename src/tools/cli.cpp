@@ -12,6 +12,7 @@
 #include "src/analog/analog_sim.hpp"
 #include "src/base/check.hpp"
 #include "src/base/strings.hpp"
+#include "src/core/partition.hpp"
 #include "src/core/simulator.hpp"
 #include "src/fault/campaign.hpp"
 #include "src/fault/fault.hpp"
@@ -153,20 +154,70 @@ int cmd_sim(const Options& options, std::ostream& out) {
 
   SimConfig config;
   config.t_end = options.number("t-end", kNeverNs);
+
+  const int threads = static_cast<int>(options.number("threads", 1));
+  const auto partitions = static_cast<std::uint32_t>(options.number("partitions", 0));
+  require(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+
+  const auto print_run = [&](const RunResult& result, const SimStats& stats) {
+    out << "model: " << model->name() << "\n";
+    out << "finished at t = " << format_double(result.end_time, 6) << " ns ("
+        << (result.reason == StopReason::kQueueExhausted    ? "queue exhausted"
+            : result.reason == StopReason::kHorizonReached  ? "horizon reached"
+                                                            : "event limit")
+        << ")\n";
+    out << "events: processed " << stats.events_processed << ", filtered "
+        << stats.filtered_events() << ", transitions "
+        << stats.surviving_transitions() << "\n";
+  };
+  const auto print_finals = [&](const auto& sim) {
+    out << "final output values:\n";
+    for (const SignalId po : netlist.primary_outputs()) {
+      out << "  " << netlist.signal(po).name << " = "
+          << (sim.final_value(po) ? 1 : 0) << "\n";
+    }
+  };
+
+  if (threads != 1 || partitions != 0) {
+    // Partitioned parallel kernel: bit-identical history at any thread
+    // count (see src/core/partition.hpp); the analysis flags that consume
+    // the full per-signal database stay serial-only.
+    require(!options.get("report") && !options.get("vcd"),
+            "--report/--vcd require the serial kernel (--threads 1)");
+    PartitionedConfig pconfig;
+    pconfig.threads = threads;
+    pconfig.partitions = partitions;
+    pconfig.sim = config;
+    PartitionedSimulator sim(netlist, *model, timing, pconfig);
+    sim.apply_stimulus(stimulus);
+    const RunResult result = sim.run();
+    print_run(result, sim.stats());
+    const WindowStats& ws = sim.window_stats();
+    out << "partitions: " << sim.plan().k << ", windows " << ws.windows
+        << ", boundary messages " << ws.messages;
+    if (ws.fell_back_serial) {
+      out << " (violations " << ws.violations << " -> serial fallback)";
+    }
+    out << "\n";
+    print_finals(sim);
+    if (options.get("waves")) {
+      const TimeNs horizon = std::max(result.end_time, 1.0);
+      AsciiPlot plot(0.0, horizon * 1.05, 100);
+      for (const SignalId po : netlist.primary_outputs()) {
+        plot.add_digital(netlist.signal(po).name,
+                         DigitalWaveform::from_transitions(sim.initial_value(po),
+                                                           sim.history(po)));
+      }
+      out << '\n' << plot.render();
+    }
+    return 0;
+  }
+
   Simulator sim(netlist, *model, timing, config);
   sim.apply_stimulus(stimulus);
   const RunResult result = sim.run();
 
-  out << "model: " << model->name() << "\n";
-  out << "finished at t = " << format_double(result.end_time, 6) << " ns ("
-      << (result.reason == StopReason::kQueueExhausted    ? "queue exhausted"
-          : result.reason == StopReason::kHorizonReached  ? "horizon reached"
-                                                          : "event limit")
-      << ")\n";
-  const SimStats& stats = sim.stats();
-  out << "events: processed " << stats.events_processed << ", filtered "
-      << stats.filtered_events() << ", transitions " << stats.surviving_transitions()
-      << "\n";
+  print_run(result, sim.stats());
   if (result.reason == StopReason::kEventLimit) {
     out << "event limit hit -- most active signals (possible oscillation):\n";
     for (const SignalId sig : sim.most_active_signals(5)) {
@@ -174,12 +225,7 @@ int cmd_sim(const Options& options, std::ostream& out) {
           << " transitions\n";
     }
   }
-
-  out << "final output values:\n";
-  for (const SignalId po : netlist.primary_outputs()) {
-    out << "  " << netlist.signal(po).name << " = " << (sim.final_value(po) ? 1 : 0)
-        << "\n";
-  }
+  print_finals(sim);
 
   if (options.get("report")) {
     out << '\n' << format_activity(compute_activity(sim), 20);
@@ -470,6 +516,9 @@ commands:
            --netlist F [--format bench|verilog|native] [--stim F]
            [--model ddm|cdm|cdm-classical|transport] [--t-end NS]
            [--sdf F] [--vcd F] [--report] [--waves]
+           [--threads N] [--partitions K]   (partitioned parallel kernel;
+           N=0 uses all hardware threads, results are bit-identical at
+           every N; --report/--vcd need --threads 1)
   analog   transistor-level reference simulation
            --netlist F [--stim F] [--t-end NS] [--csv F]
   sta      static timing analysis (conventional worst case)

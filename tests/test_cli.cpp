@@ -73,6 +73,34 @@ TEST_F(CliTest, SimProducesStatsAndFinalValues) {
   EXPECT_NE(text.find("y = 0"), std::string::npos);  // a falls back to 0
 }
 
+TEST_F(CliTest, SimThreadsRunsPartitionedKernel) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+  EXPECT_EQ(run({"sim", "--netlist", netlist, "--stim", stim, "--threads", "2",
+                 "--partitions", "2"}),
+            0);
+  const std::string parallel = out_.str();
+  EXPECT_NE(parallel.find("partitions: 2"), std::string::npos);
+  EXPECT_NE(parallel.find("events: processed"), std::string::npos);
+
+  // The serial run reports the same event counts and final values.
+  EXPECT_EQ(run({"sim", "--netlist", netlist, "--stim", stim}), 0);
+  const std::string serial = out_.str();
+  const auto line = [](const std::string& text, const char* prefix) {
+    const std::size_t at = text.find(prefix);
+    return text.substr(at, text.find('\n', at) - at);
+  };
+  EXPECT_EQ(line(parallel, "events:"), line(serial, "events:"));
+  EXPECT_EQ(line(parallel, "finished at"), line(serial, "finished at"));
+  EXPECT_EQ(line(parallel, "y ="), line(serial, "y ="));
+
+  // Serial-only analyses are rejected up front under --threads.
+  EXPECT_EQ(run({"sim", "--netlist", netlist, "--stim", stim, "--threads", "2",
+                 "--report"}),
+            1);
+  EXPECT_NE(err_.str().find("--threads 1"), std::string::npos);
+}
+
 TEST_F(CliTest, SimWritesVcd) {
   const std::string netlist = write("and2.bench", kBench);
   const std::string stim = write("and2.stim", kStim);

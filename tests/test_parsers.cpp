@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <utility>
 
+#include "src/base/rng.hpp"
 #include "src/circuits/generators.hpp"
 #include "src/parsers/bench_format.hpp"
 #include "src/parsers/netlist_io.hpp"
@@ -122,6 +125,125 @@ TEST_F(ParsersTest, BenchErrors) {
   // Comments and blank lines are fine.
   EXPECT_NO_THROW((void)read_bench("# nothing\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # inv\n",
                                    lib_));
+}
+
+/// Asserts that parsing `text` raises a ContractViolation whose message
+/// carries the offending source line (`"line <n>"`) -- a parser that dies
+/// with an internal netlist assertion, or accepts the deck silently, fails.
+void expect_bench_error_on_line(const std::string& text, int line,
+                                const Library& lib) {
+  try {
+    (void)read_bench(text, lib);
+    FAIL() << "accepted malformed deck:\n" << text;
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("line " + std::to_string(line)),
+              std::string::npos)
+        << "message lacks 'line " << line << "': " << e.what();
+  }
+}
+
+TEST_F(ParsersTest, BenchMalformedDecksRaiseLineNumberedErrors) {
+  // Duplicate gate definition: the second assignment is the error.
+  expect_bench_error_on_line(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ny = OR(a, b)\n", 5, lib_);
+  // Undeclared fanin: neither an INPUT nor any gate's output.
+  expect_bench_error_on_line("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", 3, lib_);
+  // Cyclic definition (two-gate loop and direct self-loop).
+  expect_bench_error_on_line(
+      "INPUT(a)\nOUTPUT(y)\nu = AND(a, v)\nv = AND(a, u)\ny = AND(u, v)\n", 3,
+      lib_);
+  expect_bench_error_on_line("INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n", 3, lib_);
+  // A gate may not drive a declared primary input.
+  expect_bench_error_on_line(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\na = AND(b, b)\ny = NOT(a)\n", 4, lib_);
+  // Duplicate INPUT declaration.
+  expect_bench_error_on_line("INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", 2,
+                             lib_);
+  // Unbalanced parenthesis and empty operand.
+  expect_bench_error_on_line("INPUT(a)\nOUTPUT(y)\ny = NOT(a\n", 3, lib_);
+  expect_bench_error_on_line("INPUT(a)\nOUTPUT(y)\ny = AND(a,,a)\n", 3, lib_);
+}
+
+TEST_F(ParsersTest, BenchFixtureLoadsAndMatchesGenerator) {
+  const std::string path =
+      std::string(HALOTIS_SOURCE_DIR) + "/tests/data/mult8.bench";
+  const Netlist parsed = read_bench_file(path, lib_);
+  EXPECT_EQ(parsed.num_gates(), 384u);
+
+  // Functional equivalence against the generator's multiplier, mapping
+  // primary inputs and outputs by name (declaration order is not part of
+  // the format's contract).
+  MultiplierCircuit ref = make_multiplier(lib_, 8);
+  const auto value_by_name = [](const Netlist& nl,
+                                const std::vector<bool>& values,
+                                const std::string& name) {
+    for (SignalId po : nl.primary_outputs()) {
+      if (nl.signal(po).name == name) return values[po.value()];
+    }
+    ADD_FAILURE() << "no output named " << name;
+    return false;
+  };
+  for (const auto& [a, b] : std::vector<std::pair<unsigned, unsigned>>{
+           {0u, 0u}, {1u, 1u}, {3u, 5u}, {85u, 170u}, {255u, 255u}, {200u, 131u}}) {
+    const auto pi_vector = [&](const Netlist& nl) {
+      std::vector<bool> pis;
+      for (SignalId pi : nl.primary_inputs()) {
+        const std::string& name = nl.signal(pi).name;
+        bool v = false;
+        if (name[0] == 'a') v = ((a >> (name[1] - '0')) & 1u) != 0;
+        if (name[0] == 'b') v = ((b >> (name[1] - '0')) & 1u) != 0;
+        pis.push_back(v);  // tie0 and friends stay 0
+      }
+      return pis;
+    };
+    const auto got = steady(parsed, pi_vector(parsed));
+    const auto want = steady(ref.netlist, pi_vector(ref.netlist));
+    ASSERT_EQ(parsed.primary_outputs().size(), ref.netlist.primary_outputs().size());
+    for (SignalId po : ref.netlist.primary_outputs()) {
+      const std::string& name = ref.netlist.signal(po).name;
+      ASSERT_EQ(value_by_name(parsed, got, name), want[po.value()])
+          << a << "*" << b << " output " << name;
+    }
+  }
+}
+
+/// Property fuzz: random mutations of a known-good deck must either parse
+/// into a checked netlist or raise ContractViolation -- never crash, hang,
+/// or accept an inconsistent circuit (read_bench runs Netlist::check()).
+TEST_F(ParsersTest, BenchFuzzMutatedDecksNeverCrash) {
+  const std::string base{c17_bench_text()};
+  SplitMix64 rng(0xbe7cf);
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text = base;
+    const int mutations = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const std::size_t pos = rng.next_below(static_cast<std::uint32_t>(text.size()));
+      switch (rng.next_below(4)) {
+        case 0:  // flip a byte to a random printable character
+          text[pos] = static_cast<char>(' ' + rng.next_below(95));
+          break;
+        case 1:  // delete a byte
+          text.erase(pos, 1);
+          break;
+        case 2:  // duplicate a random line somewhere
+          text.insert(pos, "16 = NAND(2, 11)\n");
+          break;
+        case 3:  // truncate
+          text.resize(pos);
+          break;
+      }
+    }
+    try {
+      const Netlist nl = read_bench(text, lib_);
+      EXPECT_LE(nl.num_gates(), 64u);
+      ++parsed_ok;
+    } catch (const ContractViolation&) {
+      // Expected for most mutations.
+    }
+  }
+  // Sanity: some mutants (e.g. comment-only edits) must still parse.
+  EXPECT_GT(parsed_ok, 0);
 }
 
 TEST_F(ParsersTest, VerilogParseAndEvaluate) {

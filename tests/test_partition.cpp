@@ -1,0 +1,567 @@
+// Partitioned parallel kernel (PR 6 acceptance).
+//
+// The contract under test: PartitionedSimulator produces bit-identical
+// results -- SimStats, per-signal transition histories, stop reason, end
+// time -- to the serial Simulator on the same workload, for every thread
+// count, because the partition plan is a pure function of the netlist, the
+// window schedule is derived from deterministic state only, and barriers
+// merge boundary messages in fixed (destination, source, staging) order.
+// These tests pin the plan invariants, the lookahead formula against the
+// TimingGraph, serial equality across circuits and delay models, thread
+// count invariance at {1, 2, 4, 8}, the violation -> serial-fallback path,
+// randomized DAG stress, and reset() bit-exactness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.hpp"
+#include "src/circuits/generators.hpp"
+#include "src/circuits/stimuli.hpp"
+#include "src/core/partition.hpp"
+#include "src/core/simulator.hpp"
+#include "src/parsers/bench_format.hpp"
+#include "src/timing/timing_graph.hpp"
+
+namespace halotis {
+namespace {
+
+void expect_stats_identical(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.events_created, b.events_created);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.events_cancelled, b.events_cancelled);
+  EXPECT_EQ(a.events_suppressed, b.events_suppressed);
+  EXPECT_EQ(a.events_resurrected, b.events_resurrected);
+  EXPECT_EQ(a.pair_cancellations, b.pair_cancellations);
+  EXPECT_EQ(a.annihilations, b.annihilations);
+  EXPECT_EQ(a.ddm_collapses, b.ddm_collapses);
+  EXPECT_EQ(a.cdm_inertial_filtered, b.cdm_inertial_filtered);
+  EXPECT_EQ(a.clamped_pulses, b.clamped_pulses);
+  EXPECT_EQ(a.transitions_created, b.transitions_created);
+  EXPECT_EQ(a.transitions_annihilated, b.transitions_annihilated);
+  EXPECT_EQ(a.gate_evaluations, b.gate_evaluations);
+}
+
+/// Bit-exact per-signal history comparison; works for any pair of
+/// Simulator / PartitionedSimulator (both expose netlist() and history()).
+template <typename SimA, typename SimB>
+void expect_histories_identical(const SimA& a, const SimB& b) {
+  ASSERT_EQ(a.netlist().num_signals(), b.netlist().num_signals());
+  for (std::size_t s = 0; s < a.netlist().num_signals(); ++s) {
+    const SignalId id{static_cast<SignalId::underlying_type>(s)};
+    const auto ha = a.history(id);
+    const auto hb = b.history(id);
+    ASSERT_EQ(ha.size(), hb.size()) << "signal " << s;
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+      EXPECT_EQ(ha[i].edge, hb[i].edge) << "signal " << s << " transition " << i;
+      // Bit-identical, not approximately equal: the partitioned kernel
+      // promises the exact same float arithmetic as the serial one.
+      EXPECT_EQ(ha[i].t_start, hb[i].t_start) << "signal " << s << " transition " << i;
+      EXPECT_EQ(ha[i].tau, hb[i].tau) << "signal " << s << " transition " << i;
+    }
+  }
+}
+
+// staggered_random_stimulus (src/circuits/stimuli.hpp) supplies the
+// tie-free per-signal random edges the windowed path needs; synchronized
+// stimuli create cross-channel simultaneity ties, which (correctly) force
+// the serial fallback -- the dedicated tie test covers those.
+
+Stimulus multiplier_words(const MultiplierCircuit& mult,
+                          const std::vector<std::uint64_t>& words) {
+  Stimulus stim(0.5);
+  std::vector<SignalId> ab;
+  for (SignalId s : mult.a) ab.push_back(s);
+  for (SignalId s : mult.b) ab.push_back(s);
+  stim.apply_sequence(ab, words, 5.0, 5.0);
+  stim.set_initial(mult.tie0, false);
+  return stim;
+}
+
+Stimulus multiplier_staggered(const MultiplierCircuit& mult, std::size_t edges,
+                              std::uint64_t seed) {
+  std::vector<SignalId> ab;
+  for (SignalId s : mult.a) ab.push_back(s);
+  for (SignalId s : mult.b) ab.push_back(s);
+  Stimulus stim = staggered_random_stimulus(ab, edges, seed);
+  stim.set_initial(mult.tie0, false);
+  return stim;
+}
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+};
+
+// ---- partition plan invariants ----------------------------------------------
+
+TEST_F(PartitionTest, PlanCoversEveryGateExactlyOnce) {
+  MultiplierCircuit mult = make_multiplier(lib_, 8);
+  const DdmDelayModel ddm;
+  const TimingGraph tg = TimingGraph::build(mult.netlist, ddm.timing_policy());
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    const PartitionPlan plan = partition_netlist(mult.netlist, tg, k);
+    ASSERT_EQ(plan.k, k);
+    // gate_part IS the cover: every gate appears in exactly one partition.
+    ASSERT_EQ(plan.gate_part.size(), mult.netlist.num_gates());
+    const auto sizes = plan.partition_sizes();
+    std::size_t total = 0;
+    for (std::uint32_t p = 0; p < k; ++p) {
+      EXPECT_GT(sizes[p], 0u) << "empty partition " << p;
+      total += sizes[p];
+    }
+    EXPECT_EQ(total, mult.netlist.num_gates());
+    for (const std::uint32_t p : plan.gate_part) EXPECT_LT(p, k);
+    // Balance: refinement keeps every partition within [n/2k, 3n/2k + 1].
+    const std::size_t target = mult.netlist.num_gates() / k;
+    for (std::uint32_t p = 0; p < k; ++p) {
+      EXPECT_GE(sizes[p], std::max<std::size_t>(1, target / 2));
+      EXPECT_LE(sizes[p], target + target / 2 + 1);
+    }
+    // Signal owners follow drivers (primary inputs their first receiver).
+    for (std::size_t s = 0; s < mult.netlist.num_signals(); ++s) {
+      const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+      const Signal& sig = mult.netlist.signal(sid);
+      if (sig.driver.valid()) {
+        EXPECT_EQ(plan.owner_of(sid), plan.gate_part[sig.driver.value()]);
+      } else if (!sig.fanout.empty()) {
+        EXPECT_EQ(plan.owner_of(sid), plan.gate_part[sig.fanout.front().gate.value()]);
+      }
+    }
+  }
+}
+
+TEST_F(PartitionTest, PlanIsDeterministicAndThreadIndependent) {
+  LayeredCircuit lc = make_layered_circuit(lib_, 64, 20, 42);
+  const DdmDelayModel ddm;
+  const TimingGraph tg = TimingGraph::build(lc.netlist, ddm.timing_policy());
+  const PartitionPlan a = partition_netlist(lc.netlist, tg, 4);
+  const PartitionPlan b = partition_netlist(lc.netlist, tg, 4);
+  EXPECT_EQ(a.gate_part, b.gate_part);
+  EXPECT_EQ(a.signal_owner, b.signal_owner);
+  EXPECT_EQ(a.cut_fanout, b.cut_fanout);
+  EXPECT_EQ(a.lookahead, b.lookahead);
+  // The layered circuit has width * depth fanout entries plus sparse
+  // long-range taps; a partitioner that found the layer structure must cut
+  // far fewer than an arbitrary split would (expected ~1/k of all entries).
+  std::uint64_t total_fanout = 0;
+  for (std::size_t s = 0; s < lc.netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    total_fanout += lc.netlist.signal(sid).fanout.size();
+  }
+  EXPECT_LT(a.cut_fanout * 4, total_fanout);
+}
+
+/// The plan's window length is exactly the documented formula: the minimum
+/// over boundary-crossing driven signals of (smallest nominal driver arc
+/// delay minus the worst remote receiver threshold-crossing offset),
+/// floored at kMinLookahead -- recomputed here independently from the
+/// TimingGraph.
+TEST_F(PartitionTest, LookaheadIsMinBoundaryArcDelay) {
+  AdderCircuit add = make_ripple_adder(lib_, 16);
+  const DdmDelayModel ddm;
+  const TimingGraph tg = TimingGraph::build(add.netlist, ddm.timing_policy());
+  const PartitionPlan plan = partition_netlist(add.netlist, tg, 4);
+  ASSERT_GT(plan.cut_signals, 0u);
+
+  TimeNs expected = kNeverNs;
+  for (std::size_t s = 0; s < add.netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const Signal& sig = add.netlist.signal(sid);
+    if (!sig.driver.valid()) continue;
+    double worst_off = 0.0;
+    bool crosses = false;
+    for (const PinRef& fo : sig.fanout) {
+      if (plan.gate_part[fo.gate.value()] == plan.owner_of(sid)) continue;
+      crosses = true;
+      const double frac = tg.threshold_fraction(fo.gate, fo.pin);
+      worst_off = std::max(worst_off, 0.5 - std::min(frac, 1.0 - frac));
+    }
+    if (!crosses) continue;
+    const Gate& driver = add.netlist.gate(sig.driver);
+    TimeNs min_tp = kNeverNs;
+    TimeNs max_tau = 0.0;
+    for (std::uint32_t a = 0; a < 2 * driver.inputs.size(); ++a) {
+      const TimingArc& arc = tg.arc(tg.arc_base(sig.driver) + a);
+      min_tp = std::min(min_tp, arc.tp_base * std::min(arc.factor, 1.0));
+      max_tau = std::max(max_tau, arc.tau_out * std::max(arc.factor, 1.0));
+    }
+    expected = std::min(expected, min_tp - worst_off * max_tau);
+  }
+  EXPECT_EQ(plan.lookahead, std::max(kMinLookahead, expected));
+  EXPECT_GT(plan.lookahead, 0.0);
+}
+
+// ---- serial equality --------------------------------------------------------
+
+/// Runs `netlist` under `model` both serially and partitioned and demands
+/// bit-identical everything.  Returns the partitioned window stats so
+/// callers can assert on the sync machinery too.
+WindowStats expect_partitioned_matches_serial(const Netlist& netlist,
+                                              const DelayModel& model,
+                                              const Stimulus& stim, int threads,
+                                              std::uint32_t partitions) {
+  const TimingGraph tg = TimingGraph::build(netlist, model.timing_policy());
+  Simulator serial(netlist, model, tg);
+  serial.apply_stimulus(stim);
+  const RunResult rs = serial.run();
+
+  PartitionedConfig config;
+  config.threads = threads;
+  config.partitions = partitions;
+  PartitionedSimulator part(netlist, model, tg, config);
+  part.apply_stimulus(stim);
+  const RunResult rp = part.run();
+
+  EXPECT_EQ(rs.reason, rp.reason);
+  EXPECT_EQ(rs.end_time, rp.end_time);
+  expect_stats_identical(serial.stats(), part.stats());
+  expect_histories_identical(serial, part);
+  return part.window_stats();
+}
+
+TEST_F(PartitionTest, MatchesSerialOnC17) {
+  C17Circuit c17 = make_c17(lib_);
+  const Stimulus stim = staggered_random_stimulus(c17.inputs, 24, 17);
+  // CDM has no delay degradation, so the static lookahead is provably
+  // conservative and the windowed path must survive end to end.  (DDM can
+  // legitimately shrink a boundary delay below any static lookahead; its
+  // fallback-equality coverage lives in the DDM tests below.)
+  const CdmDelayModel cdm;
+  const WindowStats ws =
+      expect_partitioned_matches_serial(c17.netlist, cdm, stim, 2, 2);
+  EXPECT_FALSE(ws.fell_back_serial);
+  EXPECT_GT(ws.windows, 0u);
+}
+
+/// Same circuit and stimulus under DDM: degradation may or may not force
+/// the fallback, but the result must equal the serial kernel's either way.
+TEST_F(PartitionTest, C17DdmMatchesSerialEitherPath) {
+  C17Circuit c17 = make_c17(lib_);
+  const Stimulus stim = staggered_random_stimulus(c17.inputs, 24, 17);
+  const DdmDelayModel ddm;
+  (void)expect_partitioned_matches_serial(c17.netlist, ddm, stim, 2, 2);
+}
+
+/// Synchronized stimulus words drive bit-equal event times into gates fed
+/// from different partitions.  Serial event order is unrecoverable there;
+/// the kernel must detect the cross-channel ties, fall back, and still
+/// return the serial kernel's exact result.
+TEST_F(PartitionTest, SimultaneityTiesFallBackToSerial) {
+  C17Circuit c17 = make_c17(lib_);
+  const auto words = random_word_stream(5, 16, 17);
+  Stimulus stim(0.5);
+  stim.apply_sequence(c17.inputs, words, 5.0, 5.0);
+  const DdmDelayModel ddm;
+  const WindowStats ws =
+      expect_partitioned_matches_serial(c17.netlist, ddm, stim, 2, 2);
+  EXPECT_TRUE(ws.fell_back_serial);
+  EXPECT_GT(ws.violations, 0u);
+}
+
+TEST_F(PartitionTest, MatchesSerialOnAdderAcrossModels) {
+  AdderCircuit add = make_ripple_adder(lib_, 16);
+  std::vector<SignalId> ab;
+  for (SignalId s : add.a) ab.push_back(s);
+  for (SignalId s : add.b) ab.push_back(s);
+  Stimulus stim = staggered_random_stimulus(ab, 20, 5);
+  stim.set_initial(add.tie0, false);
+
+  const DdmDelayModel ddm;
+  const CdmDelayModel cdm;
+  const CdmDelayModel cdm_inertial(CdmDelayModel::InertialWindow::kGateDelay);
+  for (const DelayModel* model :
+       {static_cast<const DelayModel*>(&ddm), static_cast<const DelayModel*>(&cdm),
+        static_cast<const DelayModel*>(&cdm_inertial)}) {
+    SCOPED_TRACE(std::string(model->name()));
+    (void)expect_partitioned_matches_serial(add.netlist, *model, stim, 4, 4);
+  }
+}
+
+TEST_F(PartitionTest, MatchesSerialOnMultiplier) {
+  MultiplierCircuit mult = make_multiplier(lib_, 8);
+  const Stimulus stim = multiplier_staggered(mult, 16, 23);
+  const CdmDelayModel cdm;
+  const WindowStats ws =
+      expect_partitioned_matches_serial(mult.netlist, cdm, stim, 4, 4);
+  EXPECT_FALSE(ws.fell_back_serial);
+  // The multiplier's carry chains cross partitions constantly; the sync
+  // machinery must actually be exercised, not bypassed.
+  EXPECT_GT(ws.messages, 0u);
+}
+
+/// The committed ISCAS-style fixture feeds the partitioned flow directly:
+/// parse, partition, and match the serial kernel bit for bit.
+TEST_F(PartitionTest, BenchFixturePartitionedMatchesSerial) {
+  const std::string path =
+      std::string(HALOTIS_SOURCE_DIR) + "/tests/data/mult8.bench";
+  const Netlist nl = read_bench_file(path, lib_);
+  std::vector<SignalId> pis(nl.primary_inputs().begin(),
+                            nl.primary_inputs().end());
+  // Seed chosen so no equal-delay reconvergent pair lands on a bit-equal
+  // cross-partition tie (those correctly force the fallback; the tie test
+  // above pins that path).
+  const Stimulus stim = staggered_random_stimulus(pis, 12, 97);
+  const CdmDelayModel cdm;
+  const WindowStats ws = expect_partitioned_matches_serial(nl, cdm, stim, 4, 4);
+  EXPECT_FALSE(ws.fell_back_serial);
+  EXPECT_GT(ws.messages, 0u);
+}
+
+// ---- thread-count invariance ------------------------------------------------
+
+struct CapturedRun {
+  RunResult result;
+  SimStats stats;
+  WindowStats window_stats;
+  std::vector<std::vector<Transition>> histories;
+};
+
+CapturedRun run_partitioned(const Netlist& netlist, const DelayModel& model,
+                            const TimingGraph& tg, const Stimulus& stim,
+                            int threads, std::uint32_t partitions) {
+  PartitionedConfig config;
+  config.threads = threads;
+  config.partitions = partitions;
+  PartitionedSimulator sim(netlist, model, tg, config);
+  sim.apply_stimulus(stim);
+  CapturedRun run;
+  run.result = sim.run();
+  run.stats = sim.stats();
+  run.window_stats = sim.window_stats();
+  for (std::size_t s = 0; s < netlist.num_signals(); ++s) {
+    run.histories.push_back(
+        sim.history(SignalId{static_cast<SignalId::underlying_type>(s)}));
+  }
+  return run;
+}
+
+void expect_runs_identical(const CapturedRun& a, const CapturedRun& b) {
+  EXPECT_EQ(a.result.reason, b.result.reason);
+  EXPECT_EQ(a.result.end_time, b.result.end_time);
+  expect_stats_identical(a.stats, b.stats);
+  // The sync machinery itself must be invariant: same windows, same
+  // messages, same violations -- not just the same end result.
+  EXPECT_EQ(a.window_stats.windows, b.window_stats.windows);
+  EXPECT_EQ(a.window_stats.messages, b.window_stats.messages);
+  EXPECT_EQ(a.window_stats.violations, b.window_stats.violations);
+  EXPECT_EQ(a.window_stats.fell_back_serial, b.window_stats.fell_back_serial);
+  EXPECT_EQ(a.window_stats.critical_path_events, b.window_stats.critical_path_events);
+  ASSERT_EQ(a.histories.size(), b.histories.size());
+  for (std::size_t s = 0; s < a.histories.size(); ++s) {
+    ASSERT_EQ(a.histories[s].size(), b.histories[s].size()) << "signal " << s;
+    for (std::size_t i = 0; i < a.histories[s].size(); ++i) {
+      EXPECT_EQ(a.histories[s][i].edge, b.histories[s][i].edge);
+      EXPECT_EQ(a.histories[s][i].t_start, b.histories[s][i].t_start);
+      EXPECT_EQ(a.histories[s][i].tau, b.histories[s][i].tau);
+    }
+  }
+}
+
+TEST_F(PartitionTest, ThreadCountInvariantOnMultiplier) {
+  MultiplierCircuit mult = make_multiplier(lib_, 8);
+  const DdmDelayModel ddm;
+  const TimingGraph tg = TimingGraph::build(mult.netlist, ddm.timing_policy());
+  const Stimulus stim = multiplier_staggered(mult, 12, 31);
+  const CapturedRun base = run_partitioned(mult.netlist, ddm, tg, stim, 1, 4);
+  for (const int threads : {2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    expect_runs_identical(base,
+                          run_partitioned(mult.netlist, ddm, tg, stim, threads, 4));
+  }
+}
+
+TEST_F(PartitionTest, ThreadCountInvariantOnLayered10k) {
+  LayeredCircuit lc = make_layered_circuit(lib_, 100, 100, 7);  // 10k gates
+  ASSERT_EQ(lc.netlist.num_gates(), 10'000u);
+  // CDM: without degradation the insert margin is provably safe, so this
+  // workload must stay on the windowed path end to end.  (DDM coverage of
+  // the layered circuit is below -- degradation may legitimately force the
+  // fallback there.)
+  const CdmDelayModel cdm;
+  const TimingGraph tg = TimingGraph::build(lc.netlist, cdm.timing_policy());
+  const Stimulus stim = staggered_random_stimulus(lc.inputs, 6, 911);
+  const CapturedRun base = run_partitioned(lc.netlist, cdm, tg, stim, 1, 4);
+  EXPECT_FALSE(base.window_stats.fell_back_serial);
+  for (const int threads : {2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    expect_runs_identical(base,
+                          run_partitioned(lc.netlist, cdm, tg, stim, threads, 4));
+  }
+  // And the partitioned result equals the serial kernel's.
+  Simulator serial(lc.netlist, cdm, tg);
+  serial.apply_stimulus(stim);
+  const RunResult rs = serial.run();
+  EXPECT_EQ(rs.reason, base.result.reason);
+  EXPECT_EQ(rs.end_time, base.result.end_time);
+  expect_stats_identical(serial.stats(), base.stats);
+}
+
+/// DDM on the layered circuit: degradation can undercut any static
+/// lookahead, so the windowed path may legitimately fall back -- but the
+/// result must equal the serial kernel's either way, at every thread count.
+TEST_F(PartitionTest, LayeredDdmMatchesSerialEitherPath) {
+  LayeredCircuit lc = make_layered_circuit(lib_, 64, 20, 42);
+  const DdmDelayModel ddm;
+  const Stimulus stim = staggered_random_stimulus(lc.inputs, 8, 131);
+  (void)expect_partitioned_matches_serial(lc.netlist, ddm, stim, 4, 4);
+}
+
+// ---- violation -> serial fallback -------------------------------------------
+
+/// An absurd lookahead makes every boundary insert land in an
+/// already-simulated window: the barrier must detect the violation and the
+/// whole run must fall back to the serial kernel -- still bit-identical to
+/// it, at every thread count.
+TEST_F(PartitionTest, LateMessagesFallBackToSerial) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  const DdmDelayModel ddm;
+  const TimingGraph tg = TimingGraph::build(mult.netlist, ddm.timing_policy());
+  const Stimulus stim = multiplier_words(mult, random_word_stream(8, 8, 3));
+
+  Simulator serial(mult.netlist, ddm, tg);
+  serial.apply_stimulus(stim);
+  const RunResult rs = serial.run();
+
+  CapturedRun base;
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE(threads);
+    PartitionedConfig config;
+    config.threads = threads;
+    config.partitions = 4;
+    config.lookahead_override = 1e6;  // swallow the whole run in one window
+    PartitionedSimulator part(mult.netlist, ddm, tg, config);
+    part.apply_stimulus(stim);
+    const RunResult rp = part.run();
+    EXPECT_TRUE(part.window_stats().fell_back_serial);
+    EXPECT_GT(part.window_stats().violations, 0u);
+    EXPECT_EQ(rs.reason, rp.reason);
+    EXPECT_EQ(rs.end_time, rp.end_time);
+    expect_stats_identical(serial.stats(), part.stats());
+    expect_histories_identical(serial, part);
+    CapturedRun run;
+    run.result = rp;
+    run.stats = part.stats();
+    run.window_stats = part.window_stats();
+    if (threads == 1) {
+      base = run;
+    } else {
+      // The fallback decision itself is thread-count invariant.
+      EXPECT_EQ(base.window_stats.violations, run.window_stats.violations);
+      EXPECT_EQ(base.window_stats.windows, run.window_stats.windows);
+    }
+  }
+}
+
+// ---- randomized stress ------------------------------------------------------
+
+/// Seeded random DAGs x delay models x thread counts, every combination
+/// diffed transition-for-transition against the serial kernel.  Catches
+/// ownership/merge bugs the structured circuits miss (reconvergence,
+/// heavy cross-partition fanout, collapse cascades at boundaries).
+TEST_F(PartitionTest, RandomDagStressMatchesSerial) {
+  const DdmDelayModel ddm;
+  const CdmDelayModel cdm;
+  const CdmDelayModel cdm_inertial(CdmDelayModel::InertialWindow::kGateDelay);
+  const DelayModel* models[] = {&ddm, &cdm, &cdm_inertial};
+  std::uint64_t windowed_runs = 0;
+  std::uint64_t windowed_messages = 0;
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+    RandomCircuit rc = make_random_circuit(lib_, 12, 150 + static_cast<int>(seed),
+                                           seed * 1000003);
+    const Stimulus stim = staggered_random_stimulus(rc.inputs, 10, seed);
+    for (const DelayModel* model : models) {
+      SCOPED_TRACE(std::string(model->name()) + " seed " + std::to_string(seed));
+      const WindowStats ws = expect_partitioned_matches_serial(
+          rc.netlist, *model, stim, 4, 2 + static_cast<std::uint32_t>(seed % 3));
+      if (!ws.fell_back_serial) {
+        ++windowed_runs;
+        windowed_messages += ws.messages;
+      }
+      // Degradation (DDM) can shrink a boundary delay below the static
+      // lookahead, and inertial pulse filtering can revoke a boundary event
+      // inside the window that fires it -- both legitimately force the
+      // serial fallback (equality is still asserted above).  Pure CDM has
+      // neither mechanism, so it must always survive the windowed path.
+      if (model == &cdm) EXPECT_FALSE(ws.fell_back_serial);
+    }
+  }
+  // The stress suite must genuinely exercise the windowed path, not just
+  // the fallback escape hatch.
+  EXPECT_GE(windowed_runs, 6u);
+  EXPECT_GT(windowed_messages, 1000u);
+}
+
+// ---- reset ------------------------------------------------------------------
+
+/// reset() after a partitioned run restores bit-exact fresh state: the
+/// second run's stats, histories and window schedule equal the first's.
+TEST_F(PartitionTest, ResetRestoresBitExactState) {
+  MultiplierCircuit mult = make_multiplier(lib_, 8);
+  const DdmDelayModel ddm;
+  const TimingGraph tg = TimingGraph::build(mult.netlist, ddm.timing_policy());
+  const Stimulus stim = multiplier_staggered(mult, 10, 47);
+
+  PartitionedConfig config;
+  config.threads = 4;
+  config.partitions = 4;
+  PartitionedSimulator sim(mult.netlist, ddm, tg, config);
+  sim.apply_stimulus(stim);
+  const RunResult r1 = sim.run();
+  const SimStats s1 = sim.stats();
+  const WindowStats w1 = sim.window_stats();
+  std::vector<std::vector<Transition>> h1;
+  for (std::size_t s = 0; s < mult.netlist.num_signals(); ++s) {
+    h1.push_back(sim.history(SignalId{static_cast<SignalId::underlying_type>(s)}));
+  }
+
+  sim.reset();
+  sim.apply_stimulus(stim);
+  const RunResult r2 = sim.run();
+
+  EXPECT_EQ(r1.reason, r2.reason);
+  EXPECT_EQ(r1.end_time, r2.end_time);
+  expect_stats_identical(s1, sim.stats());
+  EXPECT_EQ(w1.windows, sim.window_stats().windows);
+  EXPECT_EQ(w1.messages, sim.window_stats().messages);
+  for (std::size_t s = 0; s < mult.netlist.num_signals(); ++s) {
+    const SignalId sid{static_cast<SignalId::underlying_type>(s)};
+    const auto h2 = sim.history(sid);
+    ASSERT_EQ(h1[s].size(), h2.size()) << "signal " << s;
+    for (std::size_t i = 0; i < h2.size(); ++i) {
+      EXPECT_EQ(h1[s][i].edge, h2[i].edge);
+      EXPECT_EQ(h1[s][i].t_start, h2[i].t_start);
+      EXPECT_EQ(h1[s][i].tau, h2[i].tau);
+    }
+  }
+}
+
+/// reset() also recovers from a fallback run: the next run goes back
+/// through the windowed path.
+TEST_F(PartitionTest, ResetClearsFallbackState) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  const DdmDelayModel ddm;
+  const TimingGraph tg = TimingGraph::build(mult.netlist, ddm.timing_policy());
+  const Stimulus stim = multiplier_words(mult, random_word_stream(8, 6, 9));
+
+  PartitionedConfig config;
+  config.threads = 2;
+  config.partitions = 2;
+  config.lookahead_override = 1e6;
+  PartitionedSimulator sim(mult.netlist, ddm, tg, config);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+  ASSERT_TRUE(sim.window_stats().fell_back_serial);
+
+  sim.reset();
+  EXPECT_FALSE(sim.window_stats().fell_back_serial);
+  EXPECT_EQ(sim.window_stats().windows, 0u);
+  sim.apply_stimulus(stim);
+  (void)sim.run();  // the override still forces a fallback; must not crash
+  EXPECT_TRUE(sim.window_stats().fell_back_serial);
+}
+
+}  // namespace
+}  // namespace halotis
