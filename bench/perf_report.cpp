@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "src/base/fileio.hpp"
 #include "src/base/rng.hpp"
+#include "src/base/supervision.hpp"
 #include "src/circuits/generators.hpp"
 #include "src/core/delay_model.hpp"
 #include "src/core/partition.hpp"
@@ -267,7 +269,7 @@ PartitionScalingResult run_partition_scaling(const Library& lib, bool quick,
 template <class MakeStimulus>
 WorkloadResult run_workload(const std::string& name, const Netlist& netlist,
                             const DelayModel& model, MakeStimulus&& make_stimulus,
-                            int reps) {
+                            int reps, const RunSupervisor* supervisor = nullptr) {
   WorkloadResult result;
   result.name = name;
   result.model = std::string(model.name());
@@ -277,6 +279,7 @@ WorkloadResult run_workload(const std::string& name, const Netlist& netlist,
   for (int r = 0; r < reps; ++r) {
     const auto start = std::chrono::steady_clock::now();
     Simulator sim(netlist, model);
+    sim.supervise(supervisor);
     sim.apply_stimulus(make_stimulus());
     (void)sim.run();
     times.push_back(seconds_since(start));
@@ -295,6 +298,81 @@ WorkloadResult run_workload(const std::string& name, const Netlist& netlist,
   result.events_per_sec =
       result.wall_s > 0.0 ? static_cast<double>(result.stats.events_processed) / result.wall_s
                           : 0.0;
+  return result;
+}
+
+// ---- event-storm guard workload ---------------------------------------------
+
+/// A NAND-kicked inverter-ring oscillator under DDM: once enabled the ring
+/// re-excites itself indefinitely, the workload no SimConfig horizon would
+/// tame without knowing the circuit.  The run is stopped by the
+/// supervision layer's event budget instead (RunError, exit 3 at the CLI);
+/// the stop point is a pure function of the event ordinal, so the
+/// surviving history hashes bit-identically on every rerun -- the hash
+/// rides the CI quick-hash diff like every other workload.
+struct StormGuardResult {
+  std::size_t gates = 0;
+  std::uint64_t budget_events = 0;
+  std::uint64_t events_processed = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  bool budget_tripped = false;
+  std::uint64_t history_hash = 0;
+};
+
+StormGuardResult run_storm_guard(const Library& lib, bool quick, int reps) {
+  const DdmDelayModel ddm;
+  Netlist nl(lib);
+  const SignalId en = nl.add_primary_input("en");
+  constexpr int kRingInverters = 6;  // even: NAND provides the ring inversion
+  std::vector<SignalId> ring;
+  for (int i = 0; i < kRingInverters + 1; ++i) {
+    ring.push_back(nl.add_signal("r" + std::to_string(i)));
+  }
+  const SignalId nand_in[] = {en, ring.back()};
+  nl.add_gate("g_kick", CellKind::kNand2, nand_in, ring[0]);
+  for (int i = 0; i < kRingInverters; ++i) {
+    const SignalId inv_in[] = {ring[static_cast<std::size_t>(i)]};
+    nl.add_gate("g_inv" + std::to_string(i), CellKind::kInv, inv_in,
+                ring[static_cast<std::size_t>(i) + 1]);
+  }
+  nl.mark_primary_output(ring.back());
+
+  StormGuardResult result;
+  result.gates = nl.num_gates();
+  result.budget_events = quick ? 50000 : 500000;
+
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    RunBudget budget;
+    budget.max_events = result.budget_events;
+    RunSupervisor supervisor(budget);
+    supervisor.arm();
+    const auto start = std::chrono::steady_clock::now();
+    Simulator sim(nl, ddm);
+    sim.supervise(&supervisor);
+    Stimulus stim(0.4);
+    stim.set_initial(en, false);
+    stim.add_edge(en, 1.0, true);
+    sim.apply_stimulus(stim);
+    bool tripped = false;
+    try {
+      (void)sim.run();
+    } catch (const RunError& e) {
+      tripped = e.kind() == RunErrorKind::kBudgetExceeded;
+    }
+    times.push_back(seconds_since(start));
+    if (r == 0) {
+      result.budget_tripped = tripped;
+      result.events_processed = sim.stats().events_processed;
+      result.history_hash = hash_history(sim);
+    }
+  }
+  result.wall_s = *std::min_element(times.begin(), times.end());
+  result.events_per_sec =
+      result.wall_s > 0.0
+          ? static_cast<double>(result.events_processed) / result.wall_s
+          : 0.0;
   return result;
 }
 
@@ -327,7 +405,9 @@ void print_json_workload(std::FILE* f, const WorkloadResult& w, bool last) {
 
 /// Appends `entry` (a complete JSON object, no trailing newline) to the JSON
 /// array in `path`; creates the file as a one-element array when absent or
-/// not an array.
+/// not an array.  Crash-safe: the whole array is assembled in memory and
+/// written via temp file + atomic rename, so an interrupted report run can
+/// never truncate the committed perf trajectory.
 bool write_report(const std::string& path, const std::string& entry, bool append) {
   std::string existing;
   if (append) {
@@ -342,11 +422,7 @@ bool write_report(const std::string& path, const std::string& entry, bool append
       existing.pop_back();
     }
   }
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "perf_report: cannot open %s for writing\n", path.c_str());
-    return false;
-  }
+  std::string out;
   if (!existing.empty() && existing.back() == ']') {
     existing.pop_back();
     while (!existing.empty() &&
@@ -354,12 +430,16 @@ bool write_report(const std::string& path, const std::string& entry, bool append
       existing.pop_back();
     }
     const bool empty_array = !existing.empty() && existing.back() == '[';
-    std::fprintf(f, "%s%s\n%s\n]\n", existing.c_str(), empty_array ? "" : ",",
-                 entry.c_str());
+    out = existing + (empty_array ? "" : ",") + "\n" + entry + "\n]\n";
   } else {
-    std::fprintf(f, "[\n%s\n]\n", entry.c_str());
+    out = "[\n" + entry + "\n]\n";
   }
-  std::fclose(f);
+  try {
+    write_file_atomic(path, out);
+  } catch (const RunError& e) {
+    std::fprintf(stderr, "perf_report: %s\n", e.what());
+    return false;
+  }
   return true;
 }
 
@@ -413,7 +493,14 @@ int main(int argc, char** argv) {
   }
 
   // Scaling workload 1: 8x8 multiplier under a pseudo-random word stream
-  // (the acceptance workload: "mult8_rand" + HALOTIS-DDM).
+  // (the acceptance workload: "mult8_rand" + HALOTIS-DDM).  The DDM run is
+  // repeated with a fully armed supervisor (every budget set, none close)
+  // to measure the supervision layer's hot-path overhead; the supervised
+  // history hash must equal the unsupervised one (supervision may only
+  // abort work, never change a completed run).
+  double supervision_base_wall_s = 0.0;
+  double supervision_supervised_wall_s = 0.0;
+  bool supervision_hash_identical = false;
   {
     MultiplierCircuit mult = make_multiplier(lib, 8);
     const auto words = random_word_stream(16, mult8_words, 0x9E3779B97F4A7C15ULL);
@@ -423,6 +510,20 @@ int main(int argc, char** argv) {
           "mult8_rand", mult.netlist, *model,
           [&] { return multiplier_stimulus(mult, words); }, reps));
     }
+    const WorkloadResult& base = results[results.size() - 2];  // the DDM run
+    RunBudget budget;
+    budget.max_events = ~0ull;
+    budget.max_live_transitions = ~0ull;
+    budget.max_arena_bytes = ~0ull;
+    budget.deadline_s = 3600.0;
+    RunSupervisor supervisor(budget);
+    supervisor.arm();
+    const WorkloadResult supervised = run_workload(
+        "mult8_rand_supervised", mult.netlist, ddm,
+        [&] { return multiplier_stimulus(mult, words); }, reps, &supervisor);
+    supervision_base_wall_s = base.wall_s;
+    supervision_supervised_wall_s = supervised.wall_s;
+    supervision_hash_identical = supervised.history_hash == base.history_hash;
   }
 
   // Scaling workload 2: random combinational DAG.
@@ -446,6 +547,10 @@ int main(int argc, char** argv) {
   // fewer repetitions than the microbenchmarks.
   const PartitionScalingResult part =
       run_partition_scaling(lib, quick, quick ? 2 : 3);
+
+  // Event-storm guard workload (PR 7): the supervision layer stopping a
+  // self-sustaining oscillator at an exact event budget.
+  const StormGuardResult storm = run_storm_guard(lib, quick, reps);
 
   // Human-readable summary.
   std::printf("== perf_report (%s) ==\n\n", quick ? "quick" : "full");
@@ -476,6 +581,24 @@ int main(int argc, char** argv) {
       part.fell_back_serial ? " [FELL BACK TO SERIAL]" : "", part.serial_wall_s,
       part.part1_wall_s, part.part4_wall_s, part.measured_speedup_4t,
       part.model_speedup_4p, part_hashes_ok ? "identical" : "DIVERGED");
+
+  const double supervision_overhead_pct =
+      supervision_base_wall_s > 0.0
+          ? 100.0 * (supervision_supervised_wall_s / supervision_base_wall_s - 1.0)
+          : 0.0;
+  std::printf(
+      "\nsupervision: mult8_rand DDM %.6f s unsupervised -> %.6f s armed"
+      " (%+.2f%% overhead), hashes %s\n",
+      supervision_base_wall_s, supervision_supervised_wall_s,
+      supervision_overhead_pct,
+      supervision_hash_identical ? "identical" : "DIVERGED");
+  std::printf(
+      "event_storm_guard: %zu-gate ring oscillator, budget %llu events -> %s"
+      " at %llu events, %.6f s (%.0f events/sec)\n",
+      storm.gates, static_cast<unsigned long long>(storm.budget_events),
+      storm.budget_tripped ? "budget stop" : "NO BUDGET TRIP",
+      static_cast<unsigned long long>(storm.events_processed), storm.wall_s,
+      storm.events_per_sec);
 
   // JSON entry.
   std::string entry;
@@ -529,7 +652,7 @@ int main(int argc, char** argv) {
         " \"measured_speedup_4t\": %.3f, \"model_speedup_4p\": %.3f,\n"
         "    \"serial\": {\"history_hash\": \"%016llx\"},"
         " \"part1\": {\"history_hash\": \"%016llx\"},"
-        " \"part4\": {\"history_hash\": \"%016llx\"}}}",
+        " \"part4\": {\"history_hash\": \"%016llx\"}},\n",
         part.name.c_str(), part.gates, part.partitions,
         static_cast<unsigned long long>(part.windows),
         static_cast<unsigned long long>(part.messages),
@@ -541,6 +664,30 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(part.hash_part1),
         static_cast<unsigned long long>(part.hash_part4));
     entry += pc;
+    // The storm-guard hash joins the CI quick-hash diff (grep picks up every
+    // history_hash in order); the supervision block pins the overhead story.
+    char sg[512];
+    std::snprintf(
+        sg, sizeof sg,
+        "   \"event_storm_guard\": {\"gates\": %zu, \"budget_events\": %llu,"
+        " \"events_processed\": %llu, \"budget_tripped\": %s,\n"
+        "    \"wall_s\": %.6f, \"events_per_sec\": %.1f,"
+        " \"history_hash\": \"%016llx\"},\n",
+        storm.gates, static_cast<unsigned long long>(storm.budget_events),
+        static_cast<unsigned long long>(storm.events_processed),
+        storm.budget_tripped ? "true" : "false", storm.wall_s,
+        storm.events_per_sec, static_cast<unsigned long long>(storm.history_hash));
+    entry += sg;
+    char sv[384];
+    std::snprintf(
+        sv, sizeof sv,
+        "   \"supervision\": {\"workload\": \"mult8_rand\", \"model\": \"%s\","
+        " \"base_wall_s\": %.6f, \"supervised_wall_s\": %.6f,"
+        " \"overhead_pct\": %.3f, \"hash_identical\": %s}}",
+        std::string(ddm.name()).c_str(), supervision_base_wall_s,
+        supervision_supervised_wall_s,
+        supervision_overhead_pct, supervision_hash_identical ? "true" : "false");
+    entry += sv;
   }
   if (!write_report(out, entry, append)) return 1;
   std::printf("\nwrote %s (label \"%s\"%s)\n", out.c_str(), label.c_str(),

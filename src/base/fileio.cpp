@@ -1,0 +1,63 @@
+#include "src/base/fileio.hpp"
+
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "src/base/failpoint.hpp"
+#include "src/base/supervision.hpp"
+
+namespace halotis {
+
+namespace {
+
+[[noreturn]] void fail_io(const std::filesystem::path& tmp, const std::string& what) {
+  std::error_code ignored;
+  std::filesystem::remove(tmp, ignored);  // best effort; never leave the temp
+  throw RunError(RunErrorKind::kIoError, what);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::filesystem::path& path, std::string_view bytes) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (failpoint("io.open") || !file.good()) {
+      fail_io(tmp, "cannot open '" + tmp.string() + "' for writing");
+    }
+    if (failpoint("io.write.short")) {
+      // The torn-write scenario: half the bytes land on disk and the writer
+      // is told nothing went wrong until the explicit post-write check.
+      file.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+      file.flush();
+      file.close();
+      fail_io(tmp, "short write to '" + tmp.string() + "' (injected; wrote " +
+                       std::to_string(bytes.size() / 2) + " of " +
+                       std::to_string(bytes.size()) + " bytes)");
+    }
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (failpoint("io.write")) file.setstate(std::ios::badbit);
+    file.flush();
+    if (!file.good()) {
+      file.close();
+      fail_io(tmp, "write to '" + tmp.string() + "' failed (disk full?)");
+    }
+    file.close();
+    if (failpoint("io.close") || file.fail()) {
+      fail_io(tmp, "closing '" + tmp.string() + "' failed; data may not have reached disk");
+    }
+  }
+  std::error_code ec;
+  if (failpoint("io.rename")) {
+    fail_io(tmp, "renaming '" + tmp.string() + "' over '" + path.string() +
+                     "' failed (injected)");
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    fail_io(tmp, "renaming '" + tmp.string() + "' over '" + path.string() +
+                     "' failed: " + ec.message());
+  }
+}
+
+}  // namespace halotis

@@ -14,8 +14,32 @@
 
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 namespace halotis {
+
+/// Thrown by WorkerPool::for_each_index when MORE THAN ONE job failed:
+/// the first failure's message is preserved verbatim and the total count
+/// rides along, so campaign/repro diagnostics are never misled into
+/// thinking a single fault was the only casualty.  A sweep with exactly
+/// one failing job rethrows that job's original exception unchanged
+/// (type-preserving -- callers filtering on RunError keep working).
+class WorkerPoolError : public std::runtime_error {
+ public:
+  WorkerPoolError(std::size_t failures, const std::string& first_message)
+      : std::runtime_error(std::to_string(failures) +
+                           " worker jobs failed; first failure: " + first_message),
+        failures_(failures),
+        first_message_(first_message) {}
+
+  [[nodiscard]] std::size_t failures() const { return failures_; }
+  [[nodiscard]] const std::string& first_message() const { return first_message_; }
+
+ private:
+  std::size_t failures_;
+  std::string first_message_;
+};
 
 class WorkerPool {
  public:
@@ -37,8 +61,10 @@ class WorkerPool {
   /// Runs body(worker, index) for every index in [0, count), sharded across
   /// the pool by an atomic ticket counter; blocks until all indices are
   /// done.  `body` must be safe to call concurrently from different
-  /// workers.  The first exception thrown by any worker is rethrown on the
-  /// calling thread after the sweep drains.  Not reentrant.
+  /// workers.  Every index is attempted exactly once even when some throw;
+  /// after the sweep drains, a single failure is rethrown unchanged on the
+  /// calling thread, and multiple failures raise WorkerPoolError carrying
+  /// the count plus the first failure's message.  Not reentrant.
   void for_each_index(std::size_t count, const IndexFn& body);
 
   /// `threads` normalized the same way the constructor does it: 0 becomes

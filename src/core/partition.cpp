@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/base/check.hpp"
+#include "src/base/failpoint.hpp"
 
 namespace halotis {
 
@@ -174,6 +175,14 @@ PartitionedSimulator::PartitionedSimulator(const Netlist& netlist, const DelayMo
   }
 }
 
+void PartitionedSimulator::supervise(const RunSupervisor* supervisor) {
+  supervisor_ = supervisor;
+  // A single partition IS the serial kernel, so it gets the serial kernel's
+  // per-event supervision; K > 1 partitions are checked at barriers only
+  // (the per-partition sims run inside worker threads between barriers).
+  if (plan_.k == 1) parts_[0]->supervise(supervisor);
+}
+
 void PartitionedSimulator::apply_stimulus(const Stimulus& stimulus) {
   require(!stimulus_applied_,
           "PartitionedSimulator::apply_stimulus(): stimulus already applied");
@@ -226,6 +235,13 @@ RunResult PartitionedSimulator::run() {
         box.clear();
       }
     }
+    if (failpoint("partition.window")) {
+      // Deterministic injection of a lookahead undercut: exercises the
+      // violation -> serial-fallback path on workloads that would never
+      // trip it naturally.  The fallback reproduces the serial result, so
+      // a completed run stays bit-identical.
+      ++violations;
+    }
     if (violations != 0) {
       // A boundary pulse undercut the lookahead (degradation or a clamped
       // minimum-width pulse).  The violation set depends only on the
@@ -244,6 +260,19 @@ RunResult PartitionedSimulator::run() {
     for (const auto& part : parts_) {
       t_min = std::min(t_min, part->part_next_time());
       processed += part->stats().events_processed;
+    }
+    if (supervisor_ != nullptr) {
+      // Barrier-granularity supervision: the summed event count and arena
+      // footprint are deterministic functions of the window schedule, so a
+      // budget stop lands at the same barrier on every rerun.
+      supervisor_->check_events(processed, "partition barrier");
+      std::uint64_t live = 0;
+      std::uint64_t arena = 0;
+      for (const auto& part : parts_) {
+        live += part->live_transitions();
+        arena += part->transition_arena_bytes() + part->event_arena_bytes();
+      }
+      supervisor_->check_poll(live, arena, "partition barrier");
     }
     if (t_min >= kNeverNs) {
       result.reason = StopReason::kQueueExhausted;
@@ -301,6 +330,7 @@ RunResult PartitionedSimulator::run() {
 
 void PartitionedSimulator::run_serial_fallback(RunResult* result) {
   serial_ = std::make_unique<Simulator>(*netlist_, *model_, *timing_, config_.sim);
+  serial_->supervise(supervisor_);
   serial_->apply_stimulus(stimulus_);
   *result = serial_->run();
   sum_stats();

@@ -137,6 +137,15 @@ class PartitionedSimulator {
   PartitionedSimulator(const Netlist&, const DelayModel&, TimingGraph&&,
                        PartitionedConfig = {}) = delete;
 
+  /// Attaches a run supervisor (nullptr detaches); `supervisor` must
+  /// outlive the runs.  Budgets / deadline / cancellation are enforced at
+  /// window barriers -- like max_events, the run may overshoot within one
+  /// window (documented difference from the serial kernel's per-event
+  /// checks).  With a single partition, and in the serial-fallback path,
+  /// the underlying serial kernel is supervised per event.
+  void supervise(const RunSupervisor* supervisor);
+  [[nodiscard]] const RunSupervisor* supervisor() const { return supervisor_; }
+
   void apply_stimulus(const Stimulus& stimulus);
   RunResult run();
   /// Re-arms for another stimulus, bit-identical to a fresh driver (the
@@ -179,6 +188,7 @@ class PartitionedSimulator {
   bool stimulus_applied_ = false;
   bool ran_ = false;
   std::unique_ptr<Simulator> serial_;  ///< set after a violation fallback
+  const RunSupervisor* supervisor_ = nullptr;
   SimStats stats_;
   WindowStats window_stats_;
 };

@@ -1,8 +1,10 @@
 #include "src/core/simulator.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "src/base/check.hpp"
+#include "src/base/failpoint.hpp"
 
 namespace halotis {
 
@@ -116,6 +118,9 @@ void Simulator::reset() {
   fault_signal_ = SignalId{};
   fault_value_ = false;
   stats_ = SimStats{};
+  // Re-prime the slow-poll countdown so every run polls on the same event
+  // ordinals regardless of what previous runs consumed.
+  if (supervisor_ != nullptr) sup_countdown_ = sup_reload();
   retire_.clear();
   for (auto& map : part_handle_map_) map.clear();
   for (auto& map : part_cause_map_) map.clear();
@@ -169,6 +174,10 @@ void Simulator::apply_stimulus(const Stimulus& stimulus) {
     constexpr std::size_t kReserveCap = std::size_t{1} << 21;
     const auto depth = static_cast<std::size_t>(std::max(depth_, 1));
     const std::size_t est_transitions = std::min(64 + num_edges * (depth + 1), kReserveCap);
+    // Deterministic OOM injection: the arena pre-reserve is the simulator's
+    // one big up-front allocation, so the fail-point models allocation
+    // failure exactly where a constrained host would actually hit it.
+    if (failpoint("alloc.simulator.arena")) throw std::bad_alloc();
     transitions_.reserve(est_transitions);
     tracks_.reserve(std::min<std::size_t>(est_transitions / 8 + 64, 1u << 16));
     const std::size_t est_events = std::min(2 * est_transitions, kReserveCap);
@@ -346,6 +355,18 @@ RunResult Simulator::run_impl(TimeNs horizon) {
     }
     now_ = std::max(now_, ev.time);
     ++stats_.events_processed;
+    if (supervisor_ != nullptr && --sup_countdown_ == 0) {
+      // Slow path, reached every poll_events events AND exactly on the
+      // first over-budget event ordinal (sup_reload() pulls the countdown
+      // in), so the event-budget stop point stays bit-deterministic while
+      // the hot path only decrements.  Partition mode is supervised at
+      // window barriers instead (PartitionedSimulator).
+      supervisor_->check_events(stats_.events_processed, "simulator");
+      supervisor_->check_poll(live_tracks_,
+                              transition_arena_bytes() + queue_.arena_bytes(),
+                              "simulator");
+      sup_countdown_ = sup_reload();
+    }
 
     // Once any spawned event fires the causing transition can never be
     // annihilated; its bookkeeping frees as soon as nothing else needs it.

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "src/base/ids.hpp"
+#include "src/base/supervision.hpp"
 #include "src/base/units.hpp"
 #include "src/core/delay_model.hpp"
 #include "src/core/event_queue.hpp"
@@ -147,6 +148,20 @@ class Simulator {
   /// *output* must be observed as the constant by the caller.  Cleared by
   /// reset().
   void inject_stuck_at(SignalId signal, bool value);
+
+  /// Attaches a run supervisor (nullptr detaches).  The kernel then trips
+  /// the event budget on the exact over-budget event and polls the
+  /// deadline / cancellation / memory budgets every RunBudget::poll_events
+  /// events,
+  /// throwing RunError from run() when a limit trips; the simulator itself
+  /// stays valid and inspectable (history, stats) at the stop point, which
+  /// is bit-deterministic for the budget checks.  `supervisor` must
+  /// outlive the runs; survives reset() (it is configuration, not state).
+  void supervise(const RunSupervisor* supervisor) {
+    supervisor_ = supervisor;
+    if (supervisor != nullptr) sup_countdown_ = sup_reload();
+  }
+  [[nodiscard]] const RunSupervisor* supervisor() const { return supervisor_; }
 
   /// Runs until the queue empties, the horizon passes or the event limit
   /// trips.
@@ -434,6 +449,24 @@ class Simulator {
   std::vector<InputState> inputs_;          // flattened (gate, pin)
   TimeNs now_ = 0.0;
   bool stimulus_applied_ = false;
+  const RunSupervisor* supervisor_ = nullptr;  ///< optional; see supervise()
+  std::uint32_t sup_countdown_ = 0;  ///< events until the next slow check
+
+  /// Events until the next supervision slow path: the poll cadence, pulled
+  /// in so the countdown expires exactly on the first over-budget event
+  /// ordinal.  The hot path then only decrements -- the event-budget
+  /// compare lives in the slow path without losing the bit-exact stop
+  /// point.  Requires stats_.events_processed <= max_events (the slow path
+  /// has already thrown otherwise).
+  [[nodiscard]] std::uint32_t sup_reload() const {
+    std::uint64_t steps = supervisor_->budget().poll_events;
+    const std::uint64_t max_events = supervisor_->budget().max_events;
+    if (max_events != 0) {
+      const std::uint64_t remaining = max_events - stats_.events_processed;
+      if (remaining < steps) steps = remaining + 1;
+    }
+    return static_cast<std::uint32_t>(steps);
+  }
   SignalId fault_signal_;        ///< injected stuck-at site (invalid: none)
   bool fault_value_ = false;
   SimStats stats_;

@@ -1,8 +1,12 @@
 #include "src/fault/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
 
 #include "src/base/check.hpp"
+#include "src/base/failpoint.hpp"
 
 namespace halotis {
 
@@ -33,6 +37,10 @@ bool simulate_fault(Simulator& sim, const CampaignPlan& plan, std::size_t index,
   const Fault& fault = (*plan.faults)[index];
   const auto pos = plan.netlist->primary_outputs();
   const std::vector<TimeNs>& times = plan.times;
+
+  // Deterministic worker-failure injection: fires before any simulator
+  // state changes, so a retried task starts clean.
+  failpoint_throw("worker.task");
 
   sim.reset();
   sim.inject_stuck_at(fault.signal, fault.stuck_value);
@@ -98,6 +106,12 @@ CampaignEngine::CampaignEngine(const Netlist& netlist, const DelayModel& model,
   }
 }
 
+void CampaignEngine::supervise(const RunSupervisor* supervisor) {
+  supervisor_ = supervisor;
+  good_.supervise(supervisor);
+  for (auto& sim : sims_) sim->supervise(supervisor);
+}
+
 CampaignResult CampaignEngine::run(const Stimulus& stimulus, std::vector<Fault> faults,
                                    const FaultSimOptions& sampling, bool early_exit) {
   require(sampling.sample_period > 0.0, "CampaignEngine::run(): period must be positive");
@@ -122,7 +136,8 @@ CampaignResult CampaignEngine::run(const Stimulus& stimulus, std::vector<Fault> 
   CampaignResult result;
   result.total = faults.size();
   result.threads_used = pool_.size();
-  result.verdicts.assign(faults.size(), 0);
+  result.verdicts.assign(faults.size(), kVerdictUndetected);
+  result.error_messages.assign(faults.size(), std::string{});
 
   // Good-machine reference samples (full run; sampled from the final
   // history, so every annihilation is reflected).
@@ -137,22 +152,69 @@ CampaignResult CampaignEngine::run(const Stimulus& stimulus, std::vector<Fault> 
   }
 
   // Shard the fault list: each worker recycles its own Simulator; verdicts
-  // land in per-fault slots, so scheduling order cannot change the result.
+  // and error messages land in per-fault slots, so scheduling order cannot
+  // change the result.  Failure semantics (docs/ARCHITECTURE.md):
+  //   * deadline / cancellation aborts the whole campaign -- recorded once
+  //     here and rethrown below so the caller sees the original RunError
+  //     (never a WorkerPoolError wrapper), with in-flight faults drained;
+  //   * a per-fault budget trip is deterministic for that fault: verdict
+  //     kVerdictError immediately, no retry (it would trip identically);
+  //   * any other failure (injected fault point, allocation failure) is
+  //     retried once from clean state, then becomes kVerdictError.
   std::vector<std::uint64_t> worker_events(sims_.size(), 0);
+  std::vector<std::uint64_t> worker_retries(sims_.size(), 0);
+  std::atomic<bool> sup_stopped{false};
+  std::mutex sup_mutex;
+  std::exception_ptr sup_error;  // guarded by sup_mutex
   pool_.for_each_index(faults.size(), [&](int worker, std::size_t index) {
     const auto w = static_cast<std::size_t>(worker);
-    result.verdicts[index] =
-        simulate_fault(*sims_[w], plan, index, worker_events[w]) ? 1 : 0;
+    if (sup_stopped.load(std::memory_order_relaxed)) return;  // fast drain
+    for (int attempt = 0;; ++attempt) {
+      try {
+        result.verdicts[index] =
+            simulate_fault(*sims_[w], plan, index, worker_events[w])
+                ? kVerdictDetected
+                : kVerdictUndetected;
+        return;
+      } catch (const RunError& e) {
+        if (e.kind() == RunErrorKind::kDeadlineExceeded ||
+            e.kind() == RunErrorKind::kCancelled) {
+          std::lock_guard<std::mutex> lock(sup_mutex);
+          if (!sup_error) sup_error = std::current_exception();
+          sup_stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
+        result.verdicts[index] = kVerdictError;
+        result.error_messages[index] = e.what();
+        return;
+      } catch (const std::exception& e) {
+        if (attempt == 0) {
+          ++worker_retries[w];
+          continue;
+        }
+        result.verdicts[index] = kVerdictError;
+        result.error_messages[index] = e.what();
+        return;
+      }
+    }
   });
+  {
+    std::lock_guard<std::mutex> lock(sup_mutex);
+    if (sup_error) std::rethrow_exception(sup_error);
+  }
 
   // Aggregate in fault-index order: bit-identical for any thread count.
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (result.verdicts[i] != 0) {
+    if (result.verdicts[i] == kVerdictDetected) {
       ++result.detected;
+    } else if (result.verdicts[i] == kVerdictError) {
+      ++result.errors;
+      if (result.first_error.empty()) result.first_error = result.error_messages[i];
     } else {
       result.undetected.push_back(faults[i]);
     }
   }
+  for (const std::uint64_t r : worker_retries) result.retried += r;
   result.events_processed = good_.stats().events_processed;
   for (const std::uint64_t e : worker_events) result.events_processed += e;
   return result;
@@ -162,6 +224,7 @@ CampaignResult run_fault_campaign(const Netlist& netlist, const Stimulus& stimul
                                   const DelayModel& model, std::vector<Fault> faults,
                                   CampaignOptions options) {
   CampaignEngine engine(netlist, model, options.threads);
+  engine.supervise(options.supervisor);
   return engine.run(stimulus, std::move(faults), options.sampling, options.early_exit);
 }
 

@@ -46,19 +46,39 @@ struct CampaignOptions {
   FaultSimOptions sampling;  ///< sample alignment shared with the legacy engine
   int threads = 0;           ///< worker count; 0 = one per hardware thread
   bool early_exit = true;    ///< stop a faulty run at the first divergence
+  /// Optional run supervision (must outlive the call); see
+  /// CampaignEngine::supervise for the failure semantics.
+  const RunSupervisor* supervisor = nullptr;
 };
+
+/// Per-fault verdict bytes (CampaignResult::verdicts).
+inline constexpr std::uint8_t kVerdictUndetected = 0;
+inline constexpr std::uint8_t kVerdictDetected = 1;
+/// The faulty run failed (injected fault-point, allocation failure, budget
+/// trip) even after one retry; the fault is neither detected nor counted
+/// as coverage-undetected -- see CampaignResult::errors.
+inline constexpr std::uint8_t kVerdictError = 2;
 
 struct CampaignResult {
   std::size_t total = 0;
   std::size_t detected = 0;
   std::vector<Fault> undetected;        ///< in fault-index order
-  std::vector<std::uint8_t> verdicts;   ///< per input fault index; 1 = detected
+  std::vector<std::uint8_t> verdicts;   ///< per input fault index; see kVerdict*
+  /// Per input fault index: the failure message when verdicts[i] ==
+  /// kVerdictError, empty otherwise.
+  std::vector<std::string> error_messages;
+  std::size_t errors = 0;   ///< faults whose run failed (verdict kVerdictError)
+  std::size_t retried = 0;  ///< faulty runs retried after a transient failure
+  std::string first_error;  ///< message of the lowest-index error fault
   int threads_used = 1;
   /// Events processed across all faulty runs plus the good-machine run.
   /// Deterministic (each per-fault count is), so it doubles as a work
   /// metric for the bench trajectory.
   std::uint64_t events_processed = 0;
 
+  /// Detected over total.  Error faults stay in the denominator: a fault
+  /// whose run failed was not shown detected, so coverage never improves
+  /// because of failures.
   [[nodiscard]] double coverage() const {
     return total > 0 ? static_cast<double>(detected) / static_cast<double>(total) : 0.0;
   }
@@ -76,6 +96,17 @@ class CampaignEngine {
   CampaignEngine(const Netlist& netlist, const DelayModel& model, int threads = 0);
 
   [[nodiscard]] int threads() const { return pool_.size(); }
+
+  /// Attaches a run supervisor (nullptr detaches); `supervisor` must
+  /// outlive the runs.  Every worker Simulator and the good machine get
+  /// per-event supervision; the event / memory budgets therefore apply per
+  /// faulty run (each worker sim reset()s between faults), which makes a
+  /// budget trip a deterministic property of the single fault -- reported
+  /// as a kVerdictError verdict, not a campaign abort.  Deadline expiry
+  /// and cancellation abort the whole campaign with the original RunError
+  /// rethrown from run() after the in-flight faults drain.
+  void supervise(const RunSupervisor* supervisor);
+  [[nodiscard]] const RunSupervisor* supervisor() const { return supervisor_; }
 
   /// Simulates every fault in `faults` (or all 2N enumerated faults when
   /// empty) against `stimulus`.  Verdict semantics match
@@ -95,6 +126,7 @@ class CampaignEngine {
   WorkerPool pool_;
   Simulator good_;
   std::vector<std::unique_ptr<Simulator>> sims_;  ///< one per worker
+  const RunSupervisor* supervisor_ = nullptr;
 };
 
 /// One-shot convenience wrapper: builds a CampaignEngine for this call.

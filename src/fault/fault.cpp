@@ -173,6 +173,7 @@ AtpgResult generate_tests(const Netlist& netlist, const DelayModel& model,
   // One engine for the whole search: the worker pool's threads and every
   // worker's Simulator survive across candidate evaluations.
   CampaignEngine engine(netlist, model, options.threads);
+  engine.supervise(options.supervisor);
 
   // Incremental evaluation: detection compares *settled* primary-output
   // samples, and the settled response of a combinational circuit depends
@@ -185,6 +186,11 @@ AtpgResult generate_tests(const Netlist& netlist, const DelayModel& model,
   std::uint64_t settled_word = 0;
   for (int candidate = 0;
        candidate < options.max_candidates && !remaining.empty(); ++candidate) {
+    if (options.supervisor != nullptr) {
+      // Coarse boundary between candidate vectors; the campaign engine's
+      // kernels also poll per event.
+      options.supervisor->check_coarse("atpg candidate");
+    }
     const std::uint64_t word = rng.next() & mask;
     const std::uint64_t trial[2] = {settled_word, word};
     const Stimulus stim =
@@ -194,7 +200,15 @@ AtpgResult generate_tests(const Netlist& netlist, const DelayModel& model,
 
     result.words.push_back(word);
     result.detected += sim_result.detected;
-    remaining = sim_result.undetected;
+    // Keep error-verdict faults in the surviving set (not just the
+    // undetected list): an injected failure must never remove a fault
+    // from the search as if it had been covered.
+    std::vector<Fault> next;
+    next.reserve(remaining.size() - sim_result.detected);
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (sim_result.verdicts[i] != kVerdictDetected) next.push_back(remaining[i]);
+    }
+    remaining = std::move(next);
     settled_word = word;
   }
   result.undetected = std::move(remaining);

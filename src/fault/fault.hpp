@@ -108,6 +108,12 @@ struct AtpgOptions {
   /// fault set (0 = one per hardware thread).  The generated test set is
   /// thread-count-invariant.
   int threads = 1;
+  /// Optional run supervision (must outlive the call): threaded through
+  /// the campaign engine (per-event kernel checks) plus a coarse deadline /
+  /// cancellation check between candidate vectors.  Faults whose runs
+  /// error stay in the surviving set, so injected failures can only shrink
+  /// reported coverage, never inflate it.
+  const RunSupervisor* supervisor = nullptr;
 };
 
 struct AtpgResult {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/supervision.hpp"
 #include "src/repro/experiment.hpp"
 
 namespace halotis::repro {
@@ -25,6 +26,12 @@ struct RunOptions {
   /// Contents of a golden-hash file (parse_goldens format).  Empty = no
   /// comparison; the report then shows hashes without verdicts.
   std::string golden_text;
+  /// Optional run supervision (must outlive the call).  Checked at the
+  /// coarse boundary before each experiment; a deadline expiry or
+  /// cancellation aborts the whole run -- run_experiments() rethrows the
+  /// original RunError after in-flight experiments drain.  Any other
+  /// failure inside an experiment is captured in its outcome, as before.
+  const RunSupervisor* supervisor = nullptr;
 };
 
 /// Per-artifact golden verdict.

@@ -1,6 +1,7 @@
 #include "src/tools/cli.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -11,6 +12,8 @@
 
 #include "src/analog/analog_sim.hpp"
 #include "src/base/check.hpp"
+#include "src/base/failpoint.hpp"
+#include "src/base/fileio.hpp"
 #include "src/base/strings.hpp"
 #include "src/core/partition.hpp"
 #include "src/core/simulator.hpp"
@@ -73,6 +76,26 @@ Options parse_args(const std::vector<std::string>& args) {
     }
   }
   return options;
+}
+
+/// Builds the run supervisor for sim/fault/repro from the shared budget
+/// flags (--budget-events, --budget-mem-mb, --deadline-s; 0 / absent =
+/// unlimited) wired to the process-wide SIGINT token.  Every supervised
+/// command attaches one even with no budget set, so Ctrl-C always unwinds
+/// cleanly with exit 5.
+RunSupervisor make_supervisor(const Options& options) {
+  RunBudget budget;
+  budget.max_events = static_cast<std::uint64_t>(options.number("budget-events", 0.0));
+  budget.max_arena_bytes =
+      static_cast<std::uint64_t>(options.number("budget-mem-mb", 0.0) * 1024.0 * 1024.0);
+  budget.deadline_s = options.number("deadline-s", 0.0);
+  RunSupervisor supervisor(budget, cli_cancel_token());
+  supervisor.arm();
+  // A token tripped before the run starts (Ctrl-C during parsing) exits 5
+  // here, deterministically -- a tiny workload might otherwise finish
+  // without ever reaching a poll.
+  supervisor.check_coarse("startup");
+  return supervisor;
 }
 
 std::string read_file(const std::string& path) {
@@ -154,6 +177,7 @@ int cmd_sim(const Options& options, std::ostream& out) {
 
   SimConfig config;
   config.t_end = options.number("t-end", kNeverNs);
+  const RunSupervisor supervisor = make_supervisor(options);
 
   const int threads = static_cast<int>(options.number("threads", 1));
   const auto partitions = static_cast<std::uint32_t>(options.number("partitions", 0));
@@ -189,6 +213,7 @@ int cmd_sim(const Options& options, std::ostream& out) {
     pconfig.partitions = partitions;
     pconfig.sim = config;
     PartitionedSimulator sim(netlist, *model, timing, pconfig);
+    sim.supervise(&supervisor);
     sim.apply_stimulus(stimulus);
     const RunResult result = sim.run();
     print_run(result, sim.stats());
@@ -214,6 +239,7 @@ int cmd_sim(const Options& options, std::ostream& out) {
   }
 
   Simulator sim(netlist, *model, timing, config);
+  sim.supervise(&supervisor);
   sim.apply_stimulus(stimulus);
   const RunResult result = sim.run();
 
@@ -242,9 +268,9 @@ int cmd_sim(const Options& options, std::ostream& out) {
   }
   if (const auto vcd_path = options.get("vcd")) {
     const VcdWriter vcd = vcd_from_simulator(sim);
-    std::ofstream file(*vcd_path);
-    require(file.good(), "cannot write '" + *vcd_path + "'");
-    vcd.write(file);
+    std::ostringstream bytes;
+    vcd.write(bytes);
+    write_file_atomic(*vcd_path, bytes.str());
     out << "wrote " << *vcd_path << "\n";
   }
   return 0;
@@ -267,21 +293,21 @@ int cmd_analog(const Options& options, std::ostream& out) {
         << format_double(sim.voltage(po), 4) << " V\n";
   }
   if (const auto csv_path = options.get("csv")) {
-    std::ofstream file(*csv_path);
-    require(file.good(), "cannot write '" + *csv_path + "'");
-    file << "t_ns";
+    std::ostringstream csv;
+    csv << "t_ns";
     for (const SignalId po : netlist.primary_outputs()) {
-      file << ',' << netlist.signal(po).name;
+      csv << ',' << netlist.signal(po).name;
     }
-    file << '\n';
+    csv << '\n';
     const AnalogTrace& first = sim.trace(netlist.primary_outputs()[0]);
     for (std::size_t i = 0; i < first.size(); ++i) {
-      file << format_double(first.time_of(i), 6);
+      csv << format_double(first.time_of(i), 6);
       for (const SignalId po : netlist.primary_outputs()) {
-        file << ',' << format_double(sim.trace(po).sample(i), 5);
+        csv << ',' << format_double(sim.trace(po).sample(i), 5);
       }
-      file << '\n';
+      csv << '\n';
     }
+    write_file_atomic(*csv_path, csv.str());
     out << "wrote " << *csv_path << "\n";
   }
   return 0;
@@ -307,6 +333,7 @@ int cmd_fault(const Options& options, std::ostream& out) {
   const Netlist netlist = load_netlist(options, lib);
   const std::unique_ptr<DelayModel> model = make_model(options);
   const int threads = static_cast<int>(options.number("threads", 0));
+  const RunSupervisor supervisor = make_supervisor(options);
 
   if (options.get("atpg")) {
     AtpgOptions atpg;
@@ -314,6 +341,7 @@ int cmd_fault(const Options& options, std::ostream& out) {
     atpg.max_candidates = static_cast<int>(options.number("candidates", 200));
     atpg.seed = static_cast<std::uint64_t>(options.number("seed", 1));
     atpg.threads = threads;
+    atpg.supervisor = &supervisor;
     const AtpgResult result = generate_tests(netlist, *model, atpg);
     out << "ATPG: " << result.words.size() << " vectors, coverage " << result.detected
         << " / " << result.total_faults << " ("
@@ -363,6 +391,7 @@ int cmd_fault(const Options& options, std::ostream& out) {
   campaign.sampling.sample_period = options.number("period", 5.0);
   campaign.threads = threads;
   campaign.early_exit = !options.get("no-early-exit");
+  campaign.supervisor = &supervisor;
   const auto start = std::chrono::steady_clock::now();
   const CampaignResult result =
       run_fault_campaign(netlist, stimulus, *model, {}, campaign);
@@ -377,6 +406,15 @@ int cmd_fault(const Options& options, std::ostream& out) {
       << format_double(wall_s, 4) << " s ("
       << format_double(wall_s > 0.0 ? static_cast<double>(result.total) / wall_s : 0.0, 5)
       << " faults/sec)\n";
+  if (result.errors > 0) {
+    out << "errors: " << result.errors << " faulty run"
+        << (result.errors == 1 ? "" : "s") << " failed";
+    if (result.retried > 0) out << " (" << result.retried << " retried)";
+    out << "; first: " << result.first_error << "\n";
+  } else if (result.retried > 0) {
+    out << "retried: " << result.retried << " faulty run"
+        << (result.retried == 1 ? "" : "s") << " after a transient failure\n";
+  }
   if (!result.undetected.empty()) {
     out << "undetected:";
     for (const Fault& fault : result.undetected) {
@@ -384,7 +422,7 @@ int cmd_fault(const Options& options, std::ostream& out) {
     }
     out << "\n";
   }
-  return 0;
+  return result.errors > 0 ? 1 : 0;
 }
 
 int cmd_repro(const Options& options, std::ostream& out) {
@@ -414,6 +452,8 @@ int cmd_repro(const Options& options, std::ostream& out) {
   if (const auto golden = options.get("golden")) {
     run_options.golden_text = read_file(*golden);
   }
+  const RunSupervisor supervisor = make_supervisor(options);
+  run_options.supervisor = &supervisor;
 
   const auto start = std::chrono::steady_clock::now();
   const repro::RunReport report = repro::run_experiments(registry, run_options);
@@ -422,21 +462,17 @@ int cmd_repro(const Options& options, std::ostream& out) {
 
   // Write the artifact tree: <out>/<experiment>/<artifact>, plus the report
   // and the flat hash listing (HASHES.txt is byte-compatible with the
-  // committed golden file).
+  // committed golden file).  All crash-safe: temp file + atomic rename, so
+  // an aborted run never leaves a torn artifact behind.
   const std::filesystem::path out_dir{options.get("out").value_or("repro-out")};
-  const auto write_file = [](const std::filesystem::path& path, const std::string& bytes) {
-    std::ofstream file(path, std::ios::binary);
-    require(file.good(), "cannot write '" + path.string() + "'");
-    file << bytes;
-  };
   std::filesystem::create_directories(out_dir);
   for (const repro::ExperimentOutcome& outcome : report.outcomes) {
     std::filesystem::create_directories(out_dir / outcome.id);
     for (const repro::Artifact& artifact : outcome.result.artifacts) {
-      write_file(out_dir / outcome.id / artifact.name, artifact.content);
+      write_file_atomic(out_dir / outcome.id / artifact.name, artifact.content);
     }
   }
-  write_file(out_dir / "REPORT.md", repro::format_report_markdown(report));
+  write_file_atomic(out_dir / "REPORT.md", repro::format_report_markdown(report));
   // The header makes HASHES.txt self-describing, so blessing new goldens is
   // exactly `cp HASHES.txt tests/repro/golden_quick.txt` (comments survive
   // the copy; parse_goldens skips them).
@@ -446,7 +482,8 @@ int cmd_repro(const Options& options, std::ostream& out) {
       " mode); format: <experiment> <artifact> <fnv1a64>.\n"
       "# Bless as goldens (quick mode only): cp HASHES.txt "
       "tests/repro/golden_quick.txt -- see docs/REPRODUCTION.md.\n";
-  write_file(out_dir / "HASHES.txt", hashes_header + repro::format_goldens(report.hashes()));
+  write_file_atomic(out_dir / "HASHES.txt",
+                    hashes_header + repro::format_goldens(report.hashes()));
 
   // Console summary (wall time and verdicts stay out of the artifacts).
   for (const repro::ExperimentOutcome& outcome : report.outcomes) {
@@ -494,9 +531,7 @@ int cmd_convert(const Options& options, std::ostream& out) {
     require(false, "unknown target format '" + to + "'");
   }
   if (const auto path = options.get("out")) {
-    std::ofstream file(*path);
-    require(file.good(), "cannot write '" + *path + "'");
-    file << text;
+    write_file_atomic(*path, text);
     out << "wrote " << *path << "\n";
   } else {
     out << text;
@@ -505,6 +540,11 @@ int cmd_convert(const Options& options, std::ostream& out) {
 }
 
 }  // namespace
+
+const CancelToken& cli_cancel_token() {
+  static const CancelToken token;
+  return token;
+}
 
 std::string cli_usage() {
   return R"(halotis -- high-accuracy logic timing simulator (IDDM)
@@ -532,16 +572,45 @@ commands:
            [--threads N] [--golden F]
   convert  netlist format conversion / delay annotation export
            --netlist F --to bench|verilog|native|sdf [--slew NS] [--out F]
+
+supervision (sim, fault, repro -- docs/ARCHITECTURE.md):
+  --budget-events N    error out (exit 3) after N processed events
+  --budget-mem-mb N    error out (exit 3) past N MiB of kernel arenas
+  --deadline-s S       error out (exit 4) after S wall-clock seconds
+  --failpoints SPEC    arm fail points, e.g. "io.write@2;worker.task*"
+                       (also read from $HALOTIS_FAILPOINTS); any command
+  Ctrl-C cancels cooperatively (exit 5); artifacts are written via temp
+  file + atomic rename, so no partial file survives any failure.
+
+exit codes: 0 ok, 1 error, 2 usage, 3 budget, 4 deadline, 5 cancelled, 6 I/O
 )";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  // Fail-point arming is scoped to this invocation: sites armed from the
+  // environment or --failpoints are disarmed on every exit path so repeated
+  // in-process calls (tests) stay isolated.  Sites armed through the test
+  // API before the call are intentionally cleared too -- arm per call.
+  bool armed_failpoints = false;
+  struct DisarmGuard {
+    bool* armed;
+    ~DisarmGuard() {
+      if (*armed) FailPoints::instance().disarm_all();
+    }
+  } disarm_guard{&armed_failpoints};
   try {
     if (args.empty() || args[0] == "help" || args[0] == "--help") {
       out << cli_usage();
       return args.empty() ? 2 : 0;
     }
     const Options options = parse_args(args);
+    std::string failpoint_spec;
+    if (const char* env = std::getenv("HALOTIS_FAILPOINTS")) failpoint_spec = env;
+    if (const auto flag = options.get("failpoints")) failpoint_spec = *flag;
+    if (!failpoint_spec.empty()) {
+      FailPoints::instance().arm_spec(failpoint_spec);
+      armed_failpoints = true;
+    }
     if (options.command == "sim") return cmd_sim(options, out);
     if (options.command == "analog") return cmd_analog(options, out);
     if (options.command == "sta") return cmd_sta(options, out);
@@ -550,6 +619,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (options.command == "convert") return cmd_convert(options, out);
     err << "unknown command '" << options.command << "'\n" << cli_usage();
     return 2;
+  } catch (const RunError& e) {
+    // The structured taxonomy maps onto documented exit codes (README.md):
+    // 3 budget, 4 deadline, 5 cancelled, 6 I/O, 1 contract violation.
+    err << "error (" << RunError::kind_name(e.kind()) << "): " << e.what() << "\n";
+    return e.exit_code();
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -24,9 +24,19 @@
 #include <string>
 #include <vector>
 
+#include "src/base/supervision.hpp"
+
 namespace halotis {
 
-/// Runs the CLI; returns the process exit code.  `args` excludes argv[0].
+/// The process-wide cancellation token every supervised command polls.
+/// halotis_main routes SIGINT into it (install_sigint_cancel); tests can
+/// trip it directly to exercise the cancellation path in-process.
+[[nodiscard]] const CancelToken& cli_cancel_token();
+
+/// Runs the CLI; returns the process exit code (see the README exit-code
+/// table: 0 ok, 1 contract violation / generic failure, 2 usage, 3 budget
+/// exceeded, 4 deadline exceeded, 5 cancelled, 6 I/O error).  `args`
+/// excludes argv[0].
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 /// Usage text.

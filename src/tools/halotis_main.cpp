@@ -6,6 +6,9 @@
 #include "src/tools/cli.hpp"
 
 int main(int argc, char** argv) {
+  // First Ctrl-C trips the cooperative token (supervised work unwinds with
+  // exit 5 and artifacts stay whole); a second falls back to SIG_DFL.
+  halotis::install_sigint_cancel(halotis::cli_cancel_token());
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
   return halotis::run_cli(args, std::cout, std::cerr);

@@ -485,7 +485,9 @@ TEST_F(PartitionTest, RandomDagStressMatchesSerial) {
       // inside the window that fires it -- both legitimately force the
       // serial fallback (equality is still asserted above).  Pure CDM has
       // neither mechanism, so it must always survive the windowed path.
-      if (model == &cdm) EXPECT_FALSE(ws.fell_back_serial);
+      if (model == &cdm) {
+        EXPECT_FALSE(ws.fell_back_serial);
+      }
     }
   }
   // The stress suite must genuinely exercise the windowed path, not just
