@@ -37,6 +37,7 @@
 #include "src/core/simulator.hpp"
 #include "src/fault/campaign.hpp"
 #include "src/fault/fault.hpp"
+#include "src/lint/lint.hpp"
 #include "src/timing/timing_graph.hpp"
 
 using namespace halotis;
@@ -376,6 +377,63 @@ StormGuardResult run_storm_guard(const Library& lib, bool quick, int reps) {
   return result;
 }
 
+// ---- lint throughput workload -----------------------------------------------
+
+/// Static analyzer (PR 8) over the same layered circuit as the partition
+/// scaling workload: full structural + hazard + timing lint on the 100k-gate
+/// generator output (10k quick).  Gates/sec keeps lint on the perf
+/// trajectory; findings_hash (FNV-1a over the sorted finding ids, which
+/// already encode rule + location) pins the analyzer's verdicts.  The field
+/// is deliberately NOT called history_hash -- the CI quick-hash diff greps
+/// every history_hash in order and lint findings are not a waveform.
+struct LintThroughputResult {
+  std::string name;
+  std::size_t gates = 0;
+  std::size_t findings = 0;
+  std::size_t hazard_gates = 0;
+  std::size_t capped_sources = 0;
+  double wall_s = 0.0;
+  double gates_per_sec = 0.0;
+  std::uint64_t findings_hash = 0;
+};
+
+LintThroughputResult run_lint_throughput(const Library& lib, bool quick,
+                                         int reps) {
+  const DdmDelayModel ddm;
+  const int width = quick ? 100 : 500;
+  const int depth = quick ? 100 : 200;
+  LayeredCircuit circuit = make_layered_circuit(lib, width, depth, 7);
+  const TimingGraph timing =
+      TimingGraph::build(circuit.netlist, ddm.timing_policy());
+
+  LintThroughputResult result;
+  result.name = quick ? "layered10k_lint" : "layered100k_lint";
+  result.gates = circuit.netlist.num_gates();
+
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const lint::LintReport report =
+        lint::run_lint(circuit.netlist, timing, lint::LintOptions{});
+    times.push_back(seconds_since(start));
+    if (r == 0) {
+      result.findings = report.findings.size();
+      result.hazard_gates = report.hazard_gates.size();
+      result.capped_sources = report.capped_sources;
+      std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+      for (const lint::Finding& finding : report.findings) {
+        hash = fnv1a(hash, &finding.id, sizeof finding.id);
+      }
+      result.findings_hash = hash;
+    }
+  }
+  result.wall_s = *std::min_element(times.begin(), times.end());
+  result.gates_per_sec =
+      result.wall_s > 0.0 ? static_cast<double>(result.gates) / result.wall_s
+                          : 0.0;
+  return result;
+}
+
 void print_json_workload(std::FILE* f, const WorkloadResult& w, bool last) {
   const SimStats& s = w.stats;
   std::fprintf(f,
@@ -552,6 +610,12 @@ int main(int argc, char** argv) {
   // self-sustaining oscillator at an exact event budget.
   const StormGuardResult storm = run_storm_guard(lib, quick, reps);
 
+  // Lint throughput workload (PR 8): static analysis over the layered
+  // circuit -- fewer repetitions, it is a whole-netlist pass like the
+  // partition workload.
+  const LintThroughputResult lint_tp =
+      run_lint_throughput(lib, quick, quick ? 2 : 3);
+
   // Human-readable summary.
   std::printf("== perf_report (%s) ==\n\n", quick ? "quick" : "full");
   std::printf("%-18s %-12s %8s %12s %14s %12s\n", "workload", "model", "gates",
@@ -599,6 +663,14 @@ int main(int argc, char** argv) {
       storm.budget_tripped ? "budget stop" : "NO BUDGET TRIP",
       static_cast<unsigned long long>(storm.events_processed), storm.wall_s,
       storm.events_per_sec);
+  std::printf(
+      "lint_throughput: %s, %zu gates -> %zu findings (%zu hazard-capable"
+      " gates, %zu capped sources), %.6f s (%.0f gates/sec), findings hash"
+      " %016llx\n",
+      lint_tp.name.c_str(), lint_tp.gates, lint_tp.findings,
+      lint_tp.hazard_gates, lint_tp.capped_sources, lint_tp.wall_s,
+      lint_tp.gates_per_sec,
+      static_cast<unsigned long long>(lint_tp.findings_hash));
 
   // JSON entry.
   std::string entry;
@@ -678,6 +750,20 @@ int main(int argc, char** argv) {
         storm.budget_tripped ? "true" : "false", storm.wall_s,
         storm.events_per_sec, static_cast<unsigned long long>(storm.history_hash));
     entry += sg;
+    // findings_hash, not history_hash: the CI quick-hash diff greps every
+    // history_hash in order and must keep seeing exactly the waveform hashes.
+    char lt[512];
+    std::snprintf(
+        lt, sizeof lt,
+        "   \"lint_throughput\": {\"workload\": \"%s\", \"gates\": %zu,"
+        " \"findings\": %zu, \"hazard_gates\": %zu, \"capped_sources\": %zu,\n"
+        "    \"wall_s\": %.6f, \"gates_per_sec\": %.1f,"
+        " \"findings_hash\": \"%016llx\"},\n",
+        lint_tp.name.c_str(), lint_tp.gates, lint_tp.findings,
+        lint_tp.hazard_gates, lint_tp.capped_sources, lint_tp.wall_s,
+        lint_tp.gates_per_sec,
+        static_cast<unsigned long long>(lint_tp.findings_hash));
+    entry += lt;
     char sv[384];
     std::snprintf(
         sv, sizeof sv,

@@ -153,7 +153,7 @@ void AnalogSim::apply_stimulus(const Stimulus& stimulus) {
   // stage nodes by boolean evaluation in construction order.
   const auto pis = netlist_->primary_inputs();
   std::vector<bool> pi_bits(pis.size());
-  std::unique_ptr<bool[]> buffer(new bool[pis.size() > 0 ? pis.size() : 1]);
+  std::unique_ptr<bool[]> buffer(new bool[pis.empty() ? 1 : pis.size()]);
   for (std::size_t i = 0; i < pis.size(); ++i) buffer[i] = stimulus.initial_value(pis[i]);
   const std::vector<bool> steady =
       netlist_->steady_state(std::span<const bool>(buffer.get(), pis.size()));

@@ -211,7 +211,7 @@ MultiplierCircuit make_wallace_multiplier(const Library& lib, int bits) {
     std::vector<SignalId> row_a;
     std::vector<SignalId> row_b;
     for (std::size_t col = first_wide; col < columns.size(); ++col) {
-      row_a.push_back(columns[col].size() > 0 ? columns[col][0] : c.tie0);
+      row_a.push_back(columns[col].empty() ? c.tie0 : columns[col][0]);
       row_b.push_back(columns[col].size() > 1 ? columns[col][1] : c.tie0);
     }
     int aux = 0;

@@ -1,0 +1,85 @@
+// Static hazard analysis over the per-gate compiled truth tables.
+//
+// Capability (the sound, stimulus-independent part): a gate is a possible
+// glitch *origin* iff there exists a start input word and an ordered
+// sequence of distinct pins, each flipped exactly once, whose truth-table
+// walk toggles the output at least twice.  With fan-in <= 4 this is an
+// exact exhaustive enumeration (<= 16 start words x <= 65 flip orders), not
+// a heuristic -- which is what makes the dynamic-glitch subset test in
+// tests/test_lint.cpp a real soundness proof obligation: any surviving
+// output pulse produced by single changes per input IS such a walk.
+//
+// Classification (the advisory part): for every single-input-change hazard
+// pair (i, j) -- exists w with T[w] != T[w^bi] and T[w^bi] != T[w^bi^bj],
+// which forces T[w^bi^bj] == T[w], a static-T[w] hazard -- we look for a
+// reconvergent fanout source whose cone reaches both pins, propagate
+// earliest/latest arrivals from that source through the TimingGraph arcs,
+// and compare the pin-to-pin skew window against the gate's DDM filtering
+// boundary T0 = t0_slope * slew and degradation band T0 + 3*tau:
+//
+//   skew_max <= T0              the spurious pulse collapses   -> filtered
+//   skew_min >  T0 + 3*tau      it clears the band             -> will glitch
+//   otherwise                   straddles the band             -> marginal
+//
+// Hazard-capable gates with no reconvergent pair are still reported
+// (multi-input-change hazard: independent input skew can produce the
+// glitch), keeping the origin set an over-approximation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/base/units.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/timing/timing_graph.hpp"
+
+namespace halotis::lint {
+
+struct LintOptions;
+
+/// Hazard polarity of a pin pair: the output value the spurious pulse
+/// interrupts (static-0 = 0 -> 1 -> 0 pulse on a logic-0 output).
+enum class HazardKind : std::uint8_t { kStatic0, kStatic1, kDynamic };
+
+/// Reconvergence-skew classification, ordered by severity.
+enum class HazardClass : std::uint8_t {
+  kNone = 0,      ///< not origin-capable
+  kMic = 1,       ///< capable, no reconvergent pair found
+  kFiltered = 2,  ///< reconvergent, skew entirely inside T0
+  kMarginal = 3,  ///< reconvergent, skew straddles the degradation band
+  kGlitch = 4,    ///< reconvergent, skew clears the band
+};
+
+struct GateHazard {
+  bool origin_capable = false;
+  HazardClass cls = HazardClass::kNone;
+  HazardKind kind = HazardKind::kDynamic;
+  /// Representative hazard pin pair (pair scan order for MIC, the
+  /// classifying reconvergent pair otherwise).
+  std::uint8_t pin_a = 0;
+  std::uint8_t pin_b = 0;
+  /// Unordered single-input-change pairs: bit (i*4+j), i < j.
+  std::uint16_t pair_mask = 0;
+  /// Representative reconvergent source (invalid for kMic).
+  SignalId source;
+  /// Pin-arrival skew window from `source` for the representative pair.
+  TimeNs skew_min = 0.0;
+  TimeNs skew_max = 0.0;
+  /// The gate's filtering boundary and band edge at the analysis slew.
+  TimeNs t0 = 0.0;
+  TimeNs band_hi = 0.0;
+};
+
+struct HazardAnalysis {
+  std::vector<GateHazard> gates;  ///< indexed by gate id
+  std::size_t branch_sources = 0;
+  std::size_t capped_sources = 0;
+};
+
+/// Runs capability enumeration plus reconvergence classification.
+[[nodiscard]] HazardAnalysis analyze_hazards(const Netlist& netlist,
+                                             const TimingGraph& timing,
+                                             const LintOptions& options);
+
+}  // namespace halotis::lint

@@ -1,0 +1,139 @@
+// Static circuit lint: structural, hazard and timing findings computed
+// without running a single event (docs/LINT.md).
+//
+// Three analysis families over the elaborated Netlist + TimingGraph:
+//
+//   STR-*  structural   undriven/floating signals, dead gates, duplicate
+//                       logic, fanout limits, combinational cycles
+//   HAZ-*  static hazard single/multi-input-change hazard sites from the
+//                       per-gate compiled truth tables, classified by
+//                       reconvergent path-delay skew against the DDM
+//                       filtering boundary (will glitch / marginal /
+//                       filtered)
+//   TIM-*  timing        non-positive arc delays, slew/threshold sanity,
+//                       arcs inside the degradation band, SDF annotation
+//                       coverage
+//
+// Every finding carries a stable 64-bit id -- FNV-1a over "rule|location",
+// both derived from user-visible names only -- so baselines survive
+// unrelated netlist edits.  Output (text and JSON) is sorted and
+// byte-deterministic, and the JSON form is diffed against committed goldens
+// in CI exactly like the repro artifacts.
+//
+// The soundness contract (pinned by tests/test_lint.cpp): every gate at
+// which the event kernel ever observes a glitch origin -- an output with
+// >= 2 surviving transitions while each of its own inputs changed at most
+// once -- is origin-capable statically, i.e. contained in
+// LintReport::hazard_gates.  The static set over-approximates; it never
+// misses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/ids.hpp"
+#include "src/base/supervision.hpp"
+#include "src/base/units.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/timing/timing_graph.hpp"
+
+namespace halotis::lint {
+
+enum class Severity : std::uint8_t { kError = 0, kWarning = 1, kNote = 2 };
+
+/// "error" / "warning" / "note".
+[[nodiscard]] const char* severity_name(Severity severity);
+
+/// One lint finding.  `location` names the site with user-visible names
+/// only ("gate fa3.c1", "signal N22", "gate u7 pin B"), so the id is
+/// stable across unrelated edits.
+struct Finding {
+  std::string rule;      ///< e.g. "HAZ-GLITCH"
+  Severity severity = Severity::kNote;
+  std::string location;
+  std::string message;
+  std::uint64_t id = 0;  ///< finding_id(rule, location)
+};
+
+/// Stable finding id: FNV-1a64 over "<rule>|<location>".
+[[nodiscard]] std::uint64_t finding_id(std::string_view rule, std::string_view location);
+
+struct LintOptions {
+  /// Assumed input ramp duration for the slew-dependent delay terms and the
+  /// DDM boundary T0 = t0_slope * slew (matches `halotis sta --slew`).
+  TimeNs input_slew = 0.5;
+  /// STR-FANOUT fires above this receiving-pin count.
+  int fanout_limit = 64;
+  /// Emit TIM-SDF-MISSING for gate inputs without an IOPATH override.
+  /// Enable only for a graph that went through SDF back-annotation.
+  bool sdf_coverage = false;
+  /// Per-source cap on reconvergence-cone gate visits, and a whole-run
+  /// budget across all sources; sources past either cap keep their hazard
+  /// findings but lose skew classification (HAZ-CAP reports the count).
+  std::size_t reconv_cone_limit = 4096;
+  std::size_t reconv_total_limit = 2'000'000;
+  /// Polled between passes and every few sources inside the hazard pass.
+  const RunSupervisor* supervisor = nullptr;
+};
+
+struct LintReport {
+  /// Sorted: errors, then warnings, then notes; within a severity by
+  /// (rule, location).
+  std::vector<Finding> findings;
+  /// Every origin-capable gate (the soundness set), ascending id.  This is
+  /// stimulus-independent: capability is decided from the truth table
+  /// alone, reconvergence only refines the reported severity.
+  std::vector<GateId> hazard_gates;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+  /// Findings removed by the baseline (apply_baseline).
+  std::size_t suppressed = 0;
+  /// Branch sources whose reconvergence cone hit a cap.
+  std::size_t capped_sources = 0;
+
+  [[nodiscard]] bool has_rule(std::string_view rule) const;
+  /// True when `gate` is in hazard_gates (binary search).
+  [[nodiscard]] bool is_hazard_gate(GateId gate) const;
+};
+
+/// Runs all three analysis families.  `timing` must be elaborated from
+/// `netlist`.
+[[nodiscard]] LintReport run_lint(const Netlist& netlist, const TimingGraph& timing,
+                                  const LintOptions& options = {});
+
+// ---- output ----------------------------------------------------------------
+
+/// Human-readable listing: one "severity: [RULE] location: message [id]"
+/// line per finding plus a summary line.
+[[nodiscard]] std::string format_text(const LintReport& report);
+
+/// Byte-deterministic JSON document (sorted findings, fixed key order,
+/// 6-digit fixed-point numbers, trailing newline) -- diffable against
+/// committed goldens.
+[[nodiscard]] std::string format_json(const LintReport& report, const Netlist& netlist);
+
+// ---- baseline --------------------------------------------------------------
+
+/// Serializes the report's finding ids as a baseline file:
+/// "<id16> <rule> <location>" lines under a comment header.
+[[nodiscard]] std::string format_baseline(const LintReport& report);
+
+/// Parses a baseline file (ids in column 1; '#' comments and blank lines
+/// ignored).  Throws ContractViolation on a malformed id.
+[[nodiscard]] std::unordered_set<std::uint64_t> parse_baseline(std::string_view text);
+
+/// Removes findings whose id is in `baseline` and re-tallies the severity
+/// counters; returns the number suppressed (also added to
+/// `report.suppressed`).
+std::size_t apply_baseline(LintReport& report, const std::unordered_set<std::uint64_t>& baseline);
+
+/// Exit-code policy: fail when any finding at or above `threshold` severity
+/// survived the baseline.
+[[nodiscard]] bool should_fail(const LintReport& report, Severity threshold);
+
+}  // namespace halotis::lint

@@ -74,7 +74,8 @@ ParsedDesign parse(std::string_view text) {
       require(!outs.empty(), ctx(line_number) + ": module needs at least one output");
       def.inputs = std::move(ins);
       def.outputs = std::move(outs);
-      current = &design.modules.emplace(def.name, std::move(def)).first->second;
+      std::string key = def.name;  // keep a copy: def is moved in the same call
+      current = &design.modules.emplace(std::move(key), std::move(def)).first->second;
       continue;
     }
     if (tokens[0] == "endmodule") {

@@ -427,4 +427,19 @@ std::size_t apply_sdf(TimingGraph& graph, const SdfFile& sdf) {
   return sdf.iopaths.size();
 }
 
+std::vector<PinRef> sdf_unannotated_pins(const TimingGraph& graph) {
+  const Netlist& netlist = graph.netlist();
+  std::vector<PinRef> pins;
+  for (std::uint32_t gi = 0; gi < netlist.num_gates(); ++gi) {
+    const GateId gate{gi};
+    const int fan_in = static_cast<int>(netlist.gate(gate).inputs.size());
+    for (int pin = 0; pin < fan_in; ++pin) {
+      const std::uint8_t flags = graph.arc(graph.arc_id(gate, pin, Edge::kRise)).flags |
+                                 graph.arc(graph.arc_id(gate, pin, Edge::kFall)).flags;
+      if ((flags & kArcSdfAnnotated) == 0) pins.push_back({gate, pin});
+    }
+  }
+  return pins;
+}
+
 }  // namespace halotis

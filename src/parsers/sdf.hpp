@@ -66,4 +66,10 @@ struct SdfFile {
 /// Returns the number of IOPATH records applied.
 std::size_t apply_sdf(TimingGraph& graph, const SdfFile& sdf);
 
+/// Gate inputs (gate-id order, then pin order) whose arcs carry no IOPATH
+/// override after back-annotation -- the pins a partial SDF silently leaves
+/// on library delays.  `halotis sim/sta/lint --sdf` warns about each, and
+/// the lint TIM-SDF-MISSING rule reports the same set.
+[[nodiscard]] std::vector<PinRef> sdf_unannotated_pins(const TimingGraph& graph);
+
 }  // namespace halotis

@@ -19,6 +19,7 @@
 #include "src/core/simulator.hpp"
 #include "src/fault/campaign.hpp"
 #include "src/fault/fault.hpp"
+#include "src/lint/lint.hpp"
 #include "src/netlist/library.hpp"
 #include "src/parsers/bench_format.hpp"
 #include "src/parsers/hierarchy.hpp"
@@ -106,16 +107,19 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
-std::string detect_format(const Options& options, const std::string& path) {
-  if (const auto fmt = options.get("format")) return *fmt;
+std::string extension_format(const std::string& path) {
   if (path.size() >= 6 && path.substr(path.size() - 6) == ".bench") return "bench";
   if (path.size() >= 2 && path.substr(path.size() - 2) == ".v") return "verilog";
   return "native";
 }
 
-Netlist load_netlist(const Options& options, const Library& lib) {
-  const std::string path = options.require_flag("netlist");
-  const std::string format = detect_format(options, path);
+std::string detect_format(const Options& options, const std::string& path) {
+  if (const auto fmt = options.get("format")) return *fmt;
+  return extension_format(path);
+}
+
+Netlist load_netlist_file(const std::string& path, const std::string& format,
+                          const Library& lib) {
   const std::string text = read_file(path);
   if (format == "bench") return read_bench(text, lib);
   if (format == "verilog") return read_verilog(text, lib);
@@ -126,6 +130,11 @@ Netlist load_netlist(const Options& options, const Library& lib) {
   }
   require(false, "unknown netlist format '" + format + "'");
   return Netlist(lib);  // unreachable
+}
+
+Netlist load_netlist(const Options& options, const Library& lib) {
+  const std::string path = options.require_flag("netlist");
+  return load_netlist_file(path, detect_format(options, path), lib);
 }
 
 std::unique_ptr<DelayModel> make_model(const Options& options) {
@@ -161,6 +170,21 @@ TimingGraph load_timing(const Options& options, const Netlist& netlist,
         << " from " << *sdf_path;
     if (!sdf.design.empty()) out << " (design \"" << sdf.design << "\")";
     out << "\n";
+    // A partial SDF used to keep library delays on the missing arcs without
+    // a trace -- exactly the silent-mismatch the annotation flow exists to
+    // prevent.  Warn per pin (capped), and lint reports the same set as
+    // TIM-SDF-MISSING findings.
+    const std::vector<PinRef> missing = sdf_unannotated_pins(graph);
+    constexpr std::size_t kMaxListed = 20;
+    for (std::size_t i = 0; i < missing.size() && i < kMaxListed; ++i) {
+      out << "warning: sdf: no IOPATH for gate '"
+          << netlist.gate(missing[i].gate).name << "' pin "
+          << sdf_port_name(missing[i].pin) << " -- keeping library delay\n";
+    }
+    if (missing.size() > kMaxListed) {
+      out << "warning: sdf: ... and " << missing.size() - kMaxListed
+          << " more unannotated gate inputs\n";
+    }
   }
   return graph;
 }
@@ -326,6 +350,60 @@ int cmd_sta(const Options& options, std::ostream& out) {
     out << '\n' << timing.format_arcs();
   }
   return 0;
+}
+
+int cmd_lint(const Options& options, std::ostream& out) {
+  const Library lib = Library::default_u6();
+  // `--format` selects the *output* format here, so the netlist dialect
+  // comes from `--netlist-format` or the file extension.
+  const std::string netlist_path = options.require_flag("netlist");
+  const std::string netlist_format =
+      options.get("netlist-format").value_or(extension_format(netlist_path));
+  const Netlist netlist = load_netlist_file(netlist_path, netlist_format, lib);
+  const std::unique_ptr<DelayModel> model = make_model(options);
+  const RunSupervisor supervisor = make_supervisor(options);
+
+  // SDF annotation progress and per-pin warnings go to the console only in
+  // text mode: `--format json` on stdout must stay a pure JSON document
+  // (the same information is in the TIM-SDF-MISSING findings).
+  std::ostringstream timing_log;
+  const TimingGraph timing =
+      load_timing(options, netlist, model->timing_policy(), timing_log);
+
+  lint::LintOptions lint_options;
+  lint_options.input_slew = options.number("slew", 0.5);
+  lint_options.fanout_limit = static_cast<int>(options.number("fanout-limit", 64.0));
+  lint_options.sdf_coverage = options.get("sdf").has_value();
+  lint_options.supervisor = &supervisor;
+  lint::LintReport report = lint::run_lint(netlist, timing, lint_options);
+
+  if (const auto baseline_path = options.get("baseline")) {
+    lint::apply_baseline(report, lint::parse_baseline(read_file(*baseline_path)));
+  }
+  if (const auto baseline_path = options.get("write-baseline")) {
+    write_file_atomic(*baseline_path, lint::format_baseline(report));
+  }
+
+  const std::string format = options.get("format").value_or("text");
+  require(format == "text" || format == "json", "--format must be text|json");
+  const std::string rendered = format == "json" ? lint::format_json(report, netlist)
+                                                : lint::format_text(report);
+  if (const auto out_path = options.get("out")) {
+    write_file_atomic(*out_path, rendered);
+    out << timing_log.str();
+    out << "wrote " << *out_path << " (" << report.findings.size() << " finding"
+        << (report.findings.size() == 1 ? "" : "s") << ")\n";
+  } else {
+    if (format == "text") out << timing_log.str();
+    out << rendered;
+  }
+
+  const std::string fail_on = options.get("fail-on").value_or("error");
+  if (fail_on == "none") return 0;
+  lint::Severity threshold = lint::Severity::kError;
+  if (fail_on == "warn" || fail_on == "warning") threshold = lint::Severity::kWarning;
+  else require(fail_on == "error", "--fail-on must be error|warn|none");
+  return lint::should_fail(report, threshold) ? 1 : 0;
 }
 
 int cmd_fault(const Options& options, std::ostream& out) {
@@ -563,6 +641,12 @@ commands:
            --netlist F [--stim F] [--t-end NS] [--csv F]
   sta      static timing analysis (conventional worst case)
            --netlist F [--slew NS] [--sdf F] [--per-arc]
+  lint     static structural / hazard / timing analysis (docs/LINT.md)
+           --netlist F (or: halotis lint F)
+           [--netlist-format bench|verilog|native] [--format text|json]
+           [--sdf F] [--slew NS] [--fanout-limit N] [--out F]
+           [--baseline F] [--write-baseline F] [--fail-on error|warn|none]
+           exit 1 when findings at/above --fail-on survive the baseline
   fault    parallel stuck-at fault campaign / test generation
            --netlist F --stim F [--model M] [--period NS]
            [--threads N] [--serial] [--no-early-exit]
@@ -573,7 +657,7 @@ commands:
   convert  netlist format conversion / delay annotation export
            --netlist F --to bench|verilog|native|sdf [--slew NS] [--out F]
 
-supervision (sim, fault, repro -- docs/ARCHITECTURE.md):
+supervision (sim, fault, repro, lint -- docs/ARCHITECTURE.md):
   --budget-events N    error out (exit 3) after N processed events
   --budget-mem-mb N    error out (exit 3) past N MiB of kernel arenas
   --deadline-s S       error out (exit 4) after S wall-clock seconds
@@ -603,7 +687,13 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
       out << cli_usage();
       return args.empty() ? 2 : 0;
     }
-    const Options options = parse_args(args);
+    // `halotis lint <netlist>` convenience form: a bare first operand is
+    // the netlist path (the documented house style stays --netlist).
+    std::vector<std::string> expanded = args;
+    if (expanded.size() >= 2 && expanded[0] == "lint" && !starts_with(expanded[1], "--")) {
+      expanded.insert(expanded.begin() + 1, "--netlist");
+    }
+    const Options options = parse_args(expanded);
     std::string failpoint_spec;
     if (const char* env = std::getenv("HALOTIS_FAILPOINTS")) failpoint_spec = env;
     if (const auto flag = options.get("failpoints")) failpoint_spec = *flag;
@@ -614,6 +704,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (options.command == "sim") return cmd_sim(options, out);
     if (options.command == "analog") return cmd_analog(options, out);
     if (options.command == "sta") return cmd_sta(options, out);
+    if (options.command == "lint") return cmd_lint(options, out);
     if (options.command == "fault") return cmd_fault(options, out);
     if (options.command == "repro") return cmd_repro(options, out);
     if (options.command == "convert") return cmd_convert(options, out);

@@ -1,0 +1,450 @@
+// Static-lint tests: finding-id stability, JSON byte-determinism, baseline
+// workflow and exit codes, structural / hazard / timing rules, supervision,
+// and the headline soundness contract -- every glitch origin the event
+// kernel observes dynamically is contained in the static hazard set.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/circuits/generators.hpp"
+#include "src/core/delay_model.hpp"
+#include "src/core/simulator.hpp"
+#include "src/core/stimulus.hpp"
+#include "src/lint/hazard.hpp"
+#include "src/lint/lint.hpp"
+#include "src/netlist/library.hpp"
+#include "src/parsers/bench_format.hpp"
+#include "src/repro/artifacts.hpp"
+#include "src/timing/timing_graph.hpp"
+#include "src/tools/cli.hpp"
+
+namespace halotis {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+lint::LintReport lint_netlist(const Netlist& netlist, lint::LintOptions options = {}) {
+  const TimingGraph timing = TimingGraph::build(netlist, DdmDelayModel().timing_policy());
+  return lint::run_lint(netlist, timing, options);
+}
+
+bool has_finding(const lint::LintReport& report, std::string_view rule,
+                 std::string_view location) {
+  for (const lint::Finding& finding : report.findings) {
+    if (finding.rule == rule && finding.location == location) return true;
+  }
+  return false;
+}
+
+// ---- finding ids -----------------------------------------------------------
+
+TEST(LintFindingId, MatchesReproFnv1aOverRuleAndLocation) {
+  // The id must stay stable across releases: pin it to the repro layer's
+  // FNV-1a64 (whose constants are themselves pinned by golden hashes).
+  EXPECT_EQ(lint::finding_id("HAZ-GLITCH", "gate g1"),
+            repro::fnv1a64("HAZ-GLITCH|gate g1"));
+  EXPECT_EQ(lint::finding_id("STR-DEAD", "gate a.b"),
+            repro::fnv1a64("STR-DEAD|gate a.b"));
+  EXPECT_NE(lint::finding_id("STR-DEAD", "gate x"),
+            lint::finding_id("STR-DEAD", "gate y"));
+}
+
+// ---- structural rules ------------------------------------------------------
+
+TEST(LintStructural, UndrivenFloatingDeadAndDuplicate) {
+  const Library lib = Library::default_u6();
+  Netlist nl(lib);
+  const SignalId a = nl.add_primary_input("a");
+  const SignalId b = nl.add_primary_input("b");
+  const SignalId undriven = nl.add_signal("undriven");
+  const SignalId y = nl.add_signal("y");
+  const SignalId dup = nl.add_signal("dup");
+  const SignalId dead = nl.add_signal("dead");
+  nl.add_gate("g_y", CellKind::kAnd2, std::vector<SignalId>{a, undriven}, y);
+  nl.add_gate("g_dup", CellKind::kAnd2, std::vector<SignalId>{a, undriven}, dup);
+  nl.add_gate("g_dead", CellKind::kNand2, std::vector<SignalId>{a, b}, dead);
+  nl.mark_primary_output(y);
+
+  const lint::LintReport report = lint_netlist(nl);
+  EXPECT_TRUE(has_finding(report, "STR-UNDRIVEN", "signal undriven"));
+  EXPECT_TRUE(has_finding(report, "STR-DUPGATE", "gate g_dup"));
+  EXPECT_TRUE(has_finding(report, "STR-DEAD", "gate g_dead"));
+  EXPECT_TRUE(has_finding(report, "STR-DEAD", "gate g_dup"));
+  EXPECT_TRUE(has_finding(report, "STR-FLOATING", "signal dead"));
+  EXPECT_TRUE(has_finding(report, "STR-FLOATING", "signal dup"));
+  EXPECT_FALSE(has_finding(report, "STR-DEAD", "gate g_y"));
+  EXPECT_GE(report.errors, 1u);  // the undriven input is an error
+}
+
+TEST(LintStructural, NandLatchReportsCombinationalCycle) {
+  const Library lib = Library::default_u6();
+  const LatchCircuit latch = make_nand_latch(lib);
+  const lint::LintReport report = lint_netlist(latch.netlist);
+  EXPECT_TRUE(report.has_rule("STR-CYCLE"));
+  EXPECT_GE(report.errors, 1u);
+}
+
+TEST(LintStructural, FanoutLimit) {
+  const Library lib = Library::default_u6();
+  const C17Circuit c17 = make_c17(lib);
+  lint::LintOptions options;
+  options.fanout_limit = 1;  // c17 has branch nets by construction
+  const lint::LintReport report = lint_netlist(c17.netlist, options);
+  EXPECT_TRUE(report.has_rule("STR-FANOUT"));
+}
+
+// ---- hazard analysis -------------------------------------------------------
+
+TEST(LintHazard, MuxWithoutConsensusTermIsStatic1AtTheOrGate) {
+  // y = (a & s) | (c & !s): the textbook static-1 hazard -- when a = c = 1,
+  // a falling s can drop y low for a moment.  The OR gate is the origin and
+  // s the reconvergent source.
+  const Library lib = Library::default_u6();
+  Netlist nl(lib);
+  const SignalId a = nl.add_primary_input("a");
+  const SignalId s = nl.add_primary_input("s");
+  const SignalId c = nl.add_primary_input("c");
+  const SignalId sn = nl.add_signal("sn");
+  const SignalId t0 = nl.add_signal("t0");
+  const SignalId t1 = nl.add_signal("t1");
+  const SignalId y = nl.add_signal("y");
+  nl.add_gate("g_sn", CellKind::kInv, std::vector<SignalId>{s}, sn);
+  nl.add_gate("g_t0", CellKind::kAnd2, std::vector<SignalId>{a, s}, t0);
+  nl.add_gate("g_t1", CellKind::kAnd2, std::vector<SignalId>{c, sn}, t1);
+  const GateId or_gate =
+      nl.add_gate("g_y", CellKind::kOr2, std::vector<SignalId>{t0, t1}, y);
+  nl.mark_primary_output(y);
+
+  const TimingGraph timing = TimingGraph::build(nl, DdmDelayModel().timing_policy());
+  const lint::LintOptions options;
+  const lint::HazardAnalysis analysis = lint::analyze_hazards(nl, timing, options);
+  const lint::GateHazard& hz = analysis.gates[or_gate.value()];
+  EXPECT_TRUE(hz.origin_capable);
+  EXPECT_GT(hz.cls, lint::HazardClass::kMic);  // reconvergence was found
+  EXPECT_EQ(hz.kind, lint::HazardKind::kStatic1);
+  EXPECT_EQ(hz.source.value(), s.value());
+
+  const lint::LintReport report = lint::run_lint(nl, timing, options);
+  EXPECT_TRUE(report.is_hazard_gate(or_gate));
+}
+
+TEST(LintHazard, InverterChainHasNoHazardGates) {
+  const Library lib = Library::default_u6();
+  const ChainCircuit chain = make_chain(lib, 6);
+  const lint::LintReport report = lint_netlist(chain.netlist);
+  EXPECT_TRUE(report.hazard_gates.empty());
+}
+
+TEST(LintHazard, ConeCapKeepsCapabilityAndReportsHazCap) {
+  const Library lib = Library::default_u6();
+  const C17Circuit c17 = make_c17(lib);
+  const lint::LintReport full = lint_netlist(c17.netlist);
+  lint::LintOptions capped;
+  capped.reconv_total_limit = 1;
+  const lint::LintReport report = lint_netlist(c17.netlist, capped);
+  EXPECT_GT(report.capped_sources, 0u);
+  EXPECT_TRUE(report.has_rule("HAZ-CAP"));
+  // Capability (the soundness set) must not depend on classification caps.
+  ASSERT_EQ(report.hazard_gates.size(), full.hazard_gates.size());
+  for (std::size_t i = 0; i < report.hazard_gates.size(); ++i) {
+    EXPECT_EQ(report.hazard_gates[i].value(), full.hazard_gates[i].value());
+  }
+}
+
+// ---- soundness: dynamic glitch origins vs the static hazard set ------------
+
+/// Gates whose output carries >= 2 surviving transitions while every one of
+/// their own input signals changed at most once -- the transition
+/// multiplication can only have originated in that gate.
+std::vector<GateId> dynamic_origins(const Netlist& netlist, const Simulator& sim) {
+  std::vector<GateId> origins;
+  for (std::uint32_t gi = 0; gi < netlist.num_gates(); ++gi) {
+    const Gate& gate = netlist.gate(GateId{gi});
+    if (sim.toggle_count(gate.output) < 2) continue;
+    bool single_change = true;
+    for (const SignalId input : gate.inputs) {
+      if (sim.toggle_count(input) > 1) single_change = false;
+    }
+    if (single_change) origins.push_back(GateId{gi});
+  }
+  return origins;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Applies `pairs` single-change-per-input vector pairs (w0 as the initial
+/// steady state, w1 at t = 1 ns) under `model` and checks every observed
+/// origin against the static set.  Returns the number of origins seen.
+std::size_t check_soundness(const Netlist& netlist, std::span<const SignalId> inputs,
+                            const DelayModel& model, const lint::LintReport& report,
+                            std::size_t pairs, std::uint64_t seed,
+                            bool exhaustive_5bit = false) {
+  Simulator sim(netlist, model);
+  std::uint64_t state = seed;
+  std::size_t origins_seen = 0;
+  const std::uint64_t mask =
+      inputs.size() >= 64 ? ~0ull : ((1ull << inputs.size()) - 1);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    std::uint64_t w0;
+    std::uint64_t w1;
+    if (exhaustive_5bit) {
+      w0 = i & 31u;
+      w1 = (i >> 5) & 31u;
+    } else {
+      w0 = splitmix64(state) & mask;
+      w1 = splitmix64(state) & mask;
+    }
+    if (w0 == w1) continue;
+    sim.reset();
+    Stimulus stimulus(0.4);
+    const std::vector<std::uint64_t> words{w0, w1};
+    stimulus.apply_sequence(inputs, words, 0.0, 1.0);
+    sim.apply_stimulus(stimulus);
+    sim.run();
+    for (const GateId origin : dynamic_origins(netlist, sim)) {
+      ++origins_seen;
+      EXPECT_TRUE(report.is_hazard_gate(origin))
+          << "dynamic glitch origin " << netlist.gate(origin).name
+          << " missing from the static hazard set under " << model.name();
+    }
+  }
+  return origins_seen;
+}
+
+TEST(LintSoundness, DynamicOriginsAreStaticHazardsOnReproCircuits) {
+  const Library lib = Library::default_u6();
+  const DdmDelayModel ddm;
+  // Transport delays never filter pulses, so they surface the most origins.
+  const CdmDelayModel transport(CdmDelayModel::InertialWindow::kNone);
+
+  std::size_t total_origins = 0;
+
+  const C17Circuit c17 = make_c17(lib);
+  const lint::LintReport c17_report = lint_netlist(c17.netlist);
+  total_origins += check_soundness(c17.netlist, c17.inputs, ddm, c17_report, 1024, 1,
+                                   /*exhaustive_5bit=*/true);
+  total_origins += check_soundness(c17.netlist, c17.inputs, transport, c17_report, 1024,
+                                   2, /*exhaustive_5bit=*/true);
+
+  const AdderCircuit adder = make_ripple_adder(lib, 4);
+  std::vector<SignalId> adder_inputs(adder.a);
+  adder_inputs.insert(adder_inputs.end(), adder.b.begin(), adder.b.end());
+  const lint::LintReport adder_report = lint_netlist(adder.netlist);
+  total_origins += check_soundness(adder.netlist, adder_inputs, ddm, adder_report, 384, 3);
+  total_origins +=
+      check_soundness(adder.netlist, adder_inputs, transport, adder_report, 384, 4);
+
+  const MultiplierCircuit mult = make_multiplier(lib, 4);
+  std::vector<SignalId> mult_inputs(mult.a);
+  mult_inputs.insert(mult_inputs.end(), mult.b.begin(), mult.b.end());
+  const lint::LintReport mult_report = lint_netlist(mult.netlist);
+  total_origins += check_soundness(mult.netlist, mult_inputs, ddm, mult_report, 512, 5);
+  total_origins +=
+      check_soundness(mult.netlist, mult_inputs, transport, mult_report, 512, 6);
+
+  // The sweep must actually exercise glitching, or the subset check is
+  // vacuous -- the array multiplier is the paper's glitch workhorse.
+  EXPECT_GT(total_origins, 0u);
+}
+
+TEST(LintSoundness, DynamicOriginsAreStaticHazardsOnMult8Fixture) {
+  const Library lib = Library::default_u6();
+  const std::string path = std::string(HALOTIS_SOURCE_DIR) + "/tests/data/mult8.bench";
+  const Netlist netlist = read_bench(read_file(path), lib);
+  const lint::LintReport report = lint_netlist(netlist);
+
+  std::vector<SignalId> inputs;
+  for (const SignalId pi : netlist.primary_inputs()) {
+    if (netlist.signal(pi).name != "tie0") inputs.push_back(pi);
+  }
+  const DdmDelayModel ddm;
+  const CdmDelayModel transport(CdmDelayModel::InertialWindow::kNone);
+  std::size_t origins = 0;
+  origins += check_soundness(netlist, inputs, ddm, report, 96, 7);
+  origins += check_soundness(netlist, inputs, transport, report, 96, 8);
+  EXPECT_GT(origins, 0u);
+}
+
+// ---- CLI: output formats, baseline workflow, supervision -------------------
+
+class LintCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("halotis_lint_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  int run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return run_cli(args, out_, err_);
+  }
+
+  std::filesystem::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+
+  // One live path (a & b -> y) plus one dead gate: a deterministic warning
+  // for the baseline workflow.
+  static constexpr const char* kBench = R"(INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = NAND(a, b)
+y = NOT(n1)
+dead = AND(a, b)
+)";
+};
+
+TEST_F(LintCliTest, JsonOutputIsByteDeterministic) {
+  const std::string path = write("c.bench", kBench);
+  ASSERT_EQ(run({"lint", "--netlist", path, "--format", "json", "--fail-on", "none"}), 0);
+  const std::string first = out_.str();
+  ASSERT_EQ(run({"lint", "--netlist", path, "--format", "json", "--fail-on", "none"}), 0);
+  EXPECT_EQ(first, out_.str());
+  EXPECT_EQ(first.front(), '{');  // a pure JSON document, no log prefix
+  EXPECT_NE(first.find("\"rule\": \"STR-DEAD\""), std::string::npos);
+}
+
+TEST_F(LintCliTest, PositionalNetlistFormEqualsFlagForm) {
+  const std::string path = write("c.bench", kBench);
+  ASSERT_EQ(run({"lint", path, "--format", "json", "--fail-on", "none"}), 0);
+  const std::string positional = out_.str();
+  ASSERT_EQ(run({"lint", "--netlist", path, "--format", "json", "--fail-on", "none"}), 0);
+  EXPECT_EQ(positional, out_.str());
+}
+
+TEST_F(LintCliTest, BaselineSuppressesAndNewFindingsFail) {
+  const std::string path = write("c.bench", kBench);
+  const std::string baseline = (dir_ / "baseline.txt").string();
+  // The dead gate is a warning: --fail-on warn fails without a baseline...
+  EXPECT_EQ(run({"lint", "--netlist", path, "--fail-on", "warn"}), 1);
+  // ...writing a baseline then suppresses every current finding.
+  EXPECT_EQ(run({"lint", "--netlist", path, "--write-baseline", baseline,
+                 "--fail-on", "none"}),
+            0);
+  EXPECT_EQ(run({"lint", "--netlist", path, "--baseline", baseline, "--fail-on",
+                 "warn"}),
+            0);
+  EXPECT_NE(out_.str().find("suppressed by baseline"), std::string::npos);
+  // A new finding (second dead gate) is not in the baseline: exit 1 again.
+  const std::string grown = write("grown.bench", std::string(kBench) +
+                                                     "dead2 = OR(a, b)\n");
+  EXPECT_EQ(run({"lint", "--netlist", grown, "--baseline", baseline, "--fail-on",
+                 "warn"}),
+            1);
+  EXPECT_NE(out_.str().find("STR-DEAD"), std::string::npos);
+}
+
+TEST_F(LintCliTest, CycleIsAnErrorExit) {
+  // The .bench parser rejects cycles at parse time, so the latch uses the
+  // native dialect (signals declared up front).
+  const std::string path = write("latch.halo", R"(input s
+input r
+signal q
+signal qn
+gate g_q NAND2_X1 q s qn
+gate g_qn NAND2_X1 qn r q
+output q
+)");
+  EXPECT_EQ(run({"lint", "--netlist", path}), 1);
+  EXPECT_NE(out_.str().find("STR-CYCLE"), std::string::npos);
+}
+
+TEST_F(LintCliTest, SdfCoverageWarningAndLintFinding) {
+  const std::string netlist = write("c.bench", R"(INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = NAND(a, b)
+y = NOT(n1)
+)");
+  // Partial SDF: g_n1 pin A only; g_n1 pin B and g_y pin A stay on library
+  // delays and must be warned about.
+  const std::string sdf = write("partial.sdf", R"((DELAYFILE
+  (SDFVERSION "3.0")
+  (DESIGN "partial")
+  (DIVIDER .)
+  (TIMESCALE 1 ns)
+  (CELL
+    (CELLTYPE "NAND2_X1")
+    (INSTANCE g_n1)
+    (DELAY (ABSOLUTE
+      (IOPATH A Y (0.2) (0.2))
+    ))
+  )
+)
+)");
+  // sim --sdf: the bugfix pins the per-pin warning message.
+  ASSERT_EQ(run({"sim", "--netlist", netlist, "--sdf", sdf, "--t-end", "1"}), 0);
+  EXPECT_NE(out_.str().find(
+                "warning: sdf: no IOPATH for gate 'g_n1' pin B -- keeping library delay"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find(
+                "warning: sdf: no IOPATH for gate 'g_y' pin A -- keeping library delay"),
+            std::string::npos);
+  // sta --sdf takes the same path.
+  ASSERT_EQ(run({"sta", "--netlist", netlist, "--sdf", sdf}), 0);
+  EXPECT_NE(out_.str().find("warning: sdf: no IOPATH for gate 'g_y' pin A"),
+            std::string::npos);
+  // lint --sdf reports the same set as findings.
+  ASSERT_EQ(run({"lint", "--netlist", netlist, "--sdf", sdf, "--format", "json",
+                 "--fail-on", "none"}),
+            0);
+  EXPECT_NE(out_.str().find("\"rule\": \"TIM-SDF-MISSING\""), std::string::npos);
+  EXPECT_NE(out_.str().find("gate g_n1 pin B"), std::string::npos);
+  EXPECT_NE(out_.str().find("gate g_y pin A"), std::string::npos);
+  EXPECT_EQ(out_.str().find("gate g_n1 pin A\""), std::string::npos);
+}
+
+TEST_F(LintCliTest, SupervisionExitCodes) {
+  const std::string path = write("c.bench", kBench);
+  const std::string out_path = (dir_ / "report.json").string();
+  // Atomic-write failure point -> exit 6 (I/O), no artifact left behind.
+  EXPECT_EQ(run({"lint", "--netlist", path, "--format", "json", "--out", out_path,
+                 "--failpoints", "io.write"}),
+            6);
+  EXPECT_FALSE(std::filesystem::exists(out_path));
+  // An already-expired deadline trips the startup coarse check -> exit 4.
+  EXPECT_EQ(run({"lint", "--netlist", path, "--deadline-s", "0.000000001"}), 4);
+}
+
+TEST_F(LintCliTest, TextReportListsIdsAndSummary) {
+  const std::string path = write("c.bench", kBench);
+  EXPECT_EQ(run({"lint", "--netlist", path, "--fail-on", "none"}), 0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("warning: [STR-DEAD] gate g_dead:"), std::string::npos);
+  EXPECT_NE(text.find("lint: "), std::string::npos);
+  EXPECT_NE(text.find("hazard-capable gate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace halotis
