@@ -19,11 +19,13 @@
 // The committed /BENCH_kernel.json is the perf trajectory: every PR that
 // touches the kernel appends a labelled entry (see docs/BENCHMARKS.md).
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,8 @@
 #include "src/fault/campaign.hpp"
 #include "src/fault/fault.hpp"
 #include "src/lint/lint.hpp"
+#include "src/replay/resim.hpp"
+#include "src/timing/timing_arc.hpp"
 #include "src/timing/timing_graph.hpp"
 
 using namespace halotis;
@@ -434,6 +438,116 @@ LintThroughputResult run_lint_throughput(const Library& lib, bool quick,
   return result;
 }
 
+// ---- replay throughput workload ---------------------------------------------
+
+/// Record-once / re-time-many engine (PR 9) on the 8x8 multiplier under a
+/// tie-free staggered stimulus: one recording run, then `samples` per-gate
+/// variation corners (sigma 1e-8, the corner-retiming regime where the
+/// discrete scheduling decisions survive) evaluated twice -- through a
+/// ResimSession in lane-batched groups of kReplayLanes (trace replay with
+/// full-sim fallback) and as independent full event simulations.  samples/sec and the speedup keep the replay
+/// engine on the perf trajectory; the two sample-0 hashes (replayed vs
+/// full) ride the CI quick-hash diff as a pair and must be identical --
+/// the bit-for-bit differential oracle on the perf path.
+struct ReplayThroughputResult {
+  std::string name;
+  std::size_t gates = 0;
+  std::size_t samples = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t fallbacks = 0;
+  std::size_t trace_ops = 0;
+  double record_wall_s = 0.0;
+  double replay_wall_s = 0.0;  ///< all samples through the session
+  double full_wall_s = 0.0;    ///< all samples as independent full sims
+  double samples_per_sec_replay = 0.0;
+  double speedup = 0.0;  ///< full_wall_s / replay_wall_s
+  std::uint64_t hash_replay = 0;
+  std::uint64_t hash_full = 0;
+};
+
+ReplayThroughputResult run_replay_throughput(const Library& lib, bool quick) {
+  const DdmDelayModel ddm;
+  MultiplierCircuit mult = make_multiplier(lib, 8);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, quick ? 4 : 8, 424242);
+  stim.set_initial(mult.tie0, false);
+
+  const double sigma = 1e-8;
+  ReplayThroughputResult result;
+  result.name = quick ? "mult8_resim_quick" : "mult8_resim";
+  result.gates = mult.netlist.num_gates();
+  result.samples = quick ? 100 : 1000;
+
+  std::vector<std::uint64_t> seeds(result.samples);
+  SplitMix64 seed_rng(0x5EEDBA5EULL);
+  for (std::uint64_t& s : seeds) s = seed_rng.next();
+  const auto perturbed = [&](const TimingGraph& base,
+                             std::uint64_t seed) -> TimingGraph {
+    TimingGraph graph = base;
+    for (std::uint32_t g = 0; g < static_cast<std::uint32_t>(graph.num_gates()); ++g) {
+      graph.scale_gate_factor(GateId{g}, variation_factor(seed, sigma, GateId{g}));
+    }
+    return graph;
+  };
+
+  replay::ResimEngine engine(mult.netlist, ddm, stim, SimConfig{});
+  auto start = std::chrono::steady_clock::now();
+  engine.record();
+  result.record_wall_s = seconds_since(start);
+  result.trace_ops = engine.trace().ops.size();
+
+  // The corners are prebuilt outside both timed loops: the metric is
+  // evaluation throughput, and both paths see identical inputs.
+  std::vector<TimingGraph> corners;
+  corners.reserve(result.samples);
+  for (std::size_t i = 0; i < result.samples; ++i) {
+    corners.push_back(perturbed(engine.base_graph(), seeds[i]));
+  }
+
+  replay::ResimSession session(engine);
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < corners.size(); i += replay::kReplayLanes) {
+    const std::size_t n = std::min(replay::kReplayLanes, corners.size() - i);
+    std::array<const TimingGraph*, replay::kReplayLanes> graphs{};
+    std::array<replay::ResimSample, replay::kReplayLanes> samples{};
+    for (std::size_t l = 0; l < n; ++l) graphs[l] = &corners[i + l];
+    session.evaluate_batch(std::span<const TimingGraph* const>(graphs.data(), n),
+                           mult.s, /*want_hash=*/false,
+                           std::span<replay::ResimSample>(samples.data(), n));
+  }
+  result.replay_wall_s = seconds_since(start);
+  result.fallbacks = session.fallbacks();
+  result.replayed = session.evaluated() - session.fallbacks();
+
+  start = std::chrono::steady_clock::now();
+  for (const TimingGraph& graph : corners) {
+    Simulator sim(mult.netlist, ddm, graph, SimConfig{});
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+  }
+  result.full_wall_s = seconds_since(start);
+
+  // The sample-0 oracle pair: both paths hash the same corner's waveform.
+  {
+    const replay::ResimSample sample =
+        session.evaluate(corners[0], mult.s, /*want_hash=*/true);
+    result.hash_replay = sample.history_hash;
+    Simulator sim(mult.netlist, ddm, corners[0], SimConfig{});
+    sim.apply_stimulus(stim);
+    (void)sim.run();
+    result.hash_full = hash_history(sim);
+  }
+
+  result.samples_per_sec_replay =
+      result.replay_wall_s > 0.0
+          ? static_cast<double>(result.samples) / result.replay_wall_s
+          : 0.0;
+  result.speedup =
+      result.replay_wall_s > 0.0 ? result.full_wall_s / result.replay_wall_s : 0.0;
+  return result;
+}
+
 void print_json_workload(std::FILE* f, const WorkloadResult& w, bool last) {
   const SimStats& s = w.stats;
   std::fprintf(f,
@@ -616,6 +730,10 @@ int main(int argc, char** argv) {
   const LintThroughputResult lint_tp =
       run_lint_throughput(lib, quick, quick ? 2 : 3);
 
+  // Replay throughput workload (PR 9): record-once / re-time-many versus
+  // independent full simulations on the same variation corners.
+  const ReplayThroughputResult replay_tp = run_replay_throughput(lib, quick);
+
   // Human-readable summary.
   std::printf("== perf_report (%s) ==\n\n", quick ? "quick" : "full");
   std::printf("%-18s %-12s %8s %12s %14s %12s\n", "workload", "model", "gates",
@@ -671,6 +789,17 @@ int main(int argc, char** argv) {
       lint_tp.hazard_gates, lint_tp.capped_sources, lint_tp.wall_s,
       lint_tp.gates_per_sec,
       static_cast<unsigned long long>(lint_tp.findings_hash));
+  std::printf(
+      "replay_throughput: %s, %zu gates, %zu samples -> %llu replayed /"
+      " %llu fallbacks (trace %zu ops, recorded in %.6f s)\n"
+      "  replay %.3f s (%.0f samples/sec) | full %.3f s | speedup %.2fx |"
+      " sample-0 hashes %s\n",
+      replay_tp.name.c_str(), replay_tp.gates, replay_tp.samples,
+      static_cast<unsigned long long>(replay_tp.replayed),
+      static_cast<unsigned long long>(replay_tp.fallbacks), replay_tp.trace_ops,
+      replay_tp.record_wall_s, replay_tp.replay_wall_s,
+      replay_tp.samples_per_sec_replay, replay_tp.full_wall_s, replay_tp.speedup,
+      replay_tp.hash_replay == replay_tp.hash_full ? "identical" : "DIVERGED");
 
   // JSON entry.
   std::string entry;
@@ -764,6 +893,28 @@ int main(int argc, char** argv) {
         lint_tp.gates_per_sec,
         static_cast<unsigned long long>(lint_tp.findings_hash));
     entry += lt;
+    // The replay/full sample-0 hashes are BOTH history_hash fields: the CI
+    // quick-hash diff sees them as the trajectory's last two lines and any
+    // replay-vs-full divergence (or waveform change) breaks the golden.
+    char rp[768];
+    std::snprintf(
+        rp, sizeof rp,
+        "   \"replay_throughput\": {\"workload\": \"%s\", \"gates\": %zu,"
+        " \"samples\": %zu, \"replayed\": %llu, \"fallbacks\": %llu,"
+        " \"trace_ops\": %zu,\n"
+        "    \"record_wall_s\": %.6f, \"replay_wall_s\": %.6f,"
+        " \"full_wall_s\": %.6f, \"samples_per_sec_replay\": %.1f,"
+        " \"speedup_vs_full\": %.3f,\n"
+        "    \"sample0_replay\": {\"history_hash\": \"%016llx\"},"
+        " \"sample0_full\": {\"history_hash\": \"%016llx\"}},\n",
+        replay_tp.name.c_str(), replay_tp.gates, replay_tp.samples,
+        static_cast<unsigned long long>(replay_tp.replayed),
+        static_cast<unsigned long long>(replay_tp.fallbacks), replay_tp.trace_ops,
+        replay_tp.record_wall_s, replay_tp.replay_wall_s, replay_tp.full_wall_s,
+        replay_tp.samples_per_sec_replay, replay_tp.speedup,
+        static_cast<unsigned long long>(replay_tp.hash_replay),
+        static_cast<unsigned long long>(replay_tp.hash_full));
+    entry += rp;
     char sv[384];
     std::snprintf(
         sv, sizeof sv,

@@ -5,6 +5,7 @@
 
 #include "src/base/check.hpp"
 #include "src/base/failpoint.hpp"
+#include "src/replay/trace.hpp"
 
 namespace halotis {
 
@@ -200,8 +201,9 @@ void Simulator::apply_stimulus(const Stimulus& stimulus) {
       value = edge.value;
       const TimeNs tau = edge.tau > 0.0 ? edge.tau : stimulus.default_slew();
       const Edge sense = edge.value ? Edge::kRise : Edge::kFall;
-      const TransitionId id =
-          create_transition(pi, sense, edge.time - 0.5 * tau, tau, prev);
+      const TimeNs t_start = edge.time - 0.5 * tau;
+      const TransitionId id = create_transition(pi, sense, t_start, tau, prev);
+      if (recorder_ != nullptr) recorder_->on_stim_transition(id, t_start, tau);
       spawn_events(id);
       prev = id;
     }
@@ -252,11 +254,13 @@ void Simulator::spawn_events(TransitionId tr_id) {
   for (std::uint32_t i = begin; i < end; ++i) {
     const FanoutEntry& fo = fanout_[i];
     const PinRef target{fo.gate, fo.pin};
-    TimeNs ej = tr.t_start + tr.tau * (rising ? fo.vt_frac : 1.0 - fo.vt_frac);
+    const double frac = rising ? fo.vt_frac : 1.0 - fo.vt_frac;
+    TimeNs ej = tr.t_start + tr.tau * frac;
     InputState& in = inputs_[fo.input];
+    const std::uint32_t prev_tail = in.tail;
 
-    if (in.tail != kNil) {
-      const EventId prev_id{in.tail};
+    if (prev_tail != kNil) {
+      const EventId prev_id{prev_tail};
       const Event& prev_ev = queue_.event_unchecked(prev_id);
       if (ej <= prev_ev.time) {
         // Paper Fig. 4: the pulse never crosses this input's threshold.
@@ -264,12 +268,17 @@ void Simulator::spawn_events(TransitionId tr_id) {
         SuppressedPair pair;
         pair.target = target;
         pair.partner_cause = prev_ev.transition;
+        pair.partner_event = prev_id;
         pair.partner_time = prev_ev.time;
         track_append_pair(live_track(), pair);
         // The pair keeps the partner's bookkeeping alive until consumed.
         ++transitions_[pair.partner_cause.value()].partner_refs;
+        const bool was_head = in.head == prev_tail;
         list_remove(in, prev_id);
         cancel_pending_event(prev_id);
+        if (recorder_ != nullptr) {
+          recorder_->on_pair_cancel(prev_id, tr_id, frac, fo.input, was_head);
+        }
         ++stats_.pair_cancellations;
         ++stats_.events_suppressed;
         continue;
@@ -277,6 +286,7 @@ void Simulator::spawn_events(TransitionId tr_id) {
     }
     if (ej < now_) ej = now_;  // causality clamp for extreme slope ratios
     const EventId id = push_event(ej, tr_id, target);
+    if (recorder_ != nullptr) recorder_->on_spawn(id, tr_id, frac, prev_tail, fo.input);
     ++stats_.events_created;
     const bool was_empty = in.head == kNil;
     list_push_back(in, id);
@@ -320,6 +330,55 @@ RunResult Simulator::run() { return run_impl(config_.t_end); }
 
 RunResult Simulator::run_until(TimeNs t_end) {
   return run_impl(std::min(t_end, config_.t_end));
+}
+
+void Simulator::record_into(replay::TraceRecorder* recorder) {
+  require(recorder == nullptr || part_of_gate_ == nullptr,
+          "Simulator::record_into(): trace recording is serial-only");
+  require(recorder == nullptr || !stimulus_applied_,
+          "Simulator::record_into(): attach the recorder before apply_stimulus()");
+  recorder_ = recorder;
+  if (recorder != nullptr) recorder->clear();
+}
+
+void Simulator::finish_recording(const RunResult& result) {
+  require(recorder_ != nullptr, "Simulator::finish_recording(): no recorder attached");
+  // Deterministic trace-I/O failure injection: sealing is the moment the
+  // trace becomes an artifact replay sessions depend on.
+  failpoint_throw("replay.trace");
+
+  // Residual pending events, in creation order: the replayer verifies each
+  // stays beyond the horizon under perturbation.
+  const auto created = static_cast<std::uint32_t>(queue_.created_count());
+  for (std::uint32_t e = 0; e < created; ++e) {
+    const EventId id{e};
+    if (queue_.state_unchecked(id) == EventState::kPending) recorder_->on_residual(id);
+  }
+
+  // Surviving-history snapshot, identical membership to history().
+  std::vector<std::vector<replay::TraceHistoryEntry>> history(signal_history_.size());
+  for (std::size_t s = 0; s < signal_history_.size(); ++s) {
+    history[s].reserve(signal_history_[s].size());
+    for (const TransitionId id : signal_history_[s]) {
+      const TransitionRec& rec = transitions_[id.value()];
+      if (rec.tr.cancelled) continue;
+      history[s].push_back(replay::TraceHistoryEntry{
+          id.value(), static_cast<std::uint8_t>(rec.tr.edge == Edge::kRise ? 1 : 0)});
+    }
+  }
+  std::vector<std::uint8_t> initial(initial_values_.size());
+  for (std::size_t s = 0; s < initial.size(); ++s) initial[s] = initial_values_[s] ? 1 : 0;
+
+  replay::TraceStop stop = replay::TraceStop::kQueueExhausted;
+  if (result.reason == StopReason::kHorizonReached) {
+    stop = replay::TraceStop::kHorizonReached;
+  } else if (result.reason == StopReason::kEventLimit) {
+    stop = replay::TraceStop::kEventLimit;
+  }
+
+  recorder_->seal(std::move(history), std::move(initial), transitions_.size(),
+                  queue_.created_count(), timing_->arcs().size(), inputs_.size(),
+                  gates_.size(), config_.min_pulse_width, config_.t_end, stop);
 }
 
 RunResult Simulator::run_impl(TimeNs horizon) {
@@ -376,6 +435,10 @@ RunResult Simulator::run_impl(TimeNs horizon) {
     --cause.pending;
     maybe_reclaim(ev.transition);
 
+    if (recorder_ != nullptr) {
+      recorder_->on_fire(eid, static_cast<std::uint32_t>(input_index(ev.target)),
+                         ev.target.gate.value());
+    }
     handle_event(ev);
   }
   result.reason = StopReason::kQueueExhausted;
@@ -424,23 +487,27 @@ void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool n
   // Devirtualized delay computation: index the elaborated TimingArc of
   // (gate, pin, out-edge) -- the load is already folded in -- and evaluate
   // it inline.  This is the whole delay model on the hot path.
-  const TimingArc& arc =
-      arcs_[gate.arc_base + 2u * static_cast<std::uint32_t>(pin) + (new_output ? 0u : 1u)];
-  const ArcDelay delay = eval_arc(arc, tau_in, ev.time, has_prev, prev50);
+  const std::uint32_t arc_index =
+      gate.arc_base + 2u * static_cast<std::uint32_t>(pin) + (new_output ? 0u : 1u);
+  const ArcDelay delay = eval_arc(arcs_[arc_index], tau_in, ev.time, has_prev, prev50);
   TimeNs t_out50 = in50 + delay.tp;
 
   bool collapse = false;
+  std::uint8_t rflags = has_prev ? replay::kOpHasPrev : 0;
   if (delay.filtered) {
     collapse = true;
+    rflags |= replay::kOpFiltered;
     ++stats_.ddm_collapses;
   }
   if (has_prev) {
     if (!collapse && t_out50 <= prev50 + config_.min_pulse_width) {
       collapse = true;  // ordering collapse: the pulse has no width
+      rflags |= replay::kOpOrdCollapse;
     }
     if (!collapse && delay.inertial_window > 0.0 &&
         (t_out50 - prev50) < delay.inertial_window) {
       collapse = true;  // CDM classical inertial filtering
+      rflags |= replay::kOpInertial;
       ++stats_.cdm_inertial_filtered;
     }
   }
@@ -448,6 +515,12 @@ void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool n
   if (collapse) {
     ensure(has_prev, "Simulator: collapse without a previous output transition");
     if (can_annihilate(prev_id)) {
+      if (recorder_ != nullptr) {
+        // The gate-eval op precedes the annihilation's cancel/resurrect ops.
+        recorder_->on_gate_transition(replay::kNone, arc_index, ev.transition,
+                                      prev_id.value(),
+                                      rflags | replay::kOpAnnihilated);
+      }
       annihilate(gate_id, prev_id);
       gate.output_value = new_output;  // back to the pre-pulse value
       return;
@@ -455,6 +528,7 @@ void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool n
     // Part of the fanout already consumed the previous edge: emit a
     // minimum-width pulse instead and let the receiving inputs filter it.
     t_out50 = prev50 + config_.min_pulse_width;
+    rflags |= replay::kOpClamped;
     ++stats_.clamped_pulses;
   }
 
@@ -462,6 +536,10 @@ void Simulator::schedule_output(GateId gate_id, int pin, const Event& ev, bool n
   const TimeNs tau_out = std::max(delay.tau_out, config_.min_pulse_width);
   const TransitionId id = create_transition(gate.output, out_edge,
                                             t_out50 - 0.5 * tau_out, tau_out, prev_id);
+  if (recorder_ != nullptr) {
+    recorder_->on_gate_transition(id.value(), arc_index, ev.transition,
+                                  has_prev ? prev_id.value() : replay::kNone, rflags);
+  }
   gate.last_out = id;
   gate.output_value = new_output;
   spawn_events(id);
@@ -491,6 +569,10 @@ void Simulator::annihilate(GateId gate_id, TransitionId tr_id) {
       const bool was_head = in.head == ev_id.value();
       list_remove(in, ev_id);
       cancel_pending_event(ev_id);
+      if (recorder_ != nullptr) {
+        recorder_->on_cancel(ev_id, static_cast<std::uint32_t>(input_index(ev.target)),
+                             was_head);
+      }
       // Mirror lists of remote inputs have no entry in this heap.
       if (was_head && in.head != kNil && !part_remote(ev.target.gate)) {
         queue_.enqueue(EventId{in.head});
@@ -615,6 +697,11 @@ void Simulator::consume_pair_chain(std::uint32_t head, bool resurrect) {
       InputState& in = inputs_[input_index(node.pair.target)];
       const std::uint32_t old_head = in.head;
       list_insert_sorted(in, id);
+      if (recorder_ != nullptr) {
+        const EventQueue::EventLinks& links = queue_.links(id);
+        recorder_->on_resurrect(id, node.pair.partner_event, links.prev, links.next,
+                                static_cast<std::uint32_t>(input_index(node.pair.target)));
+      }
       if (part_remote(node.pair.target.gate)) {
         // Resurrected remote event: new mirror entry, new shipped copy.
         retire_push(when, id);

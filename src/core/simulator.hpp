@@ -68,6 +68,10 @@
 
 namespace halotis {
 
+namespace replay {
+class TraceRecorder;
+}  // namespace replay
+
 struct SimConfig {
   /// Simulation horizon; events after it stay unprocessed.
   TimeNs t_end = kNeverNs;
@@ -163,6 +167,18 @@ class Simulator {
   }
   [[nodiscard]] const RunSupervisor* supervisor() const { return supervisor_; }
 
+  /// Attaches a causal-trace recorder (nullptr detaches); serial mode only.
+  /// Must be called before apply_stimulus(): the recorder captures every
+  /// scheduling decision of exactly one apply_stimulus() + run() cycle.
+  /// After run() returns, finish_recording() seals the trace for replay
+  /// (src/replay/).  Recording another cycle needs a fresh record_into().
+  void record_into(replay::TraceRecorder* recorder);
+  /// Seals the attached recorder's trace: enumerates residual pending
+  /// events, snapshots the surviving history and the stop condition.
+  /// `result` must be the RunResult of the recorded run() (not run_until():
+  /// the trace horizon is the config horizon).
+  void finish_recording(const RunResult& result);
+
   /// Runs until the queue empties, the horizon passes or the event limit
   /// trips.
   RunResult run();
@@ -254,6 +270,7 @@ class Simulator {
   struct SuppressedPair {
     PinRef target;
     TransitionId partner_cause;  ///< transition whose event was deleted
+    EventId partner_event;       ///< the deleted event (trace identity)
     TimeNs partner_time = 0.0;
   };
 
@@ -451,6 +468,7 @@ class Simulator {
   bool stimulus_applied_ = false;
   const RunSupervisor* supervisor_ = nullptr;  ///< optional; see supervise()
   std::uint32_t sup_countdown_ = 0;  ///< events until the next slow check
+  replay::TraceRecorder* recorder_ = nullptr;  ///< optional; see record_into()
 
   /// Events until the next supervision slow path: the poll cadence, pulled
   /// in so the countdown expires exactly on the first over-budget event

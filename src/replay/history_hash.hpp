@@ -1,0 +1,62 @@
+// The canonical order- and bit-sensitive waveform hash.
+//
+// One definition serves bench/perf_report, the replay differential oracle
+// and the variation engine: equal hashes mean bit-identical surviving
+// waveforms (per-signal transition lists, (edge, t_start, tau) bytes).
+// The replayer reproduces this hash without materializing a Simulator, so
+// the replay-vs-full comparison is exactly "same bytes in, same hash out".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/transition.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace halotis::replay {
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t hash, const void* data,
+                                         std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+/// Folds one signal header into the hash.
+[[nodiscard]] inline std::uint64_t hash_signal_header(std::uint64_t hash, SignalId id) {
+  const std::uint32_t sv = id.value();
+  return fnv1a(hash, &sv, sizeof sv);
+}
+
+/// Folds one surviving transition into the hash.
+[[nodiscard]] inline std::uint64_t hash_transition(std::uint64_t hash, Edge edge,
+                                                   TimeNs t_start, TimeNs tau) {
+  const std::uint8_t e = edge == Edge::kRise ? 1 : 0;
+  hash = fnv1a(hash, &e, sizeof e);
+  hash = fnv1a(hash, &t_start, sizeof t_start);
+  hash = fnv1a(hash, &tau, sizeof tau);
+  return hash;
+}
+
+/// Hash of all surviving transitions of `sim` (Simulator or
+/// PartitionedSimulator -- anything with netlist() and history()).
+template <class Sim>
+[[nodiscard]] std::uint64_t hash_sim_history(const Sim& sim) {
+  std::uint64_t hash = kFnvOffset;
+  const Netlist& nl = sim.netlist();
+  for (std::size_t s = 0; s < nl.num_signals(); ++s) {
+    const SignalId id{static_cast<SignalId::underlying_type>(s)};
+    hash = hash_signal_header(hash, id);
+    for (const Transition& tr : sim.history(id)) {
+      hash = hash_transition(hash, tr.edge, tr.t_start, tr.tau);
+    }
+  }
+  return hash;
+}
+
+}  // namespace halotis::replay

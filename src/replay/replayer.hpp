@@ -1,0 +1,160 @@
+// TraceReplayer: re-times a recorded causal trace under perturbed arcs.
+//
+// The replayer owns per-sample state (recomputed transition ramps and
+// event times) and walks the shared, immutable Trace.  Every op either
+// recomputes a time through the exact floating-point expressions the
+// kernel used -- so a passing replay is bit-identical to a full run --
+// or checks that a recorded ordering / filtering decision still holds:
+//
+//   kSpawn        the new crossing still comes after the pending tail
+//   kPairCancel   ... and the pair rule still fires the other way round,
+//                 with a cancelled head not yet due
+//   kFire         within horizon; the pop keeps its recorded order
+//                 against every earlier op on the same pending list and
+//                 the same gate (commuting fires are free to reorder)
+//   kCancel       a cancelled head is still pending at that instant
+//   kResurrect    the sorted re-insert lands between the same neighbours
+//   kGateTr       eval_arc reproduces the recorded DDM filter / ordering
+//                 / inertial-window collapse decisions
+//   kResidual     still beyond the horizon at the stop point
+//
+// Dependent-order certification: ops touching the same resource (one
+// input's pending list, or one gate's input-level/output state) must keep
+// their recorded relative order in the perturbed run.  Strictly increasing
+// times certify themselves; equal times are certified through the kernel's
+// (time, creation id) tie-break using each event's *birth record* -- ids
+// are assigned in creation order, so "created during a later-popping fire"
+// or "created later within the same fire" proves the larger id.  Anything
+// not certifiable fails the replay (sound, conservative).
+//
+// Any violated check means the perturbed run may have diverged from the
+// recorded schedule: replay() reports the op and the caller falls back to
+// full event simulation.  State buffers are reused across replay() calls,
+// so a session evaluates thousands of samples with zero allocation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/supervision.hpp"
+#include "src/base/units.hpp"
+#include "src/core/transition.hpp"
+#include "src/replay/trace.hpp"
+#include "src/timing/timing_arc.hpp"
+
+namespace halotis::replay {
+
+struct ReplayOutcome {
+  bool ok = false;
+  /// First violated op (index into Trace::ops); ops.size() when ok.
+  std::size_t failed_op = 0;
+};
+
+/// Lanes evaluated together by replay_batch().  The lane-interleaved state
+/// (two cache lines of Ramps per transition at 8 lanes) plus the shared op
+/// decode and the independent per-lane data chains are what make batching
+/// pay; 8 lanes measured fastest per sample on mult8 (≈1.5x over 4).
+inline constexpr std::size_t kReplayLanes = 8;
+
+class TraceReplayer {
+ public:
+  /// `trace` must be sealed (replayable) and outlive the replayer.
+  explicit TraceReplayer(const Trace& trace);
+
+  /// Walks the trace under `arcs` (same layout as the recording graph's
+  /// arcs() -- trace.num_arcs entries).  Returns ok=false on the first
+  /// violated check; the recomputed times are then meaningless.
+  /// `supervisor` (optional) is polled coarsely every ~64k ops.
+  ReplayOutcome replay(std::span<const TimingArc> arcs,
+                       const RunSupervisor* supervisor = nullptr);
+
+  /// Walks the trace once while re-timing kReplayLanes independent arc
+  /// tables (each trace.num_arcs entries, outcomes.size() == lanes.size()).
+  /// The op decode and every delay-independent check run once per op; the
+  /// per-lane time recurrences are independent chains, so the walk overlaps
+  /// their latency -- and one cache line of lane-interleaved state serves
+  /// all lanes.  A lane that violates a check is masked off (its outcome
+  /// reports the op) while the rest continue; per-lane results are read
+  /// with the batch_*() accessors.  Keep in lock-step with replay(): same
+  /// expressions, same checks, per lane.
+  void replay_batch(std::span<const std::span<const TimingArc>> lanes,
+                    std::span<ReplayOutcome> outcomes,
+                    const RunSupervisor* supervisor = nullptr);
+
+  // ---- results (valid only after replay() returned ok) ----------------------
+
+  /// The canonical waveform hash (history_hash.hpp) over the recomputed
+  /// surviving history -- bit-identical to hash_sim_history of a full run
+  /// with the same arcs.
+  [[nodiscard]] std::uint64_t history_hash() const;
+
+  /// Recomputed surviving transitions of one signal, history order.
+  [[nodiscard]] std::vector<Transition> signal_history(SignalId signal) const;
+
+  /// Latest surviving t50 over `signals` (0.0 when none transitioned).
+  [[nodiscard]] TimeNs latest_t50(std::span<const SignalId> signals) const;
+
+  /// Final scheduled value of `signal` (initial value when untoggled).
+  [[nodiscard]] bool final_value(SignalId signal) const;
+
+  // ---- per-lane results (valid only for lanes whose outcome was ok) ----------
+
+  [[nodiscard]] std::uint64_t batch_history_hash(std::size_t lane) const;
+  [[nodiscard]] TimeNs batch_latest_t50(std::size_t lane,
+                                        std::span<const SignalId> signals) const;
+
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
+
+ private:
+  /// Recomputed ramp of one transition (one cache line per access: the walk
+  /// always reads/writes t_start and tau together).
+  struct Ramp {
+    TimeNs t_start = 0.0;
+    TimeNs tau = 0.0;
+  };
+  /// Delay-independent creation record (precomputed once per trace): which
+  /// fire created the event and at which in-fire creation index.  The
+  /// creating fire's perturbed pop time needs no separate storage: event
+  /// slots are written once and never reused, so it is simply the creator
+  /// event's own recomputed time.  Together these order creation ids --
+  /// the kernel's equal-time (time, creation id) tie-break.
+  struct BirthMeta {
+    std::uint32_t seq = 0;    ///< creating fire ordinal (0 = pre-run phase)
+    std::uint32_t idx = 0;    ///< creation counter within that fire
+    std::uint32_t born_of = kNone;  ///< the creating fire's event (kNone pre-run)
+  };
+  /// Last op that touched a serialization resource.
+  struct Touch {
+    TimeNs time = 0.0;
+    std::uint32_t seq = kNone;  ///< executing fire ordinal; kNone = untouched
+    std::uint32_t ev = kNone;   ///< executing fire's event
+  };
+  /// The lane-independent half of a serialization clock: the op stream is
+  /// shared, so the last toucher's fire ordinal / event are identical in
+  /// every lane -- only the touch *time* is per-lane.
+  struct TouchShared {
+    std::uint32_t seq = kNone;
+    std::uint32_t ev = kNone;
+  };
+
+  const Trace* trace_;
+  std::vector<Ramp> tr_;          ///< recomputed ramps, per transition
+  std::vector<TimeNs> ev_;        ///< recomputed (clamped) event times
+  std::vector<BirthMeta> birth_;  ///< static creation records, per event
+  std::vector<Touch> last_list_;  ///< per-input serialization clocks
+  std::vector<Touch> last_gate_;  ///< per-gate serialization clocks
+  bool have_times_ = false;
+
+  // ---- lane-batched state (allocated on first replay_batch) -----------------
+  std::vector<Ramp> trb_;              ///< ramps, [transition * kReplayLanes + lane]
+  std::vector<TimeNs> evb_;            ///< event times, lane-interleaved
+  std::vector<TouchShared> list_sh_;   ///< shared clock half, per input
+  std::vector<TouchShared> gate_sh_;   ///< shared clock half, per gate
+  std::vector<TimeNs> list_tb_;        ///< per-lane touch times, interleaved
+  std::vector<TimeNs> gate_tb_;        ///< per-lane touch times, interleaved
+  std::array<bool, kReplayLanes> lane_ok_{};
+};
+
+}  // namespace halotis::replay

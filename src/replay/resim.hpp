@@ -1,0 +1,116 @@
+// Record-once / re-time-many driver (ROADMAP item 3, the LightningSim /
+// OmniSim structure from PAPERS.md adapted to gate-level timing).
+//
+// ResimEngine records ONE full event simulation of (netlist, model,
+// stimulus) over the base TimingGraph and seals the causal trace.
+// ResimSession then evaluates arbitrarily many *perturbed* TimingGraphs --
+// variation samples, SDF corners -- through the TraceReplayer, falling
+// back to a from-scratch full event simulation whenever a recorded
+// scheduling decision no longer holds (or the trace was never replayable).
+// Either path yields the identical bit-for-bit result; the replay path
+// just skips the heap, the pending lists and the gate evaluations.
+//
+// Sessions are independent: one engine (and its const Trace) is shared
+// read-only across worker threads, each worker owning one session with
+// reusable per-sample state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/simulator.hpp"
+#include "src/core/stimulus.hpp"
+#include "src/replay/replayer.hpp"
+#include "src/replay/trace.hpp"
+
+namespace halotis::replay {
+
+class ResimEngine {
+ public:
+  /// `netlist`, `model` and `stimulus` must outlive the engine.  The base
+  /// graph is elaborated internally under the model's policy.
+  ResimEngine(const Netlist& netlist, const DelayModel& model, const Stimulus& stimulus,
+              SimConfig config = {});
+
+  /// Runs and records the base simulation (serial; supervised when
+  /// `supervisor` is given).  Must be called once before sessions open.
+  void record(const RunSupervisor* supervisor = nullptr);
+
+  [[nodiscard]] bool recorded() const { return recorded_; }
+  [[nodiscard]] const Trace& trace() const { return recorder_.trace(); }
+  /// The unperturbed elaboration sessions copy and perturb.
+  [[nodiscard]] const TimingGraph& base_graph() const { return base_graph_; }
+  /// Mutable only before record(): lets the caller annotate the recording
+  /// graph (e.g. apply a reference SDF corner) so the trace is recorded at
+  /// an elaboration close to the graphs it will re-time.
+  [[nodiscard]] TimingGraph& base_graph_mutable();
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+  [[nodiscard]] const DelayModel& model() const { return *model_; }
+  [[nodiscard]] const Stimulus& stimulus() const { return *stimulus_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  /// Stats of the recorded base run (event counts drive bench reporting).
+  [[nodiscard]] const SimStats& base_stats() const { return base_stats_; }
+  [[nodiscard]] const RunResult& base_result() const { return base_result_; }
+
+ private:
+  const Netlist* netlist_;
+  const DelayModel* model_;
+  const Stimulus* stimulus_;
+  SimConfig config_;
+  TimingGraph base_graph_;
+  TraceRecorder recorder_;
+  SimStats base_stats_;
+  RunResult base_result_;
+  bool recorded_ = false;
+};
+
+/// One evaluated delay sample.
+struct ResimSample {
+  std::uint64_t history_hash = 0;  ///< canonical waveform hash (when requested)
+  TimeNs critical_t50 = 0.0;       ///< latest surviving t50 over the observed signals
+  bool fallback = false;           ///< full event simulation ran instead of replay
+};
+
+/// Per-worker evaluation state: a TraceReplayer with reusable buffers plus
+/// the fallback full-simulation path.  Not thread-safe; one per worker.
+class ResimSession {
+ public:
+  /// `engine` must be recorded and outlive the session.
+  explicit ResimSession(const ResimEngine& engine);
+
+  /// Evaluates one perturbed graph (must be elaborated over the engine's
+  /// netlist with the same arc count).  `observed` selects the signals
+  /// whose latest t50 becomes critical_t50; `want_hash` additionally
+  /// computes the canonical waveform hash (skippable for throughput).
+  ResimSample evaluate(const TimingGraph& graph, std::span<const SignalId> observed,
+                       bool want_hash, const RunSupervisor* supervisor = nullptr);
+
+  /// Evaluates up to kReplayLanes perturbed graphs through one lane-batched
+  /// trace walk (TraceReplayer::replay_batch): the op decode is shared and
+  /// the independent per-lane recurrences overlap, which is where the bulk
+  /// of the replay-vs-full speedup comes from.  Lanes that fail a check
+  /// fall back to full simulation individually.  Results are positionally
+  /// matched to `graphs` and bit-identical to evaluate() on each graph.
+  void evaluate_batch(std::span<const TimingGraph* const> graphs,
+                      std::span<const SignalId> observed, bool want_hash,
+                      std::span<ResimSample> out,
+                      const RunSupervisor* supervisor = nullptr);
+
+  /// Samples evaluated / fallbacks taken since construction.
+  [[nodiscard]] std::uint64_t evaluated() const { return evaluated_; }
+  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+
+ private:
+  const ResimEngine* engine_;
+  std::unique_ptr<TraceReplayer> replayer_;  ///< null when trace not replayable
+  std::uint64_t evaluated_ = 0;
+  std::uint64_t fallbacks_ = 0;
+};
+
+/// Latest surviving t50 over `signals` of a finished full simulation
+/// (the fallback-path counterpart of TraceReplayer::latest_t50).
+[[nodiscard]] TimeNs latest_t50(const Simulator& sim, std::span<const SignalId> signals);
+
+}  // namespace halotis::replay

@@ -80,6 +80,22 @@ class TimingGraph {
   /// Number of arcs carrying an SDF override.
   [[nodiscard]] std::size_t annotated_arcs() const { return annotated_arcs_; }
 
+  // ---- perturbation (variation / replay) -------------------------------------
+
+  /// Multiplies the derating factor of every arc of `gate` (per-instance
+  /// process variation: eval_arc scales tp, tau_out and the inertial
+  /// window by the factor).  The graph stays copyable, so variation
+  /// samples perturb a copy and the base elaboration is never touched.
+  void scale_gate_factor(GateId gate, double scale) {
+    const std::uint32_t base = gates_[gate.value()].arc_base;
+    const auto n =
+        static_cast<std::uint32_t>(2 * netlist_->gate(gate).inputs.size());
+    for (std::uint32_t a = base; a < base + n; ++a) arcs_[a].factor *= scale;
+  }
+
+  /// Multiplies one arc's derating factor (per-arc fuzz perturbation).
+  void scale_arc_factor(std::uint32_t id, double scale) { arcs_[id].factor *= scale; }
+
   // ---- debugging ------------------------------------------------------------
 
   /// Human-readable per-arc dump (the `halotis sta --per-arc` divergence

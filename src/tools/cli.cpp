@@ -1,6 +1,8 @@
 #include "src/tools/cli.hpp"
 
+#include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +11,7 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "src/analog/analog_sim.hpp"
 #include "src/base/check.hpp"
@@ -28,6 +31,8 @@
 #include "src/parsers/stimulus_file.hpp"
 #include "src/parsers/verilog.hpp"
 #include "src/power/activity.hpp"
+#include "src/replay/resim.hpp"
+#include "src/replay/variation.hpp"
 #include "src/repro/experiment.hpp"
 #include "src/repro/runner.hpp"
 #include "src/sta/sta.hpp"
@@ -38,6 +43,12 @@
 namespace halotis {
 
 namespace {
+
+/// A malformed or contradictory command line: exits 2 with the usage text
+/// (distinct from ContractViolation / RunError failures, which exit 1+).
+struct UsageError : std::runtime_error {
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
 
 struct Options {
   std::string command;
@@ -59,6 +70,37 @@ struct Options {
     return parse_double(*value, "--" + name);
   }
 };
+
+/// Strict unsigned-integer flag parse (decimal or 0x-hex).  Anything that
+/// is not a whole integer -- `--samples 1.5`, `--seed banana`, an empty
+/// value -- is a usage error (exit 2), never a silent clamp through the
+/// double round-trip that `number()` would apply.
+std::uint64_t usage_unsigned(const Options& options, const std::string& name,
+                             std::uint64_t fallback) {
+  const auto value = options.get(name);
+  if (!value.has_value()) return fallback;
+  const std::string& text = *value;
+  int base = 10;
+  std::size_t start = 0;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    base = 16;
+    start = 2;
+  }
+  std::uint64_t parsed = 0;
+  const char* first = text.data() + start;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed, base);
+  if (first == last || ec != std::errc{} || ptr != last) {
+    throw UsageError("--" + name + " expects an unsigned integer, got '" + text + "'");
+  }
+  return parsed;
+}
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx", static_cast<unsigned long long>(v));
+  return buffer;
+}
 
 Options parse_args(const std::vector<std::string>& args) {
   require(!args.empty(), "no command given");
@@ -189,11 +231,81 @@ TimingGraph load_timing(const Options& options, const Netlist& netlist,
   return graph;
 }
 
+/// `sim --sdf A.sdf[,B.sdf...] --replay`: records the causal trace once
+/// under library timing, then re-times every SDF corner through the
+/// replayer, falling back to a full event simulation for any corner that
+/// breaks a recorded ordering/filtering decision (docs/REPLAY.md).
+int sim_replay_corners(const Options& options, const Netlist& netlist,
+                       const DelayModel& model, const Stimulus& stimulus,
+                       std::ostream& out) {
+  const auto sdf_flag = options.get("sdf");
+  if (!sdf_flag.has_value()) {
+    throw UsageError("sim --replay needs --sdf corner file(s) to re-time");
+  }
+  if (static_cast<int>(options.number("threads", 1)) != 1 ||
+      options.number("partitions", 0.0) != 0.0) {
+    throw UsageError("sim --replay requires the serial kernel (--threads 1)");
+  }
+  if (options.get("report") || options.get("vcd") || options.get("waves")) {
+    throw UsageError(
+        "sim --replay re-times arrival times and waveform hashes only; "
+        "drop --report/--vcd/--waves");
+  }
+  std::vector<std::string> corners;
+  for (const std::string& path : split(*sdf_flag, ',')) {
+    if (!path.empty()) corners.push_back(path);
+  }
+  if (corners.empty()) throw UsageError("--sdf lists no corner files");
+
+  SimConfig config;
+  config.t_end = options.number("t-end", kNeverNs);
+  const RunSupervisor supervisor = make_supervisor(options);
+
+  replay::ResimEngine engine(netlist, model, stimulus, config);
+  // Record at the first corner's elaboration: the trace's scheduling
+  // decisions then hold exactly for that corner (bit-exact fast replay)
+  // and usually for the neighbouring corners of the same annotation.
+  const std::size_t ref_applied =
+      apply_sdf(engine.base_graph_mutable(), read_sdf(read_file(corners.front())));
+  engine.record(&supervisor);
+  const replay::Trace& trace = engine.trace();
+  out << "model: " << model.name() << "\n";
+  out << "reference corner " << corners.front() << ": " << ref_applied
+      << " IOPATH records annotate the recording\n";
+  out << "recorded trace: " << trace.ops.size() << " ops ("
+      << (trace.op_bytes() + 1023) / 1024 << " KiB), " << trace.num_events
+      << " events"
+      << (trace.replayable ? "" : " -- not replayable (event limit), corners run full")
+      << "\n";
+
+  replay::ResimSession session(engine);
+  for (const std::string& path : corners) {
+    TimingGraph corner = engine.base_graph();
+    const SdfFile sdf = read_sdf(read_file(path));
+    const std::size_t applied = apply_sdf(corner, sdf);
+    const replay::ResimSample sample = session.evaluate(
+        corner, netlist.primary_outputs(), /*want_hash=*/true, &supervisor);
+    out << "corner " << path << ": " << applied << " IOPATH record"
+        << (applied == 1 ? "" : "s") << ", critical t50 "
+        << format_double(sample.critical_t50, 9) << " ns, hash "
+        << hex64(sample.history_hash)
+        << (sample.fallback ? " [full fallback]" : " [replayed]") << "\n";
+  }
+  if (session.fallbacks() > 0) {
+    out << "fallbacks: " << session.fallbacks() << " / " << corners.size()
+        << " corners\n";
+  }
+  return 0;
+}
+
 int cmd_sim(const Options& options, std::ostream& out) {
   const Library lib = Library::default_u6();
   const Netlist netlist = load_netlist(options, lib);
   const std::unique_ptr<DelayModel> model = make_model(options);
   const Stimulus stimulus = load_stimulus(options, netlist);
+  if (options.get("replay")) {
+    return sim_replay_corners(options, netlist, *model, stimulus, out);
+  }
   // One elaborated timing database for the run; --sdf back-annotates it
   // (the third-party-netlist scenario: IOPATH delays replace the library's
   // conventional part, the inertial/degradation treatment stays).
@@ -296,6 +408,52 @@ int cmd_sim(const Options& options, std::ostream& out) {
     vcd.write(bytes);
     write_file_atomic(*vcd_path, bytes.str());
     out << "wrote " << *vcd_path << "\n";
+  }
+  return 0;
+}
+
+/// Monte-Carlo per-gate delay variation.  With --replay, samples re-time
+/// a recorded trace instead of re-simulating; the CSV/report artifacts
+/// are byte-identical with or without it, at any thread count.
+int cmd_variation(const Options& options, std::ostream& out) {
+  const Library lib = Library::default_u6();
+  const Netlist netlist = load_netlist(options, lib);
+  const std::unique_ptr<DelayModel> model = make_model(options);
+  const Stimulus stimulus = load_stimulus(options, netlist);
+
+  replay::VariationConfig config;
+  const std::uint64_t samples = usage_unsigned(options, "samples", 200);
+  if (samples < 1) throw UsageError("--samples must be >= 1");
+  config.samples = static_cast<std::size_t>(samples);
+  config.seed = usage_unsigned(options, "seed", 1);
+  config.sigma = options.number("sigma", 0.1);
+  if (!(config.sigma >= 0.0)) throw UsageError("--sigma must be >= 0");
+  config.threads = static_cast<int>(options.number("threads", 1));
+  if (config.threads < 0) {
+    throw UsageError("--threads must be >= 0 (0 = all hardware threads)");
+  }
+  config.use_replay = options.get("replay").has_value();
+  config.sim.t_end = options.number("t-end", kNeverNs);
+
+  const RunSupervisor supervisor = make_supervisor(options);
+  const replay::VariationResult result = replay::run_variation(
+      netlist, *model, stimulus, netlist.primary_outputs(), config, &supervisor);
+
+  out << replay::format_variation_report(result, config);
+  if (result.replay_used) {
+    // Console-only diagnostics: the artifacts below carry no mode, thread,
+    // or fallback information (byte-identity across modes).
+    out << "replay: " << (result.rows.size() - result.fallbacks) << " replayed, "
+        << result.fallbacks << " full fallback" << (result.fallbacks == 1 ? "" : "s")
+        << "\n";
+  }
+  if (const auto csv_path = options.get("csv")) {
+    write_file_atomic(*csv_path, replay::format_variation_csv(result));
+    out << "wrote " << *csv_path << "\n";
+  }
+  if (const auto report_path = options.get("out")) {
+    write_file_atomic(*report_path, replay::format_variation_report(result, config));
+    out << "wrote " << *report_path << "\n";
   }
   return 0;
 }
@@ -417,7 +575,7 @@ int cmd_fault(const Options& options, std::ostream& out) {
     AtpgOptions atpg;
     atpg.period = options.number("period", 5.0);
     atpg.max_candidates = static_cast<int>(options.number("candidates", 200));
-    atpg.seed = static_cast<std::uint64_t>(options.number("seed", 1));
+    atpg.seed = usage_unsigned(options, "seed", 1);
     atpg.threads = threads;
     atpg.supervisor = &supervisor;
     const AtpgResult result = generate_tests(netlist, *model, atpg);
@@ -637,6 +795,13 @@ commands:
            [--threads N] [--partitions K]   (partitioned parallel kernel;
            N=0 uses all hardware threads, results are bit-identical at
            every N; --report/--vcd need --threads 1)
+           --sdf A[,B...] --replay   record the causal trace once, re-time
+           each SDF corner through the replayer (docs/REPLAY.md)
+  variation  Monte-Carlo per-gate delay variation (docs/REPLAY.md)
+           --netlist F [--stim F] [--model M] [--sigma S] [--samples N]
+           [--seed N] [--threads N] [--replay] [--csv F] [--out F]
+           --replay re-times a recorded trace per sample; CSV/report
+           artifacts are byte-identical with or without it, at any N
   analog   transistor-level reference simulation
            --netlist F [--stim F] [--t-end NS] [--csv F]
   sta      static timing analysis (conventional worst case)
@@ -657,7 +822,7 @@ commands:
   convert  netlist format conversion / delay annotation export
            --netlist F --to bench|verilog|native|sdf [--slew NS] [--out F]
 
-supervision (sim, fault, repro, lint -- docs/ARCHITECTURE.md):
+supervision (sim, variation, fault, repro, lint -- docs/ARCHITECTURE.md):
   --budget-events N    error out (exit 3) after N processed events
   --budget-mem-mb N    error out (exit 3) past N MiB of kernel arenas
   --deadline-s S       error out (exit 4) after S wall-clock seconds
@@ -702,6 +867,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
       armed_failpoints = true;
     }
     if (options.command == "sim") return cmd_sim(options, out);
+    if (options.command == "variation") return cmd_variation(options, out);
     if (options.command == "analog") return cmd_analog(options, out);
     if (options.command == "sta") return cmd_sta(options, out);
     if (options.command == "lint") return cmd_lint(options, out);
@@ -709,6 +875,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (options.command == "repro") return cmd_repro(options, out);
     if (options.command == "convert") return cmd_convert(options, out);
     err << "unknown command '" << options.command << "'\n" << cli_usage();
+    return 2;
+  } catch (const UsageError& e) {
+    err << "usage error: " << e.what() << "\n" << cli_usage();
     return 2;
   } catch (const RunError& e) {
     // The structured taxonomy maps onto documented exit codes (README.md):

@@ -210,6 +210,53 @@ TEST_F(CliTest, ErrorsAreReportedNotThrown) {
   EXPECT_EQ(run({"sim"}), 1);  // missing --netlist
 }
 
+/// Malformed numeric flags and contradictory --replay combinations are
+/// usage errors: exit 2 with the usage text, never a silent clamp of
+/// `--samples 0` to a default or of `1.5` through a double round-trip.
+TEST_F(CliTest, MalformedFlagsExitTwoWithUsage) {
+  const std::string netlist = write("and2.bench", kBench);
+  const std::string stim = write("and2.stim", kStim);
+
+  const auto expect_usage = [&](const std::vector<std::string>& args,
+                                const std::string& needle) {
+    EXPECT_EQ(run(args), 2) << needle;
+    EXPECT_NE(err_.str().find("usage error:"), std::string::npos) << needle;
+    EXPECT_NE(err_.str().find(needle), std::string::npos) << err_.str();
+    EXPECT_NE(err_.str().find("usage: halotis"), std::string::npos) << needle;
+  };
+
+  expect_usage({"variation", "--netlist", netlist, "--stim", stim,
+                "--samples", "0"},
+               "--samples must be >= 1");
+  expect_usage({"variation", "--netlist", netlist, "--stim", stim,
+                "--samples", "1.5"},
+               "--samples expects an unsigned integer");
+  expect_usage({"variation", "--netlist", netlist, "--stim", stim,
+                "--seed", "banana"},
+               "--seed expects an unsigned integer");
+  expect_usage({"variation", "--netlist", netlist, "--stim", stim,
+                "--seed", "12x"},
+               "--seed expects an unsigned integer");
+  expect_usage({"variation", "--netlist", netlist, "--stim", stim,
+                "--sigma", "-0.5"},
+               "--sigma must be >= 0");
+
+  expect_usage({"sim", "--netlist", netlist, "--stim", stim, "--replay"},
+               "sim --replay needs --sdf");
+  expect_usage({"sim", "--netlist", netlist, "--stim", stim,
+                "--sdf", "x.sdf", "--replay", "--threads", "2"},
+               "sim --replay requires the serial kernel");
+  expect_usage({"sim", "--netlist", netlist, "--stim", stim,
+                "--sdf", "x.sdf", "--replay", "--vcd",
+                (dir_ / "w.vcd").string()},
+               "drop --report/--vcd/--waves");
+
+  // Hex seeds are NOT usage errors: 0x-prefixed values parse.
+  EXPECT_EQ(run({"variation", "--netlist", netlist, "--stim", stim,
+                 "--samples", "2", "--seed", "0xBEEF"}),
+            0);
+}
+
 TEST_F(CliTest, ModelVariantsAllRun) {
   const std::string netlist = write("and2.bench", kBench);
   const std::string stim = write("and2.stim", kStim);

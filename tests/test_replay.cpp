@@ -1,0 +1,388 @@
+// Differential oracle suite for the trace-based re-simulation engine
+// (record-once / re-time-many, ROADMAP item 3).
+//
+// The contract under test: for ANY perturbed arc table, ResimSession
+// evaluation -- whether the trace replays or the session falls back to a
+// full event simulation -- produces the bit-for-bit waveform of an
+// independent from-scratch full simulation of the same graph.  The suite
+// drives every repro circuit under both delay disciplines (DDM and the
+// transport-like CDM) across hundreds of seeded random delay samples, plus
+// randomized layered DAGs with per-arc perturbations up to +/-50%, and
+// checks both the scalar replay() path and the lane-batched replay_batch()
+// path against the oracle.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/failpoint.hpp"
+#include "src/base/rng.hpp"
+#include "src/base/supervision.hpp"
+#include "src/circuits/generators.hpp"
+#include "src/circuits/stimuli.hpp"
+#include "src/core/delay_model.hpp"
+#include "src/core/simulator.hpp"
+#include "src/replay/history_hash.hpp"
+#include "src/replay/resim.hpp"
+#include "src/replay/variation.hpp"
+
+namespace halotis {
+namespace {
+
+using replay::ResimEngine;
+using replay::ResimSample;
+using replay::ResimSession;
+
+/// From-scratch full event simulation of `graph`: the oracle.
+std::uint64_t oracle_hash(const Netlist& netlist, const DelayModel& model,
+                          const TimingGraph& graph, const Stimulus& stim,
+                          SimConfig config = {}) {
+  Simulator sim(netlist, model, graph, config);
+  sim.apply_stimulus(stim);
+  (void)sim.run();
+  return replay::hash_sim_history(sim);
+}
+
+/// One per-gate lognormal corner, like the variation engine draws.
+TimingGraph gate_corner(const TimingGraph& base, std::uint64_t seed, double sigma) {
+  TimingGraph graph = base;
+  for (std::uint32_t g = 0; g < static_cast<std::uint32_t>(graph.num_gates()); ++g) {
+    graph.scale_gate_factor(GateId{g}, variation_factor(seed, sigma, GateId{g}));
+  }
+  return graph;
+}
+
+struct OracleCounts {
+  std::uint64_t replayed = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+/// Runs `samples` seeded per-gate corners through one recording and checks
+/// every evaluation bit-for-bit against the oracle.  Sigmas cycle from
+/// corner-retiming magnitudes (which replay) up to schedule-breaking ones
+/// (which must fall back): the invariant holds on both sides.
+OracleCounts run_differential(const Netlist& netlist, const DelayModel& model,
+                              const Stimulus& stim,
+                              std::span<const SignalId> observed,
+                              std::size_t samples, std::uint64_t master_seed) {
+  ResimEngine engine(netlist, model, stim, SimConfig{});
+  engine.record();
+  EXPECT_TRUE(engine.trace().replayable);
+
+  ResimSession session(engine);
+  static constexpr double kSigmas[] = {1e-8, 1e-6, 1e-4, 1e-2};
+  SplitMix64 seeds(master_seed);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double sigma = kSigmas[i % std::size(kSigmas)];
+    const TimingGraph graph = gate_corner(engine.base_graph(), seeds.next(), sigma);
+    const ResimSample sample = session.evaluate(graph, observed, /*want_hash=*/true);
+    EXPECT_EQ(sample.history_hash, oracle_hash(netlist, model, graph, stim))
+        << "sample " << i << " sigma " << sigma
+        << (sample.fallback ? " (fallback)" : " (replayed)");
+  }
+  return {session.evaluated() - session.fallbacks(), session.fallbacks()};
+}
+
+class ReplayOracleTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::default_u6();
+  DdmDelayModel ddm_;
+  CdmDelayModel cdm_;  ///< transport-like (kNone window)
+};
+
+TEST_F(ReplayOracleTest, C17BothModels) {
+  C17Circuit c17 = make_c17(lib_);
+  const Stimulus stim = staggered_random_stimulus(c17.inputs, 12, 171);
+  for (const DelayModel* model : {static_cast<const DelayModel*>(&ddm_),
+                                  static_cast<const DelayModel*>(&cdm_)}) {
+    const OracleCounts counts =
+        run_differential(c17.netlist, *model, stim, c17.outputs, 200, 0xC17);
+    EXPECT_GT(counts.replayed, 0u) << model->name();
+  }
+}
+
+TEST_F(ReplayOracleTest, RippleAdderBothModels) {
+  AdderCircuit adder = make_ripple_adder(lib_, 8);
+  std::vector<SignalId> inputs = adder.a;
+  inputs.insert(inputs.end(), adder.b.begin(), adder.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 8, 88);
+  stim.set_initial(adder.tie0, false);
+  for (const DelayModel* model : {static_cast<const DelayModel*>(&ddm_),
+                                  static_cast<const DelayModel*>(&cdm_)}) {
+    const OracleCounts counts =
+        run_differential(adder.netlist, *model, stim, adder.sum, 200, 0xADD);
+    EXPECT_GT(counts.replayed, 0u) << model->name();
+  }
+}
+
+TEST_F(ReplayOracleTest, Mult4BothModels) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 8, 4444);
+  stim.set_initial(mult.tie0, false);
+  for (const DelayModel* model : {static_cast<const DelayModel*>(&ddm_),
+                                  static_cast<const DelayModel*>(&cdm_)}) {
+    const OracleCounts counts =
+        run_differential(mult.netlist, *model, stim, mult.s, 200, 0x4444);
+    EXPECT_GT(counts.replayed, 0u) << model->name();
+  }
+}
+
+TEST_F(ReplayOracleTest, Mult8HasBothRegimes) {
+  MultiplierCircuit mult = make_multiplier(lib_, 8);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 6, 424242);
+  stim.set_initial(mult.tie0, false);
+  for (const DelayModel* model : {static_cast<const DelayModel*>(&ddm_),
+                                  static_cast<const DelayModel*>(&cdm_)}) {
+    const OracleCounts counts =
+        run_differential(mult.netlist, *model, stim, mult.s, 200, 0x8888);
+    // The deep reconvergent array must exercise BOTH sides of the oracle:
+    // corner-retiming samples that replay and schedule-breaking samples
+    // that are detected and fall back.
+    EXPECT_GT(counts.replayed, 0u) << model->name();
+    EXPECT_GT(counts.fallbacks, 0u) << model->name();
+  }
+}
+
+// Synchronized word stimuli drive bit-equal event times everywhere; any
+// nonzero perturbation separates those ties, so essentially every sample
+// must be *detected* as diverged and fall back -- still bit-exact.
+TEST_F(ReplayOracleTest, TiedStimulusFallsBackSoundly) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  const Stimulus stim = multiplier_stimulus(mult, fig6_sequence());
+  const OracleCounts counts =
+      run_differential(mult.netlist, ddm_, stim, mult.s, 40, 0xF16);
+  EXPECT_GT(counts.fallbacks, 0u);
+}
+
+TEST_F(ReplayOracleTest, IdentityReplayMatchesRecordingBitForBit) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 8, 99);
+  stim.set_initial(mult.tie0, false);
+
+  ResimEngine engine(mult.netlist, ddm_, stim, SimConfig{});
+  engine.record();
+  ResimSession session(engine);
+  // Unperturbed arcs: the replay must reproduce the recording run exactly
+  // and must not fall back.
+  const ResimSample sample =
+      session.evaluate(engine.base_graph(), mult.s, /*want_hash=*/true);
+  EXPECT_FALSE(sample.fallback);
+  EXPECT_EQ(sample.history_hash,
+            oracle_hash(mult.netlist, ddm_, engine.base_graph(), stim));
+  // Sessions are reusable: a second evaluation of the same graph is
+  // bit-identical (state fully reset between walks).
+  const ResimSample again =
+      session.evaluate(engine.base_graph(), mult.s, /*want_hash=*/true);
+  EXPECT_EQ(again.history_hash, sample.history_hash);
+  EXPECT_EQ(again.critical_t50, sample.critical_t50);
+}
+
+// ---- lane-batched path ------------------------------------------------------
+
+TEST_F(ReplayOracleTest, BatchEvaluationMatchesOracle) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 8, 5150);
+  stim.set_initial(mult.tie0, false);
+
+  ResimEngine engine(mult.netlist, ddm_, stim, SimConfig{});
+  engine.record();
+  ResimSession session(engine);
+
+  // Mixed-regime lanes within one batch: tiny perturbations next to
+  // schedule-breaking ones, so replayed and fallback lanes coexist.
+  static constexpr double kSigmas[] = {1e-8, 1e-2, 1e-6, 1e-4};
+  SplitMix64 seeds(0xBA7C4);
+  std::uint64_t batch_fallbacks = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<TimingGraph> corners;
+    for (std::size_t l = 0; l < replay::kReplayLanes; ++l) {
+      corners.push_back(gate_corner(engine.base_graph(), seeds.next(),
+                                    kSigmas[l % std::size(kSigmas)]));
+    }
+    std::array<const TimingGraph*, replay::kReplayLanes> graphs{};
+    std::array<ResimSample, replay::kReplayLanes> out{};
+    for (std::size_t l = 0; l < replay::kReplayLanes; ++l) graphs[l] = &corners[l];
+    session.evaluate_batch(graphs, mult.s, /*want_hash=*/true, out);
+    for (std::size_t l = 0; l < replay::kReplayLanes; ++l) {
+      ASSERT_EQ(out[l].history_hash, oracle_hash(mult.netlist, ddm_, corners[l], stim))
+          << "round " << round << " lane " << l;
+      if (out[l].fallback) ++batch_fallbacks;
+    }
+  }
+  EXPECT_GT(batch_fallbacks, 0u);
+  EXPECT_LT(batch_fallbacks, session.evaluated());
+
+  // Short batches (fewer graphs than lanes) are padded internally and
+  // stay positionally exact.
+  const TimingGraph one = gate_corner(engine.base_graph(), seeds.next(), 1e-7);
+  const TimingGraph* single[] = {&one};
+  ResimSample single_out[1];
+  session.evaluate_batch(single, mult.s, /*want_hash=*/true, single_out);
+  EXPECT_EQ(single_out[0].history_hash, oracle_hash(mult.netlist, ddm_, one, stim));
+}
+
+// ---- property / fuzz: randomized layered DAGs, per-arc perturbations --------
+
+TEST_F(ReplayOracleTest, FuzzLayeredDagsPerArcPerturbations) {
+  SplitMix64 rng(0xFA22ED);
+  // Perturbation amplitudes from corner-retiming up to +/-50% per arc.
+  static constexpr double kAmps[] = {0.5, 1e-3, 1e-6, 1e-9};
+  for (int trial = 0; trial < 6; ++trial) {
+    const int width = 4 + static_cast<int>(rng.next_below(5));
+    const int depth = 3 + static_cast<int>(rng.next_below(4));
+    LayeredCircuit dag = make_layered_circuit(lib_, width, depth, rng.next());
+    const Stimulus stim =
+        staggered_random_stimulus(dag.inputs, 6, rng.next());
+
+    ResimEngine engine(dag.netlist, ddm_, stim, SimConfig{});
+    engine.record();
+    ResimSession session(engine);
+    for (int s = 0; s < 8; ++s) {
+      const double amp = kAmps[s % std::size(kAmps)];
+      TimingGraph graph = engine.base_graph();
+      for (std::uint32_t a = 0; a < static_cast<std::uint32_t>(graph.num_arcs());
+           ++a) {
+        const double u = static_cast<double>(rng.next_below(1u << 20)) /
+                         static_cast<double>(1u << 20);
+        graph.scale_arc_factor(a, 1.0 + amp * (2.0 * u - 1.0));
+      }
+      const ResimSample sample = session.evaluate(graph, dag.outputs, true);
+      ASSERT_EQ(sample.history_hash, oracle_hash(dag.netlist, ddm_, graph, stim))
+          << "trial " << trial << " sample " << s << " amp " << amp;
+    }
+  }
+}
+
+// ---- engine mechanics -------------------------------------------------------
+
+TEST_F(ReplayOracleTest, EventLimitStopIsNotReplayable) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 8, 31);
+  stim.set_initial(mult.tie0, false);
+
+  SimConfig config;
+  config.max_events = 50;  // truncates the schedule at an ordinal, not a time
+  ResimEngine engine(mult.netlist, ddm_, stim, config);
+  engine.record();
+  EXPECT_FALSE(engine.trace().replayable);
+
+  // The session still evaluates correctly -- every sample falls back.
+  ResimSession session(engine);
+  const TimingGraph graph = gate_corner(engine.base_graph(), 1, 1e-8);
+  const ResimSample sample = session.evaluate(graph, mult.s, /*want_hash=*/true);
+  EXPECT_TRUE(sample.fallback);
+  EXPECT_EQ(sample.history_hash, oracle_hash(mult.netlist, ddm_, graph, stim, config));
+}
+
+TEST_F(ReplayOracleTest, HorizonStopRecordsResidualsAndReplays) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 8, 77);
+  stim.set_initial(mult.tie0, false);
+
+  SimConfig config;
+  config.t_end = 12.0;  // cuts the run mid-activity: residual events exist
+  ResimEngine engine(mult.netlist, ddm_, stim, config);
+  engine.record();
+  ASSERT_TRUE(engine.trace().replayable);
+  std::size_t residuals = 0;
+  for (const replay::TraceOp& op : engine.trace().ops) {
+    if (op.kind == replay::OpKind::kResidual) ++residuals;
+  }
+  EXPECT_GT(residuals, 0u);
+
+  ResimSession session(engine);
+  SplitMix64 seeds(0x40412);
+  for (int i = 0; i < 20; ++i) {
+    const TimingGraph graph = gate_corner(engine.base_graph(), seeds.next(), 1e-7);
+    const ResimSample sample = session.evaluate(graph, mult.s, /*want_hash=*/true);
+    ASSERT_EQ(sample.history_hash,
+              oracle_hash(mult.netlist, ddm_, graph, stim, config));
+  }
+}
+
+TEST_F(ReplayOracleTest, ReplaySupervisionBudgetStops) {
+  MultiplierCircuit mult = make_multiplier(lib_, 8);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 6, 11);
+  stim.set_initial(mult.tie0, false);
+
+  ResimEngine engine(mult.netlist, ddm_, stim, SimConfig{});
+  engine.record();
+  ResimSession session(engine);
+
+  // An already-expired wall-clock deadline trips the replayer's coarse
+  // check on its first poll.
+  RunBudget budget;
+  budget.deadline_s = 1e-9;
+  RunSupervisor supervisor(budget);
+  supervisor.arm();
+  const TimingGraph graph = gate_corner(engine.base_graph(), 3, 1e-8);
+  EXPECT_THROW((void)session.evaluate(graph, mult.s, true, &supervisor), RunError);
+}
+
+TEST_F(ReplayOracleTest, FallbackFailpointFires) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  const Stimulus stim = multiplier_stimulus(mult, fig6_sequence());  // tied: falls back
+  ResimEngine engine(mult.netlist, ddm_, stim, SimConfig{});
+  engine.record();
+  ResimSession session(engine);
+
+  FailPoints::instance().arm("replay.fallback", 1);
+  const TimingGraph graph = gate_corner(engine.base_graph(), 5, 1e-3);
+  EXPECT_THROW((void)session.evaluate(graph, mult.s, true), FailPointError);
+  FailPoints::instance().disarm_all();
+  // And after disarming, the same evaluation completes via full fallback.
+  const ResimSample sample = session.evaluate(graph, mult.s, true);
+  EXPECT_TRUE(sample.fallback);
+  EXPECT_EQ(sample.history_hash, oracle_hash(mult.netlist, ddm_, graph, stim));
+}
+
+// ---- the variation engine rides the same contract ---------------------------
+
+TEST_F(ReplayOracleTest, VariationArtifactsByteIdenticalWithReplay) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 8, 2024);
+  stim.set_initial(mult.tie0, false);
+
+  replay::VariationConfig config;
+  config.sigma = 1e-4;  // mixed regime: some samples replay, some fall back
+  config.seed = 9;
+  config.samples = 24;
+
+  config.use_replay = false;
+  config.threads = 1;
+  const replay::VariationResult full =
+      replay::run_variation(mult.netlist, ddm_, stim, mult.s, config);
+  const std::string full_csv = replay::format_variation_csv(full);
+  const std::string full_report = replay::format_variation_report(full, config);
+
+  config.use_replay = true;
+  for (const int threads : {1, 2, 4}) {
+    config.threads = threads;
+    const replay::VariationResult rep =
+        replay::run_variation(mult.netlist, ddm_, stim, mult.s, config);
+    EXPECT_EQ(replay::format_variation_csv(rep), full_csv) << threads << " threads";
+    EXPECT_EQ(replay::format_variation_report(rep, config), full_report)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace halotis

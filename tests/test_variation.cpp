@@ -1,11 +1,15 @@
-// Tests for the per-instance variation delay model.
+// Tests for the per-instance variation delay model and the replay-backed
+// variation engine.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "src/base/mathfit.hpp"
 #include "src/circuits/generators.hpp"
+#include "src/circuits/stimuli.hpp"
 #include "src/core/simulator.hpp"
+#include "src/replay/variation.hpp"
 
 namespace halotis {
 namespace {
@@ -94,6 +98,81 @@ TEST_F(VariationTest, ThresholdsUntouched) {
   const Cell& lvt = lib_.cell(lib_.find("INV_LVT"));
   EXPECT_DOUBLE_EQ(model.event_threshold(lvt, 0, 5.0),
                    ddm_.event_threshold(lvt, 0, 5.0));
+}
+
+// ---- replay-backed variation engine ----------------------------------------
+
+/// Replay must be an internal accelerator only: identical rows, identical
+/// formatted artifacts, at every thread count.
+TEST_F(VariationTest, ReplayArtifactsByteIdenticalAtAnyThreadCount) {
+  MultiplierCircuit mult = make_multiplier(lib_, 8);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 6, 321);
+  stim.set_initial(mult.tie0, false);
+
+  replay::VariationConfig config;
+  config.sigma = 1e-4;  // mixed regime on mult8: both replays and fallbacks
+  config.seed = 17;
+  config.samples = 32;
+  config.use_replay = false;
+  config.threads = 1;
+  const replay::VariationResult full =
+      replay::run_variation(mult.netlist, ddm_, stim, mult.s, config);
+  EXPECT_FALSE(full.replay_used);
+  const std::string full_csv = replay::format_variation_csv(full);
+  const std::string full_report = replay::format_variation_report(full, config);
+
+  config.use_replay = true;
+  for (const int threads : {1, 2, 4}) {
+    config.threads = threads;
+    const replay::VariationResult rep =
+        replay::run_variation(mult.netlist, ddm_, stim, mult.s, config);
+    EXPECT_TRUE(rep.replay_used);
+    EXPECT_EQ(replay::format_variation_csv(rep), full_csv)
+        << threads << " threads";
+    EXPECT_EQ(replay::format_variation_report(rep, config), full_report)
+        << threads << " threads";
+    ASSERT_EQ(rep.rows.size(), full.rows.size());
+    for (std::size_t i = 0; i < rep.rows.size(); ++i) {
+      EXPECT_EQ(rep.rows[i].history_hash, full.rows[i].history_hash) << i;
+      EXPECT_EQ(rep.rows[i].critical_t50, full.rows[i].critical_t50) << i;
+      EXPECT_EQ(rep.rows[i].sample_seed, full.rows[i].sample_seed) << i;
+    }
+  }
+}
+
+/// At corner-retiming sigma everything replays; at schedule-breaking sigma
+/// the engine degrades to fallbacks -- artifacts stay exact either way.
+TEST_F(VariationTest, ReplayRateTracksSigma) {
+  MultiplierCircuit mult = make_multiplier(lib_, 4);
+  std::vector<SignalId> inputs = mult.a;
+  inputs.insert(inputs.end(), mult.b.begin(), mult.b.end());
+  Stimulus stim = staggered_random_stimulus(inputs, 8, 555);
+  stim.set_initial(mult.tie0, false);
+
+  replay::VariationConfig config;
+  config.seed = 3;
+  config.samples = 20;
+  config.use_replay = true;
+
+  config.sigma = 1e-8;
+  const replay::VariationResult tiny =
+      replay::run_variation(mult.netlist, ddm_, stim, mult.s, config);
+  EXPECT_EQ(tiny.fallbacks, 0u);
+
+  config.sigma = 0.1;
+  const replay::VariationResult coarse =
+      replay::run_variation(mult.netlist, ddm_, stim, mult.s, config);
+  EXPECT_GT(coarse.fallbacks, 0u);
+
+  config.use_replay = false;
+  const replay::VariationResult oracle =
+      replay::run_variation(mult.netlist, ddm_, stim, mult.s, config);
+  ASSERT_EQ(coarse.rows.size(), oracle.rows.size());
+  for (std::size_t i = 0; i < oracle.rows.size(); ++i) {
+    EXPECT_EQ(coarse.rows[i].history_hash, oracle.rows[i].history_hash) << i;
+  }
 }
 
 }  // namespace
