@@ -18,19 +18,27 @@
 //
 // The committed /BENCH_kernel.json is the perf trajectory: every PR that
 // touches the kernel appends a labelled entry (see docs/BENCHMARKS.md).
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <span>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/base/fileio.hpp"
+#include "src/base/fnv.hpp"
 #include "src/base/rng.hpp"
 #include "src/base/supervision.hpp"
 #include "src/circuits/generators.hpp"
@@ -40,9 +48,16 @@
 #include "src/fault/campaign.hpp"
 #include "src/fault/fault.hpp"
 #include "src/lint/lint.hpp"
+#include "src/parsers/bench_format.hpp"
+#include "src/replay/history_hash.hpp"
 #include "src/replay/resim.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/service.hpp"
+#include "src/serve/socket_io.hpp"
 #include "src/timing/timing_arc.hpp"
 #include "src/timing/timing_graph.hpp"
+#include "src/tools/cli.hpp"
 
 using namespace halotis;
 using namespace halotis::bench;
@@ -62,35 +77,14 @@ struct WorkloadResult {
   std::uint64_t arena_bytes = 0;            // transition arena + pools footprint
 };
 
-std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t n) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    hash ^= bytes[i];
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
-/// Order- and bit-sensitive hash of all surviving transitions.  Works on
-/// both the serial Simulator and the PartitionedSimulator (whose history()
-/// routes to the owning partition) -- equal hashes mean bit-identical
-/// waveforms.
+/// Order- and bit-sensitive hash of all surviving transitions -- the
+/// canonical replay::hash_sim_history (src/replay/history_hash.hpp), built
+/// on the repo-wide FNV-1a (src/base/fnv.hpp).  Works on both the serial
+/// Simulator and the PartitionedSimulator (whose history() routes to the
+/// owning partition) -- equal hashes mean bit-identical waveforms.
 template <class Sim>
 std::uint64_t hash_history(const Sim& sim) {
-  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
-  const Netlist& nl = sim.netlist();
-  for (std::size_t s = 0; s < nl.num_signals(); ++s) {
-    const SignalId id{static_cast<SignalId::underlying_type>(s)};
-    const std::uint32_t sv = id.value();
-    hash = fnv1a(hash, &sv, sizeof sv);
-    for (const Transition& tr : sim.history(id)) {
-      const std::uint8_t edge = tr.edge == Edge::kRise ? 1 : 0;
-      hash = fnv1a(hash, &edge, sizeof edge);
-      hash = fnv1a(hash, &tr.t_start, sizeof tr.t_start);
-      hash = fnv1a(hash, &tr.tau, sizeof tr.tau);
-    }
-  }
-  return hash;
+  return replay::hash_sim_history(sim);
 }
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -424,7 +418,7 @@ LintThroughputResult run_lint_throughput(const Library& lib, bool quick,
       result.findings = report.findings.size();
       result.hazard_gates = report.hazard_gates.size();
       result.capped_sources = report.capped_sources;
-      std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+      std::uint64_t hash = kFnv1aOffset;
       for (const lint::Finding& finding : report.findings) {
         hash = fnv1a(hash, &finding.id, sizeof finding.id);
       }
@@ -545,6 +539,170 @@ ReplayThroughputResult run_replay_throughput(const Library& lib, bool quick) {
           : 0.0;
   result.speedup =
       result.replay_wall_s > 0.0 ? result.full_wall_s / result.replay_wall_s : 0.0;
+  return result;
+}
+
+// ---- daemon throughput workload ---------------------------------------------
+
+/// Resident-daemon workload (PR 10): the 8x8 multiplier shipped as bench
+/// text through `halotis serve`.  Cold = the full per-request cost a
+/// one-shot CLI invocation pays (parse + elaborate + simulate, measured
+/// through the same service layer with the cache disabled); warm = socket
+/// round-trips against a primed daemon, where the keyed elaboration cache
+/// and the worker's pooled simulator leave only the simulation itself on
+/// the request path.  Every response must be byte-identical to the cold
+/// baseline (the daemon's iron determinism contract), and the baseline's
+/// `--hash` line joins the CI quick-hash diff.
+struct DaemonThroughputResult {
+  std::string name;
+  std::size_t gates = 0;
+  std::size_t cold_runs = 0;       ///< timed cache-less service runs
+  std::size_t warm_requests = 0;   ///< timed socket requests (after priming)
+  double cold_s_per_request = 0.0;
+  double warm_s_per_request = 0.0;
+  double requests_per_sec_warm = 0.0;
+  double speedup = 0.0;  ///< cold_s_per_request / warm_s_per_request
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  bool responses_identical = false;
+  std::uint64_t history_hash = 0;  ///< from the baseline's "history hash:" line
+};
+
+DaemonThroughputResult run_daemon_throughput(const Library& lib, bool quick) {
+  MultiplierCircuit mult = make_multiplier(lib, 8);
+  const std::string netlist_text = write_bench(mult.netlist);
+
+  // A short word sequence keeps simulation small relative to elaboration:
+  // the workload isolates the request-path overhead the daemon removes.
+  // The stimulus is the same in both modes (only the repetition counts
+  // change), so the quick-hash golden also pins the full run.
+  std::string stim_text;
+  {
+    std::vector<std::string> names;
+    for (const SignalId id : mult.a) names.push_back(mult.netlist.signal(id).name);
+    for (const SignalId id : mult.b) names.push_back(mult.netlist.signal(id).name);
+    const auto words = random_word_stream(16, 3, 0xC0FFEEULL);
+    std::ostringstream text;
+    text << "slew 0.5\n";
+    std::vector<bool> value(names.size(), false);
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      value[j] = ((words[0] >> j) & 1) != 0;
+      text << "init " << names[j] << ' ' << (value[j] ? 1 : 0) << '\n';
+    }
+    double t = 5.0;
+    for (std::size_t i = 1; i < words.size(); ++i, t += 5.0) {
+      for (std::size_t j = 0; j < names.size(); ++j) {
+        const bool v = ((words[i] >> j) & 1) != 0;
+        if (v != value[j]) {
+          text << "edge " << names[j] << ' ' << t << ' ' << (v ? 1 : 0) << '\n';
+          value[j] = v;
+        }
+      }
+    }
+    stim_text = text.str();
+  }
+
+  const std::vector<std::string> args{"sim",    "--netlist", "mult8.bench",
+                                      "--stim", "mult8.stim", "--hash"};
+  const std::vector<std::pair<std::string, std::string>> files{
+      {"mult8.bench", netlist_text}, {"mult8.stim", stim_text}};
+
+  // One cache-less pass through the daemon's own service layer: identical
+  // output formatting to a daemon response, full elaboration every call.
+  const auto cold_run = [&]() -> std::string {
+    serve::ServeContext context;  // no cache attached
+    serve::RequestIo io;
+    for (const auto& [path, bytes] : files) io.files.emplace(path, bytes);
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = run_cli_service(args, out, err, &context, &io);
+    if (code != 0) {
+      std::fprintf(stderr, "daemon_throughput: cold run failed (%d): %s\n", code,
+                   err.str().c_str());
+      std::exit(1);
+    }
+    return out.str();
+  };
+
+  DaemonThroughputResult result;
+  result.name = "mult8_daemon";
+  result.gates = mult.netlist.num_gates();
+  const std::string baseline = cold_run();
+  const std::size_t hash_at = baseline.find("history hash: ");
+  if (hash_at != std::string::npos) {
+    result.history_hash =
+        std::strtoull(baseline.c_str() + hash_at + 14, nullptr, 16);
+  }
+
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("halotis_perf_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  CancelToken stop;
+  serve::ServeOptions serve_options;
+  serve_options.socket_path = socket_path;
+  serve_options.threads = 2;
+  serve_options.stop = stop;
+  serve::Server server(serve_options,
+                       [](const std::vector<std::string>& request_args,
+                          serve::ServeContext& context, serve::RequestIo& io,
+                          std::ostream& out, std::ostream& err) {
+                         return run_cli_service(request_args, out, err, &context, &io);
+                       });
+  std::thread daemon([&server] { server.run(); });
+  for (int attempt = 0; attempt < 5000; ++attempt) {
+    try {
+      (void)serve::connect_unix(socket_path);
+      break;
+    } catch (const RunError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  bool identical = true;
+  const auto warm_request = [&]() -> std::string {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code =
+        serve::run_connected(socket_path, args, files, out, err, nullptr);
+    if (code != 0) {
+      std::fprintf(stderr, "daemon_throughput: request failed (%d): %s\n", code,
+                   err.str().c_str());
+      std::exit(1);
+    }
+    return out.str();
+  };
+  identical = warm_request() == baseline;  // priming miss, outside the timing
+
+  result.warm_requests = quick ? 50 : 200;
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < result.warm_requests; ++i) {
+    identical = (warm_request() == baseline) && identical;
+  }
+  const double warm_wall_s = seconds_since(start);
+
+  const serve::ElabCache::Stats cache = server.cache_stats();
+  result.cache_hits = cache.hits;
+  result.cache_misses = cache.misses;
+  stop.cancel();
+  daemon.join();
+
+  result.cold_runs = quick ? 8 : 25;
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < result.cold_runs; ++i) {
+    identical = (cold_run() == baseline) && identical;
+  }
+  const double cold_wall_s = seconds_since(start);
+
+  result.responses_identical = identical;
+  result.cold_s_per_request = cold_wall_s / static_cast<double>(result.cold_runs);
+  result.warm_s_per_request =
+      warm_wall_s / static_cast<double>(result.warm_requests);
+  result.requests_per_sec_warm =
+      result.warm_s_per_request > 0.0 ? 1.0 / result.warm_s_per_request : 0.0;
+  result.speedup = result.warm_s_per_request > 0.0
+                       ? result.cold_s_per_request / result.warm_s_per_request
+                       : 0.0;
   return result;
 }
 
@@ -734,6 +892,10 @@ int main(int argc, char** argv) {
   // independent full simulations on the same variation corners.
   const ReplayThroughputResult replay_tp = run_replay_throughput(lib, quick);
 
+  // Daemon throughput workload (PR 10): warm `halotis serve` requests versus
+  // the per-request cold cost of a one-shot invocation.
+  const DaemonThroughputResult daemon_tp = run_daemon_throughput(lib, quick);
+
   // Human-readable summary.
   std::printf("== perf_report (%s) ==\n\n", quick ? "quick" : "full");
   std::printf("%-18s %-12s %8s %12s %14s %12s\n", "workload", "model", "gates",
@@ -800,6 +962,16 @@ int main(int argc, char** argv) {
       replay_tp.record_wall_s, replay_tp.replay_wall_s,
       replay_tp.samples_per_sec_replay, replay_tp.full_wall_s, replay_tp.speedup,
       replay_tp.hash_replay == replay_tp.hash_full ? "identical" : "DIVERGED");
+  std::printf(
+      "daemon_throughput: %s, %zu gates -> cold %.6f s/req (%zu runs) |"
+      " warm %.6f s/req over %zu requests (%.0f req/sec) | speedup %.2fx |"
+      " cache %llu hits / %llu misses | responses %s\n",
+      daemon_tp.name.c_str(), daemon_tp.gates, daemon_tp.cold_s_per_request,
+      daemon_tp.cold_runs, daemon_tp.warm_s_per_request, daemon_tp.warm_requests,
+      daemon_tp.requests_per_sec_warm, daemon_tp.speedup,
+      static_cast<unsigned long long>(daemon_tp.cache_hits),
+      static_cast<unsigned long long>(daemon_tp.cache_misses),
+      daemon_tp.responses_identical ? "identical" : "DIVERGED");
 
   // JSON entry.
   std::string entry;
@@ -893,9 +1065,9 @@ int main(int argc, char** argv) {
         lint_tp.gates_per_sec,
         static_cast<unsigned long long>(lint_tp.findings_hash));
     entry += lt;
-    // The replay/full sample-0 hashes are BOTH history_hash fields: the CI
-    // quick-hash diff sees them as the trajectory's last two lines and any
-    // replay-vs-full divergence (or waveform change) breaks the golden.
+    // The replay/full sample-0 hashes are BOTH history_hash fields on the
+    // CI quick-hash diff; any replay-vs-full divergence (or waveform
+    // change) breaks the golden.
     char rp[768];
     std::snprintf(
         rp, sizeof rp,
@@ -915,6 +1087,25 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(replay_tp.hash_replay),
         static_cast<unsigned long long>(replay_tp.hash_full));
     entry += rp;
+    // The daemon baseline's hash is the quick-hash trajectory's last line:
+    // a daemon whose responses drift from local mode breaks the golden.
+    char dt[640];
+    std::snprintf(
+        dt, sizeof dt,
+        "   \"daemon_throughput\": {\"workload\": \"%s\", \"gates\": %zu,"
+        " \"cold_runs\": %zu, \"warm_requests\": %zu,\n"
+        "    \"cold_s_per_request\": %.6f, \"warm_s_per_request\": %.6f,"
+        " \"requests_per_sec_warm\": %.1f, \"speedup_warm_vs_cold\": %.3f,\n"
+        "    \"cache_hits\": %llu, \"cache_misses\": %llu,"
+        " \"responses_identical\": %s, \"history_hash\": \"%016llx\"},\n",
+        daemon_tp.name.c_str(), daemon_tp.gates, daemon_tp.cold_runs,
+        daemon_tp.warm_requests, daemon_tp.cold_s_per_request,
+        daemon_tp.warm_s_per_request, daemon_tp.requests_per_sec_warm,
+        daemon_tp.speedup, static_cast<unsigned long long>(daemon_tp.cache_hits),
+        static_cast<unsigned long long>(daemon_tp.cache_misses),
+        daemon_tp.responses_identical ? "true" : "false",
+        static_cast<unsigned long long>(daemon_tp.history_hash));
+    entry += dt;
     char sv[384];
     std::snprintf(
         sv, sizeof sv,

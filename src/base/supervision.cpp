@@ -93,12 +93,34 @@ CancelToken& sigint_token_storage() {
   return token;
 }
 
+std::atomic<bool>* g_sigterm_flag = nullptr;
+
+extern "C" void halotis_sigterm_handler(int) {
+  if (g_sigterm_flag != nullptr) {
+    g_sigterm_flag->store(true, std::memory_order_relaxed);
+  }
+  // Second SIGTERM kills the process the default way: drain is
+  // best-effort, the operator keeps the last word.
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+CancelToken& sigterm_token_storage() {
+  static CancelToken token;
+  return token;
+}
+
 }  // namespace
 
 void install_sigint_cancel(const CancelToken& token) {
   sigint_token_storage() = token;  // pin the shared state
   g_sigint_flag = sigint_token_storage().raw_flag();
   std::signal(SIGINT, halotis_sigint_handler);
+}
+
+void install_sigterm_cancel(const CancelToken& token) {
+  sigterm_token_storage() = token;  // pin the shared state
+  g_sigterm_flag = sigterm_token_storage().raw_flag();
+  std::signal(SIGTERM, halotis_sigterm_handler);
 }
 
 }  // namespace halotis

@@ -149,4 +149,10 @@ class RunSupervisor {
 /// Process-global; call at most once per process (the CLI entry point).
 void install_sigint_cancel(const CancelToken& token);
 
+/// Routes SIGTERM to `token` the same way: the daemon's graceful-drain
+/// signal (systemd stop, CI teardown).  A second SIGTERM falls back to the
+/// default handler.  Process-global; call at most once per process
+/// (`halotis serve` installs it alongside the SIGINT route).
+void install_sigterm_cancel(const CancelToken& token);
+
 }  // namespace halotis

@@ -25,6 +25,25 @@ Simulator::Simulator(const Netlist& netlist, const DelayModel& model,
   build_static_tables();
 }
 
+void Simulator::rebind(const Netlist& netlist, const DelayModel& model,
+                       const TimingGraph& timing, SimConfig config) {
+  require(&timing.netlist() == &netlist,
+          "Simulator::rebind(): TimingGraph was elaborated over a different netlist");
+  require(config.min_pulse_width > 0.0, "SimConfig::min_pulse_width must be positive");
+  const bool same_tables = netlist_ == &netlist && timing_ == &timing;
+  netlist_ = &netlist;
+  model_ = &model;
+  config_ = config;
+  supervisor_ = nullptr;
+  recorder_ = nullptr;
+  if (!same_tables) {
+    owned_timing_.reset();
+    timing_ = &timing;
+    build_static_tables();
+  }
+  reset();
+}
+
 void Simulator::build_static_tables() {
   require(config_.min_pulse_width > 0.0, "SimConfig::min_pulse_width must be positive");
   netlist_->check();
@@ -71,6 +90,7 @@ void Simulator::build_static_tables() {
     total_fanout +=
         netlist_->signal(SignalId{static_cast<SignalId::underlying_type>(s)}).fanout.size();
   }
+  fanout_.clear();  // rebind() rebuilds over the new design's fanout
   fanout_.reserve(total_fanout);
   fanout_base_.resize(num_signals + 1);
   for (std::size_t s = 0; s < num_signals; ++s) {

@@ -153,6 +153,17 @@ class Simulator {
   /// reset().
   void inject_stuck_at(SignalId signal, bool value);
 
+  /// Re-arms the simulator onto a *different* elaborated design: swaps in
+  /// `netlist`/`model`/`timing` (same contract as the external-graph
+  /// constructor), rebuilds the static tables, and reset()s -- bit-identical
+  /// to constructing a fresh Simulator on the new design while keeping the
+  /// arenas' capacity.  The daemon's per-worker simulator pool depends on
+  /// this.  Rebinding onto the graph already bound is a plain reset() (the
+  /// static tables are reused).  Detaches any supervisor and recorder: they
+  /// are per-design configuration, re-attach after rebinding.
+  void rebind(const Netlist& netlist, const DelayModel& model, const TimingGraph& timing,
+              SimConfig config = {});
+
   /// Attaches a run supervisor (nullptr detaches).  The kernel then trips
   /// the event budget on the exact over-budget event and polls the
   /// deadline / cancellation / memory budgets every RunBudget::poll_events

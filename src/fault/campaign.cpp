@@ -95,14 +95,27 @@ bool simulate_fault(Simulator& sim, const CampaignPlan& plan, std::size_t index,
 CampaignEngine::CampaignEngine(const Netlist& netlist, const DelayModel& model,
                                int threads)
     : netlist_(&netlist),
-      timing_(TimingGraph::build(netlist, model.timing_policy())),
+      owned_timing_(std::make_unique<TimingGraph>(
+          TimingGraph::build(netlist, model.timing_policy()))),
+      timing_(owned_timing_.get()),
       pool_(threads),
-      good_(netlist, model, timing_) {
+      good_(netlist, model, *timing_) {
   // One timing elaboration serves the good machine and every worker: the
   // campaign's thousands of faulty runs all read the same arc table.
   sims_.reserve(static_cast<std::size_t>(pool_.size()));
   for (int w = 0; w < pool_.size(); ++w) {
-    sims_.push_back(std::make_unique<Simulator>(netlist, model, timing_));
+    sims_.push_back(std::make_unique<Simulator>(netlist, model, *timing_));
+  }
+}
+
+CampaignEngine::CampaignEngine(const Netlist& netlist, const DelayModel& model,
+                               const TimingGraph& timing, int threads)
+    : netlist_(&netlist), timing_(&timing), pool_(threads), good_(netlist, model, timing) {
+  require(&timing.netlist() == &netlist,
+          "CampaignEngine: TimingGraph was elaborated over a different netlist");
+  sims_.reserve(static_cast<std::size_t>(pool_.size()));
+  for (int w = 0; w < pool_.size(); ++w) {
+    sims_.push_back(std::make_unique<Simulator>(netlist, model, timing));
   }
 }
 

@@ -95,6 +95,15 @@ class CampaignEngine {
  public:
   CampaignEngine(const Netlist& netlist, const DelayModel& model, int threads = 0);
 
+  /// Runs on an externally elaborated TimingGraph (the daemon's cached
+  /// elaboration path): `timing` must be built over this same `netlist`
+  /// under the model's policy and must outlive the engine.  Verdicts are
+  /// bit-identical to the internally-elaborating constructor.
+  CampaignEngine(const Netlist& netlist, const DelayModel& model, const TimingGraph& timing,
+                 int threads = 0);
+  /// A temporary graph would dangle: bind it to a variable first.
+  CampaignEngine(const Netlist&, const DelayModel&, TimingGraph&&, int = 0) = delete;
+
   [[nodiscard]] int threads() const { return pool_.size(); }
 
   /// Attaches a run supervisor (nullptr detaches); `supervisor` must
@@ -121,8 +130,10 @@ class CampaignEngine {
  private:
   const Netlist* netlist_;
   /// The one elaborated timing database shared (read-only) by the good
-  /// machine and every worker Simulator.
-  TimingGraph timing_;
+  /// machine and every worker Simulator.  Owned when this engine elaborated
+  /// it; borrowed (null `owned_timing_`) on the external-graph path.
+  std::unique_ptr<TimingGraph> owned_timing_;
+  const TimingGraph* timing_;
   WorkerPool pool_;
   Simulator good_;
   std::vector<std::unique_ptr<Simulator>> sims_;  ///< one per worker

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/base/check.hpp"
+#include "src/base/fnv.hpp"
 #include "src/base/strings.hpp"
 #include "src/lint/hazard.hpp"
 
@@ -15,27 +16,11 @@ namespace halotis::lint {
 
 namespace {
 
-// Same function and constants as repro::fnv1a64 (src/repro/artifacts.hpp);
-// duplicated so the lint layer does not pull in the experiment engine.
-// test_lint.cpp pins the two against each other.
-std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t hash = 1469598103934665603ull;  // FNV offset basis
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
+// Finding ids are the repo-wide FNV-1a (src/base/fnv.hpp), the same
+// function repro goldens use; test_lint.cpp pins the rendering.
+using halotis::fnv1a64;
 
-std::string hex16(std::uint64_t value) {
-  static const char* digits = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
-    value >>= 4;
-  }
-  return out;
-}
+std::string hex16(std::uint64_t value) { return fnv_hex(value); }
 
 /// Conventional SDF-style input port name ("A", "B", ...); matches
 /// sdf_port_name() without depending on the parsers layer.

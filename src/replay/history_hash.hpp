@@ -10,22 +10,17 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/base/fnv.hpp"
 #include "src/core/transition.hpp"
 #include "src/netlist/netlist.hpp"
 
 namespace halotis::replay {
 
-[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t hash, const void* data,
-                                         std::size_t n) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    hash ^= bytes[i];
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
+// The byte loop and the offset basis are the repo-wide definitions from
+// src/base/fnv.hpp; the aliases keep this header's historical spelling.
+using halotis::fnv1a;
 
-inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvOffset = kFnv1aOffset;
 
 /// Folds one signal header into the hash.
 [[nodiscard]] inline std::uint64_t hash_signal_header(std::uint64_t hash, SignalId id) {

@@ -1,26 +1,14 @@
 #include "src/repro/artifacts.hpp"
 
-#include <cstdio>
-
 #include "src/base/check.hpp"
+#include "src/base/fnv.hpp"
 #include "src/base/strings.hpp"
 
 namespace halotis::repro {
 
-std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
+std::uint64_t fnv1a64(std::string_view bytes) { return halotis::fnv1a64(bytes); }
 
-std::string hash_hex(std::uint64_t hash) {
-  char buffer[24];
-  std::snprintf(buffer, sizeof buffer, "%016llx", static_cast<unsigned long long>(hash));
-  return buffer;
-}
+std::string hash_hex(std::uint64_t hash) { return fnv_hex(hash); }
 
 CsvBuilder::CsvBuilder(std::vector<std::string> header) : columns_(header.size()) {
   require(!header.empty(), "CsvBuilder: header must have at least one column");

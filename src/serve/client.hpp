@@ -1,0 +1,24 @@
+// Client side of `--connect`: ship a CLI invocation to a daemon and
+// reproduce its effects locally (docs/DAEMON.md).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/supervision.hpp"
+
+namespace halotis::serve {
+
+/// Runs `args` on the daemon at `socket_path`.  `files` are the client-read
+/// input files shipped by content.  Response artifacts are written locally
+/// via write_file_atomic, then the daemon's captured stdout/stderr are
+/// streamed to `out`/`err`; returns the daemon-side exit code.  Throws
+/// RunError(kIoError) on connect/protocol failures (exit 6) and
+/// RunError(kCancelled) when `cancel` trips mid-exchange (exit 5).
+int run_connected(const std::string& socket_path, const std::vector<std::string>& args,
+                  const std::vector<std::pair<std::string, std::string>>& files,
+                  std::ostream& out, std::ostream& err, const CancelToken* cancel);
+
+}  // namespace halotis::serve

@@ -1,0 +1,61 @@
+#include "src/serve/elab_cache.hpp"
+
+#include <utility>
+
+#include "src/base/failpoint.hpp"
+
+namespace halotis::serve {
+
+std::shared_ptr<const Elaboration> ElabCache::get_or_build(std::uint64_t key,
+                                                           const Builder& builder) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.elab;
+    }
+    ++misses_;
+  }
+  failpoint_throw("serve.cache");
+  std::shared_ptr<const Elaboration> built = builder();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A concurrent builder published first; both builds are bit-identical
+    // (elaboration is pure), so returning either preserves determinism.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.elab;
+  }
+  insert_locked(key, built);
+  return built;
+}
+
+void ElabCache::insert_locked(std::uint64_t key, std::shared_ptr<const Elaboration> elab) {
+  const std::size_t bytes = elab->footprint_bytes();
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(elab), lru_.begin(), bytes});
+  bytes_ += bytes;
+  while (bytes_ > capacity_ && lru_.size() > 1) {
+    const std::uint64_t victim = lru_.back();
+    const auto vit = entries_.find(victim);
+    bytes_ -= vit->second.bytes;
+    entries_.erase(vit);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ElabCache::Stats ElabCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace halotis::serve

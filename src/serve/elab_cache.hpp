@@ -1,0 +1,74 @@
+// Keyed LRU cache of immutable shared Elaborations.
+//
+// get_or_build() returns the cached entry for a key or runs the supplied
+// builder.  Entries are shared_ptr<const Elaboration>: eviction only drops
+// the cache's reference, so an in-flight request keeps its design alive --
+// eviction can never invalidate a running simulation.  The builder runs
+// OUTSIDE the lock (elaboration is the expensive part; serializing it
+// would stall every worker); two workers missing on the same key may both
+// build, and the first to publish wins -- harmless, because elaboration is
+// a pure function of the key's preimage, so the two entries are
+// bit-identical.
+//
+// Capacity is a byte budget over Elaboration::footprint_bytes() estimates.
+// A single entry larger than the whole budget is still served (and
+// retained until the next insertion evicts it): the cache degrades to
+// pass-through rather than refusing oversized designs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/serve/elaboration.hpp"
+
+namespace halotis::serve {
+
+class ElabCache {
+ public:
+  using Builder = std::function<std::shared_ptr<const Elaboration>()>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  explicit ElabCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Returns the entry for `key`, building it via `builder` on a miss.
+  /// Thread-safe; the builder runs unlocked and may throw (the failure
+  /// propagates to this caller only, nothing is cached).
+  std::shared_ptr<const Elaboration> get_or_build(std::uint64_t key, const Builder& builder);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Elaboration> elab;
+    std::list<std::uint64_t>::iterator lru_pos;
+    std::size_t bytes = 0;
+  };
+
+  /// Inserts under the lock, evicting least-recently-used entries until the
+  /// budget holds (never evicting the entry just inserted).
+  void insert_locked(std::uint64_t key, std::shared_ptr<const Elaboration> elab);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::uint64_t> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace halotis::serve

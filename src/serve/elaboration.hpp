@@ -1,0 +1,91 @@
+// The daemon's unit of caching: one immutable elaborated design.
+//
+// An Elaboration bundles a parsed Netlist with the TimingGraph elaborated
+// over it (optionally SDF back-annotated), keyed by an FNV-1a hash of the
+// request's canonical *bytes* -- netlist text + format + delay policy +
+// SDF text -- so two requests naming different files with identical
+// content share one entry.  Entries are heap-allocated and never mutated
+// after construction (TimingGraph holds a pointer into the owning
+// Elaboration's Netlist, so the pair must stay put), which makes them safe
+// to share read-only across daemon worker threads.
+//
+// Determinism contract: parsing and elaboration are pure functions of the
+// key's preimage, so a rebuilt entry is bit-identical to an evicted one --
+// response bytes cannot depend on cache state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/netlist/library.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/timing/timing_arc.hpp"
+#include "src/timing/timing_graph.hpp"
+
+namespace halotis::serve {
+
+/// At most this many unannotated pins are named in the --sdf warning list;
+/// the rest collapse into one "... and N more" line (matches the historical
+/// CLI cap).
+inline constexpr std::size_t kSdfMissingListed = 20;
+
+/// Path-free record of what --sdf back-annotation did, captured at
+/// elaboration time.  The console report is formatted per request (the SDF
+/// *path* appears in it, and identical bytes may arrive under different
+/// paths), so only structured facts live in the cache.
+struct SdfFacts {
+  bool used = false;           ///< an SDF file was applied
+  std::size_t applied = 0;     ///< IOPATH records applied
+  std::string design;          ///< (DESIGN "...") header, may be empty
+  /// First kSdfMissingListed unannotated pins as (gate name, port name).
+  std::vector<std::pair<std::string, std::string>> missing_named;
+  std::size_t missing_total = 0;  ///< all unannotated pins
+};
+
+/// Prints the annotation report + per-pin warnings exactly as `--sdf` local
+/// mode always has; no-op when facts.used is false.
+void print_sdf_facts(std::ostream& out, const SdfFacts& facts, const std::string& path);
+
+/// One immutable elaborated design.  `library` must outlive the
+/// elaboration (the CLI uses one process-wide default library).
+struct Elaboration {
+  explicit Elaboration(Netlist nl) : netlist(std::move(nl)) {}
+
+  Netlist netlist;
+  TimingGraph graph;
+  SdfFacts sdf;
+  std::uint64_t key = 0;
+
+  /// Rough resident size for LRU accounting: per-signal / per-gate / per-arc
+  /// estimates, not exact malloc bytes (names and fanout vectors vary).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+};
+
+/// Parses netlist text in the CLI's format dialects: "bench", "verilog" or
+/// "native" (auto-detecting the hierarchical native dialect).  Throws
+/// ContractViolation on an unknown format name.
+[[nodiscard]] Netlist parse_netlist_text(std::string_view text, const std::string& format,
+                                         const Library& lib);
+
+/// The cache key: FNV-1a over format + netlist bytes + the policy's
+/// elaboration-relevant fields + SDF bytes (sdf_text == nullptr means "no
+/// annotation", distinct from an empty file).
+[[nodiscard]] std::uint64_t elaboration_key(const std::string& format,
+                                            std::string_view netlist_text,
+                                            const TimingPolicy& policy,
+                                            const std::string* sdf_text);
+
+/// Parses, elaborates and (optionally) SDF-annotates one design.  Pure in
+/// its arguments; the returned entry is immutable and self-contained apart
+/// from `lib`.
+[[nodiscard]] std::shared_ptr<const Elaboration> build_elaboration(
+    const Library& lib, std::string_view netlist_text, const std::string& format,
+    const TimingPolicy& policy, const std::string* sdf_text);
+
+}  // namespace halotis::serve

@@ -1,0 +1,196 @@
+#include "src/serve/protocol.hpp"
+
+namespace halotis::serve {
+
+namespace {
+
+// Sanity caps so a hostile count field cannot drive a huge reserve before
+// the per-element length checks would catch it.
+constexpr std::uint32_t kMaxArgs = 65536;
+constexpr std::uint32_t kMaxFiles = 4096;
+
+void put_u32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+std::string encode_header(std::uint8_t kind) {
+  std::string out;
+  put_u32(out, kProtocolMagic);
+  out.push_back(static_cast<char>(kProtocolVersion & 0xFF));
+  out.push_back(static_cast<char>((kProtocolVersion >> 8) & 0xFF));
+  out.push_back(static_cast<char>(kind));
+  out.push_back('\0');  // reserved
+  return out;
+}
+
+/// Strict cursor over one payload; every read is bounds-checked and every
+/// failure reports the cursor's byte offset.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  std::uint8_t read_u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t read_u16(const char* what) {
+    need(2, what);
+    const auto lo = static_cast<std::uint16_t>(static_cast<unsigned char>(data_[pos_]));
+    const auto hi = static_cast<std::uint16_t>(static_cast<unsigned char>(data_[pos_ + 1]));
+    pos_ += 2;
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t read_u32(const char* what) {
+    need(4, what);
+    std::uint32_t value = 0;
+    for (int i = 3; i >= 0; --i) {
+      value = (value << 8) | static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::string read_string(const char* what) {
+    const std::size_t at = pos_;
+    const std::uint32_t len = read_u32(what);
+    if (len > data_.size() - pos_) {
+      throw ProtocolError(at, std::string(what) + " length " + std::to_string(len) +
+                                  " overruns frame (" + std::to_string(data_.size() - pos_) +
+                                  " bytes left)");
+    }
+    std::string value(data_.substr(pos_, len));
+    pos_ += len;
+    return value;
+  }
+
+  void finish() {
+    if (pos_ != data_.size()) {
+      throw ProtocolError(pos_, std::to_string(data_.size() - pos_) +
+                                    " trailing bytes after frame body");
+    }
+  }
+
+ private:
+  void need(std::size_t n, const char* what) {
+    if (n > data_.size() - pos_) {
+      throw ProtocolError(pos_, std::string("frame truncated inside ") + what);
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Reads and validates the 8-byte payload header, returning the frame kind.
+std::uint8_t read_header(Reader& reader) {
+  const std::size_t magic_at = reader.pos();
+  const std::uint32_t magic = reader.read_u32("magic");
+  if (magic != kProtocolMagic) {
+    throw ProtocolError(magic_at, "bad magic (not a halotis frame)");
+  }
+  const std::size_t version_at = reader.pos();
+  const std::uint16_t version = reader.read_u16("version");
+  if (version != kProtocolVersion) {
+    throw ProtocolError(version_at, "unsupported protocol version " + std::to_string(version));
+  }
+  const std::uint8_t kind = reader.read_u8("frame kind");
+  const std::uint8_t reserved = reader.read_u8("reserved byte");
+  if (reserved != 0) {
+    throw ProtocolError(reader.pos() - 1, "reserved header byte must be zero");
+  }
+  return kind;
+}
+
+void check_kind(const Reader& reader, std::uint8_t got, std::uint8_t want) {
+  if (got != want) {
+    throw ProtocolError(reader.pos() - 2, "unexpected frame kind " + std::to_string(got) +
+                                              " (want " + std::to_string(want) + ")");
+  }
+}
+
+std::uint32_t read_count(Reader& reader, const char* what, std::uint32_t cap) {
+  const std::size_t at = reader.pos();
+  const std::uint32_t count = reader.read_u32(what);
+  if (count > cap) {
+    throw ProtocolError(at, std::string(what) + " count " + std::to_string(count) +
+                                " exceeds cap " + std::to_string(cap));
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string encode_request(const RequestFrame& request) {
+  std::string out = encode_header(kFrameRequest);
+  put_u32(out, static_cast<std::uint32_t>(request.args.size()));
+  for (const std::string& arg : request.args) put_string(out, arg);
+  put_u32(out, static_cast<std::uint32_t>(request.files.size()));
+  for (const auto& [path, bytes] : request.files) {
+    put_string(out, path);
+    put_string(out, bytes);
+  }
+  return out;
+}
+
+std::string encode_response(const ResponseFrame& response) {
+  std::string out = encode_header(kFrameResponse);
+  put_u32(out, static_cast<std::uint32_t>(response.exit_code));
+  put_string(out, response.out);
+  put_string(out, response.err);
+  put_u32(out, static_cast<std::uint32_t>(response.artifacts.size()));
+  for (const auto& [path, bytes] : response.artifacts) {
+    put_string(out, path);
+    put_string(out, bytes);
+  }
+  return out;
+}
+
+RequestFrame decode_request(std::string_view payload) {
+  Reader reader(payload);
+  check_kind(reader, read_header(reader), kFrameRequest);
+  RequestFrame request;
+  const std::uint32_t argc = read_count(reader, "argv", kMaxArgs);
+  request.args.reserve(argc);
+  for (std::uint32_t i = 0; i < argc; ++i) request.args.push_back(reader.read_string("argv entry"));
+  const std::uint32_t nfiles = read_count(reader, "file", kMaxFiles);
+  request.files.reserve(nfiles);
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    std::string path = reader.read_string("file path");
+    std::string bytes = reader.read_string("file content");
+    request.files.emplace_back(std::move(path), std::move(bytes));
+  }
+  reader.finish();
+  return request;
+}
+
+ResponseFrame decode_response(std::string_view payload) {
+  Reader reader(payload);
+  check_kind(reader, read_header(reader), kFrameResponse);
+  ResponseFrame response;
+  response.exit_code = static_cast<std::int32_t>(reader.read_u32("exit code"));
+  response.out = reader.read_string("stdout");
+  response.err = reader.read_string("stderr");
+  const std::uint32_t nartifacts = read_count(reader, "artifact", kMaxFiles);
+  response.artifacts.reserve(nartifacts);
+  for (std::uint32_t i = 0; i < nartifacts; ++i) {
+    std::string path = reader.read_string("artifact path");
+    std::string bytes = reader.read_string("artifact content");
+    response.artifacts.emplace_back(std::move(path), std::move(bytes));
+  }
+  reader.finish();
+  return response;
+}
+
+}  // namespace halotis::serve

@@ -1,0 +1,72 @@
+// The daemon's length-prefixed binary wire protocol (docs/DAEMON.md).
+//
+// A frame on the socket is a little-endian u32 payload length followed by
+// the payload.  Every payload starts with an 8-byte header -- magic "HALS",
+// u16 version, u8 frame kind, u8 reserved zero -- and the body is built
+// from u32-length-prefixed strings.  A request carries the CLI argv plus
+// the client's input files by (path, bytes); a response carries the exit
+// code, captured stdout/stderr and any artifacts the command produced,
+// which the client writes locally via write_file_atomic.
+//
+// Decoding is strict and offset-diagnosed: any truncation, overrun,
+// oversized length, bad magic/version/kind or trailing garbage throws
+// ProtocolError naming the exact byte offset, so a malformed frame is
+// always a clean close-with-diagnostic, never a hang or a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace halotis::serve {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x534C4148u;  // "HALS" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Upper bound on one frame's payload; a length field beyond it is
+/// diagnosed without ever allocating.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;  // 1 GiB
+
+inline constexpr std::uint8_t kFrameRequest = 1;
+inline constexpr std::uint8_t kFrameResponse = 2;
+
+/// A malformed frame: `offset` is the payload byte where decoding failed.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::size_t offset, const std::string& what)
+      : std::runtime_error("protocol error at byte " + std::to_string(offset) + ": " + what),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct RequestFrame {
+  std::vector<std::string> args;  ///< CLI argv (command first), --connect stripped
+  /// Client-side input files shipped by content: (path as named in argv, bytes).
+  std::vector<std::pair<std::string, std::string>> files;
+};
+
+struct ResponseFrame {
+  std::int32_t exit_code = 0;
+  std::string out;  ///< captured stdout bytes
+  std::string err;  ///< captured stderr bytes
+  /// Artifacts the command published: (path as named in argv, bytes); the
+  /// client writes them atomically on its side of the socket.
+  std::vector<std::pair<std::string, std::string>> artifacts;
+};
+
+[[nodiscard]] std::string encode_request(const RequestFrame& request);
+[[nodiscard]] std::string encode_response(const ResponseFrame& response);
+
+/// Strict decoders over one frame payload (without the length prefix);
+/// throw ProtocolError on any malformation, including trailing bytes.
+[[nodiscard]] RequestFrame decode_request(std::string_view payload);
+[[nodiscard]] ResponseFrame decode_response(std::string_view payload);
+
+}  // namespace halotis::serve

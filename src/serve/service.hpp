@@ -1,0 +1,81 @@
+// The seam between the daemon and the CLI command layer.
+//
+// The server cannot depend on src/tools (which depends on everything,
+// including serve), so cmd_serve injects an Executor -- "run this argv as
+// a CLI command" -- and the per-request context crosses the seam through
+// two small structs: ServeContext (daemon-wide elaboration cache + drain
+// token) and RequestIo (this request's shipped input files, collected
+// artifacts and the worker's pooled simulator).  run_cli_service
+// (src/tools/cli.hpp) is the production Executor.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/supervision.hpp"
+#include "src/core/simulator.hpp"
+#include "src/serve/elab_cache.hpp"
+
+namespace halotis::serve {
+
+/// One reusable Simulator recycled across requests, CampaignEngine-style:
+/// acquire() rebind()s it onto the request's elaboration (a plain reset()
+/// when the design did not change) instead of constructing fresh, keeping
+/// the arenas' capacity across requests.  Holds a reference on the last
+/// elaboration so LRU eviction can never free a design out from under the
+/// pooled simulator.  One lease per daemon worker; not thread-safe.
+class SimulatorLease {
+ public:
+  Simulator& acquire(std::shared_ptr<const Elaboration> elab, const DelayModel& model,
+                     SimConfig config) {
+    keepalive_ = std::move(elab);
+    if (sim_ == nullptr) {
+      sim_ = std::make_unique<Simulator>(keepalive_->netlist, model, keepalive_->graph,
+                                         config);
+    } else {
+      try {
+        sim_->rebind(keepalive_->netlist, model, keepalive_->graph, config);
+      } catch (...) {
+        sim_.reset();  // half-rebound simulators are not reusable
+        throw;
+      }
+    }
+    return *sim_;
+  }
+
+ private:
+  std::unique_ptr<Simulator> sim_;
+  std::shared_ptr<const Elaboration> keepalive_;
+};
+
+/// Daemon-wide state a request may use.
+struct ServeContext {
+  ElabCache* cache = nullptr;
+  /// The daemon's drain token: per-request supervisors chain it so shutdown
+  /// also unwinds in-flight requests (exit 5) instead of waiting them out.
+  CancelToken stop;
+};
+
+/// Request-scoped virtual I/O: the daemon never touches its own filesystem
+/// on behalf of a client.
+struct RequestIo {
+  /// Input files shipped by the client, keyed by the path used in argv.
+  std::map<std::string, std::string> files;
+  /// Artifacts the command published; returned in the response frame and
+  /// written client-side via write_file_atomic.
+  std::vector<std::pair<std::string, std::string>> artifacts;
+  /// The worker's pooled simulator (may be null: fall back to a local one).
+  SimulatorLease* lease = nullptr;
+};
+
+/// "Run this argv as a CLI command" -- returns the process exit code it
+/// would have produced, with stdout/stderr captured into the streams.
+using Executor = std::function<int(const std::vector<std::string>& args, ServeContext& context,
+                                   RequestIo& io, std::ostream& out, std::ostream& err)>;
+
+}  // namespace halotis::serve

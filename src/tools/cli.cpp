@@ -31,10 +31,15 @@
 #include "src/parsers/stimulus_file.hpp"
 #include "src/parsers/verilog.hpp"
 #include "src/power/activity.hpp"
+#include "src/replay/history_hash.hpp"
 #include "src/replay/resim.hpp"
 #include "src/replay/variation.hpp"
 #include "src/repro/experiment.hpp"
 #include "src/repro/runner.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/elaboration.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/service.hpp"
 #include "src/sta/sta.hpp"
 #include "src/timing/timing_graph.hpp"
 #include "src/waveform/ascii_plot.hpp"
@@ -121,18 +126,39 @@ Options parse_args(const std::vector<std::string>& args) {
   return options;
 }
 
+/// Which side of the daemon seam this invocation runs on: plain local mode
+/// (both null) or a daemon-side request (context + io set; see
+/// run_cli_service).  Cheap to copy; threaded by value through the command
+/// helpers.
+struct ServiceEnv {
+  serve::ServeContext* ctx = nullptr;
+  serve::RequestIo* io = nullptr;
+  [[nodiscard]] bool daemon() const { return io != nullptr; }
+};
+
+/// The one process-wide cell library.  Cached Elaborations keep Netlists
+/// that point into it across requests, so it must outlive every cache
+/// entry -- a function-local static, never a per-command stack copy.
+const Library& default_library() {
+  static const Library lib = Library::default_u6();
+  return lib;
+}
+
 /// Builds the run supervisor for sim/fault/repro from the shared budget
 /// flags (--budget-events, --budget-mem-mb, --deadline-s; 0 / absent =
-/// unlimited) wired to the process-wide SIGINT token.  Every supervised
+/// unlimited) wired to the process-wide SIGINT token -- or, under the
+/// daemon, to the daemon's drain token, so shutdown unwinds in-flight
+/// requests (exit 5) instead of waiting them out.  Every supervised
 /// command attaches one even with no budget set, so Ctrl-C always unwinds
 /// cleanly with exit 5.
-RunSupervisor make_supervisor(const Options& options) {
+RunSupervisor make_supervisor(const Options& options, const ServiceEnv& env = {}) {
   RunBudget budget;
   budget.max_events = static_cast<std::uint64_t>(options.number("budget-events", 0.0));
   budget.max_arena_bytes =
       static_cast<std::uint64_t>(options.number("budget-mem-mb", 0.0) * 1024.0 * 1024.0);
   budget.deadline_s = options.number("deadline-s", 0.0);
-  RunSupervisor supervisor(budget, cli_cancel_token());
+  RunSupervisor supervisor(budget,
+                           env.ctx != nullptr ? env.ctx->stop : cli_cancel_token());
   supervisor.arm();
   // A token tripped before the run starts (Ctrl-C during parsing) exits 5
   // here, deterministically -- a tiny workload might otherwise finish
@@ -147,6 +173,34 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// Reads one named input through the request's virtual filesystem: a
+/// daemon request resolves the path against the files the client shipped
+/// in the request frame (the daemon never opens client paths itself);
+/// local mode reads the real file.  The error text matches read_file, so
+/// responses stay byte-identical to local runs.
+std::string read_input(const ServiceEnv& env, const std::string& path) {
+  if (env.daemon()) {
+    const auto it = env.io->files.find(path);
+    require(it != env.io->files.end(), "cannot open '" + path + "'");
+    return it->second;
+  }
+  return read_file(path);
+}
+
+/// Publishes one output artifact: collected into the response frame under
+/// the daemon (the *client* writes it via write_file_atomic on receipt),
+/// written atomically right here in local mode.  Either way the console
+/// gets the same "wrote PATH" line at the same position.
+void publish_artifact(const ServiceEnv& env, const std::string& path, std::string bytes,
+                      std::ostream& out) {
+  if (env.daemon()) {
+    env.io->artifacts.emplace_back(path, std::move(bytes));
+  } else {
+    write_file_atomic(path, bytes);
+  }
+  out << "wrote " << path << "\n";
 }
 
 std::string extension_format(const std::string& path) {
@@ -193,9 +247,10 @@ std::unique_ptr<DelayModel> make_model(const Options& options) {
   return nullptr;  // unreachable
 }
 
-Stimulus load_stimulus(const Options& options, const Netlist& netlist) {
+Stimulus load_stimulus(const ServiceEnv& env, const Options& options,
+                       const Netlist& netlist) {
   if (const auto path = options.get("stim")) {
-    return read_stimulus(read_file(*path), netlist);
+    return read_stimulus(read_input(env, *path), netlist);
   }
   return Stimulus(0.5);  // quiescent testbench
 }
@@ -231,13 +286,44 @@ TimingGraph load_timing(const Options& options, const Netlist& netlist,
   return graph;
 }
 
+/// The elaboration path shared by sim / sta / fault / variation in both
+/// modes: parse + TimingGraph::build + optional SDF annotation, keyed off
+/// the input *bytes*.  Daemon requests consult the keyed LRU cache (a warm
+/// hit skips the whole pipeline); local mode builds fresh.  Both modes run
+/// the identical serve::build_elaboration, so results and console output
+/// cannot depend on which side -- or which cache state -- served the
+/// request.
+std::shared_ptr<const serve::Elaboration> service_elaboration(const ServiceEnv& env,
+                                                              const Options& options,
+                                                              const TimingPolicy& policy,
+                                                              bool want_sdf) {
+  const std::string path = options.require_flag("netlist");
+  const std::string format = detect_format(options, path);
+  const std::string netlist_text = read_input(env, path);
+  std::optional<std::string> sdf_text;
+  if (want_sdf) {
+    if (const auto sdf_path = options.get("sdf")) sdf_text = read_input(env, *sdf_path);
+  }
+  const std::string* sdf_ptr = sdf_text.has_value() ? &*sdf_text : nullptr;
+  if (env.ctx != nullptr && env.ctx->cache != nullptr) {
+    const std::uint64_t key =
+        serve::elaboration_key(format, netlist_text, policy, sdf_ptr);
+    return env.ctx->cache->get_or_build(key, [&] {
+      return serve::build_elaboration(default_library(), netlist_text, format, policy,
+                                      sdf_ptr);
+    });
+  }
+  return serve::build_elaboration(default_library(), netlist_text, format, policy,
+                                  sdf_ptr);
+}
+
 /// `sim --sdf A.sdf[,B.sdf...] --replay`: records the causal trace once
 /// under library timing, then re-times every SDF corner through the
 /// replayer, falling back to a full event simulation for any corner that
 /// breaks a recorded ordering/filtering decision (docs/REPLAY.md).
-int sim_replay_corners(const Options& options, const Netlist& netlist,
-                       const DelayModel& model, const Stimulus& stimulus,
-                       std::ostream& out) {
+int sim_replay_corners(const ServiceEnv& env, const Options& options,
+                       const Netlist& netlist, const DelayModel& model,
+                       const Stimulus& stimulus, std::ostream& out) {
   const auto sdf_flag = options.get("sdf");
   if (!sdf_flag.has_value()) {
     throw UsageError("sim --replay needs --sdf corner file(s) to re-time");
@@ -259,14 +345,14 @@ int sim_replay_corners(const Options& options, const Netlist& netlist,
 
   SimConfig config;
   config.t_end = options.number("t-end", kNeverNs);
-  const RunSupervisor supervisor = make_supervisor(options);
+  const RunSupervisor supervisor = make_supervisor(options, env);
 
   replay::ResimEngine engine(netlist, model, stimulus, config);
   // Record at the first corner's elaboration: the trace's scheduling
   // decisions then hold exactly for that corner (bit-exact fast replay)
   // and usually for the neighbouring corners of the same annotation.
-  const std::size_t ref_applied =
-      apply_sdf(engine.base_graph_mutable(), read_sdf(read_file(corners.front())));
+  const std::size_t ref_applied = apply_sdf(engine.base_graph_mutable(),
+                                            read_sdf(read_input(env, corners.front())));
   engine.record(&supervisor);
   const replay::Trace& trace = engine.trace();
   out << "model: " << model.name() << "\n";
@@ -281,7 +367,7 @@ int sim_replay_corners(const Options& options, const Netlist& netlist,
   replay::ResimSession session(engine);
   for (const std::string& path : corners) {
     TimingGraph corner = engine.base_graph();
-    const SdfFile sdf = read_sdf(read_file(path));
+    const SdfFile sdf = read_sdf(read_input(env, path));
     const std::size_t applied = apply_sdf(corner, sdf);
     const replay::ResimSample sample = session.evaluate(
         corner, netlist.primary_outputs(), /*want_hash=*/true, &supervisor);
@@ -298,22 +384,29 @@ int sim_replay_corners(const Options& options, const Netlist& netlist,
   return 0;
 }
 
-int cmd_sim(const Options& options, std::ostream& out) {
-  const Library lib = Library::default_u6();
-  const Netlist netlist = load_netlist(options, lib);
+int cmd_sim(const Options& options, std::ostream& out, const ServiceEnv& env) {
   const std::unique_ptr<DelayModel> model = make_model(options);
-  const Stimulus stimulus = load_stimulus(options, netlist);
-  if (options.get("replay")) {
-    return sim_replay_corners(options, netlist, *model, stimulus, out);
-  }
+  const bool replay = options.get("replay").has_value();
   // One elaborated timing database for the run; --sdf back-annotates it
   // (the third-party-netlist scenario: IOPATH delays replace the library's
-  // conventional part, the inertial/degradation treatment stays).
-  const TimingGraph timing = load_timing(options, netlist, model->timing_policy(), out);
+  // conventional part, the inertial/degradation treatment stays).  Under
+  // --replay the flag instead lists corner files, so the elaboration skips
+  // it (sim_replay_corners annotates its own graphs per corner).
+  const std::shared_ptr<const serve::Elaboration> elab =
+      service_elaboration(env, options, model->timing_policy(), /*want_sdf=*/!replay);
+  const Netlist& netlist = elab->netlist;
+  const Stimulus stimulus = load_stimulus(env, options, netlist);
+  if (replay) {
+    return sim_replay_corners(env, options, netlist, *model, stimulus, out);
+  }
+  if (const auto sdf_path = options.get("sdf")) {
+    serve::print_sdf_facts(out, elab->sdf, *sdf_path);
+  }
+  const TimingGraph& timing = elab->graph;
 
   SimConfig config;
   config.t_end = options.number("t-end", kNeverNs);
-  const RunSupervisor supervisor = make_supervisor(options);
+  const RunSupervisor supervisor = make_supervisor(options, env);
 
   const int threads = static_cast<int>(options.number("threads", 1));
   const auto partitions = static_cast<std::uint32_t>(options.number("partitions", 0));
@@ -361,6 +454,9 @@ int cmd_sim(const Options& options, std::ostream& out) {
     }
     out << "\n";
     print_finals(sim);
+    if (options.get("hash")) {
+      out << "history hash: " << hex64(replay::hash_sim_history(sim)) << "\n";
+    }
     if (options.get("waves")) {
       const TimeNs horizon = std::max(result.end_time, 1.0);
       AsciiPlot plot(0.0, horizon * 1.05, 100);
@@ -374,7 +470,18 @@ int cmd_sim(const Options& options, std::ostream& out) {
     return 0;
   }
 
-  Simulator sim(netlist, *model, timing, config);
+  // Daemon workers recycle one pooled Simulator across requests
+  // (SimulatorLease rebind()s it onto this request's elaboration -- results
+  // are bit-identical to a fresh construction); local mode builds its own.
+  std::unique_ptr<Simulator> owned_sim;
+  Simulator* simp = nullptr;
+  if (env.daemon() && env.io->lease != nullptr) {
+    simp = &env.io->lease->acquire(elab, *model, config);
+  } else {
+    owned_sim = std::make_unique<Simulator>(netlist, *model, timing, config);
+    simp = owned_sim.get();
+  }
+  Simulator& sim = *simp;
   sim.supervise(&supervisor);
   sim.apply_stimulus(stimulus);
   const RunResult result = sim.run();
@@ -388,6 +495,9 @@ int cmd_sim(const Options& options, std::ostream& out) {
     }
   }
   print_finals(sim);
+  if (options.get("hash")) {
+    out << "history hash: " << hex64(replay::hash_sim_history(sim)) << "\n";
+  }
 
   if (options.get("report")) {
     out << '\n' << format_activity(compute_activity(sim), 20);
@@ -406,8 +516,7 @@ int cmd_sim(const Options& options, std::ostream& out) {
     const VcdWriter vcd = vcd_from_simulator(sim);
     std::ostringstream bytes;
     vcd.write(bytes);
-    write_file_atomic(*vcd_path, bytes.str());
-    out << "wrote " << *vcd_path << "\n";
+    publish_artifact(env, *vcd_path, bytes.str(), out);
   }
   return 0;
 }
@@ -415,11 +524,15 @@ int cmd_sim(const Options& options, std::ostream& out) {
 /// Monte-Carlo per-gate delay variation.  With --replay, samples re-time
 /// a recorded trace instead of re-simulating; the CSV/report artifacts
 /// are byte-identical with or without it, at any thread count.
-int cmd_variation(const Options& options, std::ostream& out) {
-  const Library lib = Library::default_u6();
-  const Netlist netlist = load_netlist(options, lib);
+int cmd_variation(const Options& options, std::ostream& out, const ServiceEnv& env) {
   const std::unique_ptr<DelayModel> model = make_model(options);
-  const Stimulus stimulus = load_stimulus(options, netlist);
+  // Variation builds per-sample graphs itself, so only the parsed netlist
+  // is consumed here -- it still flows through the shared elaboration so a
+  // daemon serves it from (and primes) the same cache entry sim/sta use.
+  const std::shared_ptr<const serve::Elaboration> elab =
+      service_elaboration(env, options, model->timing_policy(), /*want_sdf=*/false);
+  const Netlist& netlist = elab->netlist;
+  const Stimulus stimulus = load_stimulus(env, options, netlist);
 
   replay::VariationConfig config;
   const std::uint64_t samples = usage_unsigned(options, "samples", 200);
@@ -435,7 +548,7 @@ int cmd_variation(const Options& options, std::ostream& out) {
   config.use_replay = options.get("replay").has_value();
   config.sim.t_end = options.number("t-end", kNeverNs);
 
-  const RunSupervisor supervisor = make_supervisor(options);
+  const RunSupervisor supervisor = make_supervisor(options, env);
   const replay::VariationResult result = replay::run_variation(
       netlist, *model, stimulus, netlist.primary_outputs(), config, &supervisor);
 
@@ -448,20 +561,18 @@ int cmd_variation(const Options& options, std::ostream& out) {
         << "\n";
   }
   if (const auto csv_path = options.get("csv")) {
-    write_file_atomic(*csv_path, replay::format_variation_csv(result));
-    out << "wrote " << *csv_path << "\n";
+    publish_artifact(env, *csv_path, replay::format_variation_csv(result), out);
   }
   if (const auto report_path = options.get("out")) {
-    write_file_atomic(*report_path, replay::format_variation_report(result, config));
-    out << "wrote " << *report_path << "\n";
+    publish_artifact(env, *report_path, replay::format_variation_report(result, config),
+                     out);
   }
   return 0;
 }
 
 int cmd_analog(const Options& options, std::ostream& out) {
-  const Library lib = Library::default_u6();
-  const Netlist netlist = load_netlist(options, lib);
-  const Stimulus stimulus = load_stimulus(options, netlist);
+  const Netlist netlist = load_netlist(options, default_library());
+  const Stimulus stimulus = load_stimulus({}, options, netlist);
   const TimeNs t_end = options.number("t-end", stimulus.last_edge_time() + 10.0);
 
   AnalogSim sim(netlist);
@@ -495,23 +606,26 @@ int cmd_analog(const Options& options, std::ostream& out) {
   return 0;
 }
 
-int cmd_sta(const Options& options, std::ostream& out) {
-  const Library lib = Library::default_u6();
-  const Netlist netlist = load_netlist(options, lib);
+int cmd_sta(const Options& options, std::ostream& out, const ServiceEnv& env) {
   // STA reads the same elaborated arcs the simulator would evaluate;
   // --sdf analyzes the back-annotated database.
-  const TimingGraph timing = load_timing(options, netlist, TimingPolicy{}, out);
-  const StaticTimingAnalyzer sta(netlist, timing, options.number("slew", 0.5));
+  const std::shared_ptr<const serve::Elaboration> elab =
+      service_elaboration(env, options, TimingPolicy{}, /*want_sdf=*/true);
+  if (const auto sdf_path = options.get("sdf")) {
+    serve::print_sdf_facts(out, elab->sdf, *sdf_path);
+  }
+  const StaticTimingAnalyzer sta(elab->netlist, elab->graph,
+                                 options.number("slew", 0.5));
   const TimingReport report = sta.analyze();
-  out << StaticTimingAnalyzer::format(report, netlist);
+  out << StaticTimingAnalyzer::format(report, elab->netlist);
   if (options.get("per-arc")) {
-    out << '\n' << timing.format_arcs();
+    out << '\n' << elab->graph.format_arcs();
   }
   return 0;
 }
 
 int cmd_lint(const Options& options, std::ostream& out) {
-  const Library lib = Library::default_u6();
+  const Library& lib = default_library();
   // `--format` selects the *output* format here, so the netlist dialect
   // comes from `--netlist-format` or the file extension.
   const std::string netlist_path = options.require_flag("netlist");
@@ -564,12 +678,13 @@ int cmd_lint(const Options& options, std::ostream& out) {
   return lint::should_fail(report, threshold) ? 1 : 0;
 }
 
-int cmd_fault(const Options& options, std::ostream& out) {
-  const Library lib = Library::default_u6();
-  const Netlist netlist = load_netlist(options, lib);
+int cmd_fault(const Options& options, std::ostream& out, const ServiceEnv& env) {
   const std::unique_ptr<DelayModel> model = make_model(options);
+  const std::shared_ptr<const serve::Elaboration> elab =
+      service_elaboration(env, options, model->timing_policy(), /*want_sdf=*/false);
+  const Netlist& netlist = elab->netlist;
   const int threads = static_cast<int>(options.number("threads", 0));
-  const RunSupervisor supervisor = make_supervisor(options);
+  const RunSupervisor supervisor = make_supervisor(options, env);
 
   if (options.get("atpg")) {
     AtpgOptions atpg;
@@ -601,7 +716,7 @@ int cmd_fault(const Options& options, std::ostream& out) {
     return 0;
   }
 
-  const Stimulus stimulus = load_stimulus(options, netlist);
+  const Stimulus stimulus = load_stimulus(env, options, netlist);
   require(stimulus.last_edge_time() > 0.0, "fault simulation needs a --stim file");
 
   if (options.get("serial")) {
@@ -623,14 +738,16 @@ int cmd_fault(const Options& options, std::ostream& out) {
     return 0;
   }
 
-  CampaignOptions campaign;
-  campaign.sampling.sample_period = options.number("period", 5.0);
-  campaign.threads = threads;
-  campaign.early_exit = !options.get("no-early-exit");
-  campaign.supervisor = &supervisor;
+  FaultSimOptions sampling;
+  sampling.sample_period = options.number("period", 5.0);
+  const bool early_exit = !options.get("no-early-exit");
   const auto start = std::chrono::steady_clock::now();
-  const CampaignResult result =
-      run_fault_campaign(netlist, stimulus, *model, {}, campaign);
+  // The engine runs on the shared elaboration's graph (the daemon's cached
+  // one on a warm hit) instead of re-elaborating; verdicts are
+  // bit-identical either way.
+  CampaignEngine engine(netlist, *model, elab->graph, threads);
+  engine.supervise(&supervisor);
+  const CampaignResult result = engine.run(stimulus, {}, sampling, early_exit);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   out << "stuck-at coverage: " << result.detected << " / " << result.total << " ("
@@ -751,8 +868,7 @@ int cmd_repro(const Options& options, std::ostream& out) {
 }
 
 int cmd_convert(const Options& options, std::ostream& out) {
-  const Library lib = Library::default_u6();
-  const Netlist netlist = load_netlist(options, lib);
+  const Netlist netlist = load_netlist(options, default_library());
   const std::string to = options.require_flag("to");
   std::string text;
   if (to == "bench") {
@@ -775,6 +891,96 @@ int cmd_convert(const Options& options, std::ostream& out) {
   return 0;
 }
 
+/// `halotis serve`: the resident daemon (docs/DAEMON.md).  Binds the Unix
+/// socket, parks the worker pool in accept loops, and blocks until SIGINT
+/// or SIGTERM trips the process token -- then drains, unlinks the socket
+/// and reports what it served.
+int cmd_serve(const Options& options, std::ostream& out) {
+  serve::ServeOptions serve_options;
+  serve_options.socket_path = options.require_flag("socket");
+  const int threads = static_cast<int>(options.number("threads", 0.0));
+  require(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+  serve_options.threads = threads;
+  const double cache_mb = options.number("cache-mb", 256.0);
+  require(cache_mb > 0.0, "--cache-mb must be > 0");
+  serve_options.cache_bytes = static_cast<std::size_t>(cache_mb * 1024.0 * 1024.0);
+  serve_options.idle_timeout_ms =
+      static_cast<int>(options.number("idle-timeout-ms", 30000.0));
+  serve_options.stop = cli_cancel_token();
+  // SIGTERM drains exactly like Ctrl-C: systemd stop / CI teardown get a
+  // clean socket unlink and only whole artifacts.
+  install_sigterm_cancel(cli_cancel_token());
+
+  serve::Server server(
+      serve_options,
+      [](const std::vector<std::string>& request_args, serve::ServeContext& context,
+         serve::RequestIo& io, std::ostream& request_out, std::ostream& request_err) {
+        return run_cli_service(request_args, request_out, request_err, &context, &io);
+      });
+  out << "serving on " << serve_options.socket_path << " (" << server.threads()
+      << " worker" << (server.threads() == 1 ? "" : "s") << ", cache "
+      << serve_options.cache_bytes / (1024 * 1024) << " MiB)\n";
+  out.flush();
+  server.run();
+
+  const serve::Server::Stats stats = server.stats();
+  const serve::ElabCache::Stats cache = server.cache_stats();
+  out << "drained: " << stats.requests << " request" << (stats.requests == 1 ? "" : "s")
+      << " over " << stats.connections << " connection"
+      << (stats.connections == 1 ? "" : "s") << ", cache " << cache.hits << " hit"
+      << (cache.hits == 1 ? "" : "s") << " / " << cache.misses << " miss"
+      << (cache.misses == 1 ? "" : "es") << ", " << stats.protocol_errors
+      << " protocol error" << (stats.protocol_errors == 1 ? "" : "s") << ", "
+      << stats.aborted_connections << " aborted connection"
+      << (stats.aborted_connections == 1 ? "" : "s") << "\n";
+  return 0;
+}
+
+/// `--connect PATH` interception (local mode): ship the command's argv and
+/// input files to a resident daemon, write the returned artifacts
+/// atomically on this side, relay the captured console bytes -- a
+/// successful exchange is byte-identical to running the command locally.
+int run_connect(const Options& options, const std::vector<std::string>& args,
+                std::ostream& out, std::ostream& err) {
+  const bool routable = options.command == "sim" || options.command == "sta" ||
+                        options.command == "fault" || options.command == "variation";
+  if (!routable) {
+    throw UsageError("--connect routes sim, sta, fault and variation only (got '" +
+                     options.command + "')");
+  }
+  const std::string socket_path = *options.get("connect");
+  std::vector<std::pair<std::string, std::string>> files;
+  const auto ship = [&files](const std::string& path) {
+    files.emplace_back(path, read_file(path));
+  };
+  if (const auto path = options.get("netlist")) ship(*path);
+  if (const auto path = options.get("stim")) ship(*path);
+  if (const auto path = options.get("sdf")) {
+    if (options.command == "sim" && options.get("replay")) {
+      // Replay corners: --sdf lists several files, comma-separated.
+      for (const std::string& corner : split(*path, ',')) {
+        if (!corner.empty()) ship(corner);
+      }
+    } else {
+      ship(*path);
+    }
+  }
+  // Forward everything but the flags consumed on this side: --connect
+  // itself, and --failpoints (already armed in this process so the io.*
+  // sites fire on the client-side artifact writes; the daemon rejects a
+  // forwarded copy).
+  std::vector<std::string> forwarded;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--connect" || args[i] == "--failpoints") {
+      if (i + 1 < args.size() && !starts_with(args[i + 1], "--")) ++i;
+      continue;
+    }
+    forwarded.push_back(args[i]);
+  }
+  return serve::run_connected(socket_path, forwarded, files, out, err,
+                              &cli_cancel_token());
+}
+
 }  // namespace
 
 const CancelToken& cli_cancel_token() {
@@ -791,7 +997,7 @@ commands:
   sim      event-driven timing simulation
            --netlist F [--format bench|verilog|native] [--stim F]
            [--model ddm|cdm|cdm-classical|transport] [--t-end NS]
-           [--sdf F] [--vcd F] [--report] [--waves]
+           [--sdf F] [--vcd F] [--report] [--waves] [--hash]
            [--threads N] [--partitions K]   (partitioned parallel kernel;
            N=0 uses all hardware threads, results are bit-identical at
            every N; --report/--vcd need --threads 1)
@@ -821,6 +1027,13 @@ commands:
            [--threads N] [--golden F]
   convert  netlist format conversion / delay annotation export
            --netlist F --to bench|verilog|native|sdf [--slew NS] [--out F]
+  serve    resident simulation daemon (docs/DAEMON.md)
+           --socket PATH [--threads N] [--cache-mb M] (default 256)
+           keeps a keyed LRU cache of elaborated designs and a pooled
+           simulator per worker; SIGINT/SIGTERM drain gracefully
+           sim, sta, fault and variation accept --connect PATH to route
+           the request through a running daemon -- console output and
+           artifacts are byte-identical to running locally
 
 supervision (sim, variation, fault, repro, lint -- docs/ARCHITECTURE.md):
   --budget-events N    error out (exit 3) after N processed events
@@ -836,10 +1049,20 @@ exit codes: 0 ok, 1 error, 2 usage, 3 budget, 4 deadline, 5 cancelled, 6 I/O
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  return run_cli_service(args, out, err, nullptr, nullptr);
+}
+
+int run_cli_service(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err, serve::ServeContext* context,
+                    serve::RequestIo* io) {
+  const ServiceEnv env{context, io};
   // Fail-point arming is scoped to this invocation: sites armed from the
   // environment or --failpoints are disarmed on every exit path so repeated
   // in-process calls (tests) stay isolated.  Sites armed through the test
   // API before the call are intentionally cleared too -- arm per call.
+  // Daemon-side requests never touch the registry: the sites stay whatever
+  // the daemon process armed (per-request arming would race across
+  // workers).
   bool armed_failpoints = false;
   struct DisarmGuard {
     bool* armed;
@@ -859,21 +1082,44 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
       expanded.insert(expanded.begin() + 1, "--netlist");
     }
     const Options options = parse_args(expanded);
-    std::string failpoint_spec;
-    if (const char* env = std::getenv("HALOTIS_FAILPOINTS")) failpoint_spec = env;
-    if (const auto flag = options.get("failpoints")) failpoint_spec = *flag;
-    if (!failpoint_spec.empty()) {
-      FailPoints::instance().arm_spec(failpoint_spec);
-      armed_failpoints = true;
+    if (env.daemon()) {
+      // The daemon serves the four commands whose inputs ship in the
+      // request frame and whose elaborations cache; everything else -- and
+      // anything process-global -- is a usage error back to the client.
+      const bool routable = options.command == "sim" || options.command == "sta" ||
+                            options.command == "fault" ||
+                            options.command == "variation";
+      if (!routable) {
+        throw UsageError("daemon serves sim, sta, fault and variation (got '" +
+                         options.command + "')");
+      }
+      if (options.get("connect")) {
+        throw UsageError("--connect cannot be forwarded through a daemon");
+      }
+      if (options.get("failpoints")) {
+        throw UsageError("--failpoints is process-wide; arm it on the daemon itself");
+      }
+    } else {
+      std::string failpoint_spec;
+      if (const char* env_spec = std::getenv("HALOTIS_FAILPOINTS")) {
+        failpoint_spec = env_spec;
+      }
+      if (const auto flag = options.get("failpoints")) failpoint_spec = *flag;
+      if (!failpoint_spec.empty()) {
+        FailPoints::instance().arm_spec(failpoint_spec);
+        armed_failpoints = true;
+      }
+      if (options.get("connect")) return run_connect(options, expanded, out, err);
     }
-    if (options.command == "sim") return cmd_sim(options, out);
-    if (options.command == "variation") return cmd_variation(options, out);
+    if (options.command == "sim") return cmd_sim(options, out, env);
+    if (options.command == "variation") return cmd_variation(options, out, env);
     if (options.command == "analog") return cmd_analog(options, out);
-    if (options.command == "sta") return cmd_sta(options, out);
+    if (options.command == "sta") return cmd_sta(options, out, env);
     if (options.command == "lint") return cmd_lint(options, out);
-    if (options.command == "fault") return cmd_fault(options, out);
+    if (options.command == "fault") return cmd_fault(options, out, env);
     if (options.command == "repro") return cmd_repro(options, out);
     if (options.command == "convert") return cmd_convert(options, out);
+    if (options.command == "serve") return cmd_serve(options, out);
     err << "unknown command '" << options.command << "'\n" << cli_usage();
     return 2;
   } catch (const UsageError& e) {

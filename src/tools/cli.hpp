@@ -15,6 +15,10 @@
 //   repro   [--list] [--only ID[,...]] [--quick] [--out DIR] [--golden F]
 //                                               paper-reproduction engine
 //   convert --netlist F --to bench|verilog|native|sdf [--out F]
+//   serve   --socket PATH [--threads N] [--cache-mb M]
+//                                               resident daemon; sim / sta /
+//                                               fault / variation requests
+//                                               route to it via --connect
 //
 // Netlist formats are detected from the file extension (.bench, .v,
 // anything else = native) unless --format overrides.
@@ -28,6 +32,11 @@
 
 namespace halotis {
 
+namespace serve {
+struct ServeContext;
+struct RequestIo;
+}  // namespace serve
+
 /// The process-wide cancellation token every supervised command polls.
 /// halotis_main routes SIGINT into it (install_sigint_cancel); tests can
 /// trip it directly to exercise the cancellation path in-process.
@@ -38,6 +47,16 @@ namespace halotis {
 /// exceeded, 4 deadline exceeded, 5 cancelled, 6 I/O error).  `args`
 /// excludes argv[0].
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// run_cli with the daemon seam exposed: non-null `context` / `io` mark a
+/// daemon-side request, which resolves input paths against the files the
+/// client shipped, collects artifacts into the response frame, consults the
+/// keyed elaboration cache, and serves a restricted command surface (sim,
+/// sta, fault, variation).  run_cli(a, o, e) == run_cli_service(a, o, e,
+/// nullptr, nullptr).  This is the production serve::Executor -- `halotis
+/// serve` wires it into the Server (docs/DAEMON.md).
+int run_cli_service(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err, serve::ServeContext* context, serve::RequestIo* io);
 
 /// Usage text.
 [[nodiscard]] std::string cli_usage();

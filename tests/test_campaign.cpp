@@ -304,6 +304,25 @@ TEST_F(CampaignTest, EngineReuseAcrossStimuliMatchesOneShotRuns) {
   }
 }
 
+TEST_F(CampaignTest, ExternalGraphMatchesInternalElaboration) {
+  // The daemon hands CampaignEngine a cache-shared TimingGraph instead of
+  // letting it elaborate internally; the two paths must be bit-identical.
+  MultiplierCircuit mult = make_multiplier(lib_, 3);
+  const Stimulus stim = multiplier_words(mult, random_word_stream(6, 8, 42));
+
+  CampaignEngine internal(mult.netlist, ddm_, 2);
+  const CampaignResult from_internal = internal.run(stim);
+
+  const TimingGraph shared = TimingGraph::build(mult.netlist, ddm_.timing_policy());
+  CampaignEngine external(mult.netlist, ddm_, shared, 2);
+  const CampaignResult from_external = external.run(stim);
+
+  EXPECT_EQ(from_external.verdicts, from_internal.verdicts);
+  EXPECT_EQ(from_external.detected, from_internal.detected);
+  EXPECT_EQ(from_external.undetected, from_internal.undetected);
+  EXPECT_EQ(from_external.events_processed, from_internal.events_processed);
+}
+
 TEST_F(CampaignTest, AtpgThreadCountInvariant) {
   C17Circuit c17 = make_c17(lib_);
   AtpgOptions options;

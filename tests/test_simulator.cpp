@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "src/core/simulator.hpp"
+#include "src/replay/history_hash.hpp"
+#include "src/timing/timing_graph.hpp"
 
 namespace halotis {
 namespace {
@@ -448,6 +450,86 @@ TEST_F(SimulatorTest, InitialWordPropagatesThroughSteadyState) {
   EXPECT_FALSE(sim.initial_value(y));
   EXPECT_FALSE(sim.final_value(y));
   EXPECT_EQ(sim.stats().events_processed, 0u);
+}
+
+// ---- rebind() (the daemon's simulator pool contract) -----------------------
+
+/// Runs `stim` on a fresh external-graph Simulator and returns the
+/// observables a pooled run must reproduce bit-for-bit.
+struct RunImage {
+  std::uint64_t history_hash = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t events_created = 0;
+  TimeNs end_time = 0.0;
+
+  bool operator==(const RunImage& other) const {
+    return history_hash == other.history_hash &&
+           events_processed == other.events_processed &&
+           events_created == other.events_created && end_time == other.end_time;
+  }
+};
+
+template <class SimLike>
+RunImage image_of(SimLike& sim, const Stimulus& stim) {
+  sim.apply_stimulus(stim);
+  const RunResult result = sim.run();
+  return RunImage{replay::hash_sim_history(sim), sim.stats().events_processed,
+                  sim.stats().events_created, result.end_time};
+}
+
+TEST_F(SimulatorTest, RebindMatchesFreshConstructionBitForBit) {
+  // Two structurally different designs, each with its own elaborated graph
+  // and stimulus -- the daemon's cache serves exactly this shape.
+  InvFixture a(lib_);
+  Stimulus stim_a(0.4);
+  stim_a.add_edge(a.in, 5.0, true);
+  stim_a.add_edge(a.in, 11.0, false);
+
+  Netlist b(lib_);
+  const SignalId bin = b.add_primary_input("in");
+  const SignalId mid = b.add_signal("mid");
+  const SignalId bout = b.add_signal("out");
+  b.mark_primary_output(bout);
+  (void)b.add_gate("g0", CellKind::kInv, std::array<SignalId, 1>{bin}, mid);
+  (void)b.add_gate("g1", CellKind::kNand2, std::array<SignalId, 2>{bin, mid}, bout);
+  Stimulus stim_b(0.4);
+  stim_b.add_edge(bin, 3.0, true);
+  stim_b.add_edge(bin, 9.5, false);
+
+  const TimingGraph graph_a = TimingGraph::build(a.nl, ddm_.timing_policy());
+  const TimingGraph graph_b = TimingGraph::build(b, ddm_.timing_policy());
+
+  RunImage fresh_a, fresh_b;
+  {
+    Simulator sim(a.nl, ddm_, graph_a);
+    fresh_a = image_of(sim, stim_a);
+  }
+  {
+    Simulator sim(b, ddm_, graph_b);
+    fresh_b = image_of(sim, stim_b);
+  }
+  ASSERT_NE(fresh_a, fresh_b) << "designs too similar to witness a rebind";
+
+  // One pooled simulator crossing designs: A, rebind to B, rebind back to
+  // A, then a same-design rebind (the plain-reset fast path).  Every run
+  // must be indistinguishable from a fresh construction.
+  Simulator pooled(a.nl, ddm_, graph_a);
+  EXPECT_EQ(image_of(pooled, stim_a), fresh_a);
+  pooled.rebind(b, ddm_, graph_b);
+  EXPECT_EQ(image_of(pooled, stim_b), fresh_b) << "A -> B rebind diverged";
+  pooled.rebind(a.nl, ddm_, graph_a);
+  EXPECT_EQ(image_of(pooled, stim_a), fresh_a) << "B -> A rebind diverged";
+  pooled.rebind(a.nl, ddm_, graph_a);
+  EXPECT_EQ(image_of(pooled, stim_a), fresh_a) << "same-design rebind diverged";
+}
+
+TEST_F(SimulatorTest, RebindRejectsGraphFromAnotherNetlist) {
+  InvFixture a(lib_);
+  InvFixture other(lib_);
+  const TimingGraph graph_a = TimingGraph::build(a.nl, ddm_.timing_policy());
+  const TimingGraph graph_other = TimingGraph::build(other.nl, ddm_.timing_policy());
+  Simulator sim(a.nl, ddm_, graph_a);
+  EXPECT_THROW(sim.rebind(a.nl, ddm_, graph_other), ContractViolation);
 }
 
 }  // namespace
